@@ -1,0 +1,36 @@
+// Shared helpers for the experiment harness (bench_e*). Each binary
+// regenerates one "table" validating a theorem of the paper; see
+// EXPERIMENTS.md for the index.
+#pragma once
+
+#include <iostream>
+#include <string>
+
+#include "graph/graph.h"
+#include "graph/matching.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+namespace wmatch::bench {
+
+inline double ratio(Weight achieved, Weight optimal) {
+  return optimal == 0 ? 1.0
+                      : static_cast<double>(achieved) /
+                            static_cast<double>(optimal);
+}
+
+inline std::string fmt_ratio(const Accumulator& acc) {
+  return Table::fmt(acc.mean(), 4) + " ± " +
+         Table::fmt(acc.ci95_halfwidth(), 4);
+}
+
+inline void header(const std::string& id, const std::string& claim) {
+  std::cout << "=== " << id << " ===\n" << claim << "\n\n";
+}
+
+inline void footer(const std::string& expectation) {
+  std::cout << "\nExpected shape: " << expectation << "\n\n";
+}
+
+}  // namespace wmatch::bench

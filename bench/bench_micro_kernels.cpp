@@ -1,0 +1,98 @@
+// Micro-benchmarks (google-benchmark) for the library's hot kernels:
+// exact solvers, local-ratio feeding, layered-graph construction, and the
+// single-pass pipeline. These track implementation performance, not paper
+// claims.
+#include <benchmark/benchmark.h>
+
+#include "baselines/local_ratio.h"
+#include "core/layered_graph.h"
+#include "core/rand_arr_matching.h"
+#include "core/tau.h"
+#include "exact/blossom.h"
+#include "exact/hopcroft_karp.h"
+#include "gen/generators.h"
+#include "gen/weights.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace wmatch;
+
+Graph make_weighted(std::size_t n, std::size_t m, std::uint64_t seed) {
+  Rng rng(seed);
+  return gen::assign_weights(gen::erdos_renyi(n, m, rng),
+                             gen::WeightDist::kExponential, 1 << 12, rng);
+}
+
+void BM_BlossomMaxWeight(benchmark::State& state) {
+  std::size_t n = static_cast<std::size_t>(state.range(0));
+  Graph g = make_weighted(n, 4 * n, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(exact::blossom_max_weight(g));
+  }
+  state.SetComplexityN(static_cast<benchmark::IterationCount>(n));
+}
+BENCHMARK(BM_BlossomMaxWeight)->Range(64, 1024)->Complexity();
+
+void BM_HopcroftKarp(benchmark::State& state) {
+  std::size_t n = static_cast<std::size_t>(state.range(0));
+  Rng rng(2);
+  Graph g = gen::random_bipartite(n, n, 8 * n, rng);
+  std::vector<char> side(2 * n, 0);
+  for (std::size_t v = n; v < 2 * n; ++v) side[v] = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(exact::hopcroft_karp(g, side));
+  }
+}
+BENCHMARK(BM_HopcroftKarp)->Range(256, 4096);
+
+void BM_LocalRatioFeed(benchmark::State& state) {
+  std::size_t n = static_cast<std::size_t>(state.range(0));
+  Graph g = make_weighted(n, 16 * n, 3);
+  Rng rng(3);
+  auto stream = gen::random_stream(g, rng);
+  for (auto _ : state) {
+    baselines::LocalRatio lr(n);
+    for (const Edge& e : stream) lr.feed(e);
+    benchmark::DoNotOptimize(lr.unwind());
+  }
+}
+BENCHMARK(BM_LocalRatioFeed)->Range(256, 4096);
+
+void BM_LayeredGraphBuild(benchmark::State& state) {
+  std::size_t n = static_cast<std::size_t>(state.range(0));
+  Graph g = make_weighted(n, 8 * n, 4);
+  Matching m(n);
+  for (const Edge& e : g.edges()) {
+    if (!m.is_matched(e.u) && !m.is_matched(e.v)) m.add(e);
+  }
+  Rng rng(4);
+  core::Parametrization par = core::random_parametrization(n, rng);
+  core::CrossingEdges ce = core::crossing_edges(g, m, par);
+  core::TauConfig tcfg;
+  core::BucketedEdges buckets =
+      core::bucket_edges(ce, core::quantum(1024, tcfg), core::max_units(tcfg));
+  core::TauPair tau{{0, 4, 0}, {3, 3}};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::build_layered_graph(buckets, m, par, tau, n));
+  }
+}
+BENCHMARK(BM_LayeredGraphBuild)->Range(256, 4096);
+
+void BM_RandArrMatchingPipeline(benchmark::State& state) {
+  std::size_t n = static_cast<std::size_t>(state.range(0));
+  Graph g = make_weighted(n, 8 * n, 5);
+  Rng rng(5);
+  auto stream = gen::random_stream(g, rng);
+  for (auto _ : state) {
+    Rng local(6);
+    benchmark::DoNotOptimize(
+        core::rand_arr_matching(stream, n, {}, local));
+  }
+}
+BENCHMARK(BM_RandArrMatchingPipeline)->Range(256, 2048);
+
+}  // namespace
+
+BENCHMARK_MAIN();

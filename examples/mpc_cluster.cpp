@@ -1,0 +1,55 @@
+// Simulated MPC cluster computing a (1-eps)-approximate maximum weight
+// matching (Theorem 1.2, MPC instantiation).
+//
+// The simulator accounts for the model's resources exactly: machines,
+// rounds, per-machine memory, communication volume. This example sizes the
+// cluster like the paper does — Gamma = O(m/n) machines with S = Theta~(n)
+// words each — and prints the accounting alongside the achieved ratio.
+#include <iostream>
+
+#include "core/main_alg.h"
+#include "exact/blossom.h"
+#include "gen/generators.h"
+#include "gen/weights.h"
+#include "mpc/mpc_context.h"
+#include "util/rng.h"
+
+int main() {
+  using namespace wmatch;
+  Rng rng(99);
+
+  const std::size_t n = 1000;
+  const std::size_t m = 12000;
+  Graph g = gen::assign_weights(gen::barabasi_albert(n, 12, rng),
+                                gen::WeightDist::kExponential, 1 << 16, rng);
+  (void)m;
+
+  // Gamma = m/n machines, S = 16n words per machine.
+  mpc::MpcConfig config{std::max<std::size_t>(2, g.num_edges() / n), 16 * n};
+  mpc::MpcContext ctx(config);
+  core::MpcMatcher matcher(ctx, rng);
+
+  core::ReductionConfig cfg;
+  cfg.epsilon = 0.15;
+  auto result = core::maximum_weight_matching(g, cfg, matcher, rng);
+  Matching opt = exact::blossom_max_weight(g);
+
+  std::cout << "graph: n=" << g.num_vertices() << " m=" << g.num_edges()
+            << "\n"
+            << "cluster: " << config.num_machines << " machines x "
+            << config.machine_memory_words << " words\n"
+            << "matching weight: " << result.matching.weight() << " / "
+            << opt.weight() << " (ratio "
+            << static_cast<double>(result.matching.weight()) /
+                   static_cast<double>(opt.weight())
+            << ")\n"
+            << "improvement rounds: " << result.iterations << "\n"
+            << "MPC rounds charged (parallel model): "
+            << result.parallel_model_cost << "\n"
+            << "peak machine memory: " << ctx.peak_machine_memory()
+            << " words (budget " << config.machine_memory_words << ", "
+            << (ctx.memory_violated() ? "VIOLATED" : "ok") << ")\n"
+            << "total communication: " << ctx.total_communication()
+            << " words\n";
+  return 0;
+}

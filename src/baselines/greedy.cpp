@@ -1,0 +1,29 @@
+#include "baselines/greedy.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace wmatch::baselines {
+
+bool greedy_extend(Matching& m, const Edge& e) {
+  if (m.is_matched(e.u) || m.is_matched(e.v)) return false;
+  m.add(e);
+  return true;
+}
+
+Matching greedy_stream_matching(std::span<const Edge> stream, std::size_t n) {
+  Matching m(n);
+  for (const Edge& e : stream) greedy_extend(m, e);
+  return m;
+}
+
+Matching greedy_by_weight(const Graph& g) {
+  std::vector<Edge> edges(g.edges().begin(), g.edges().end());
+  std::stable_sort(edges.begin(), edges.end(),
+                   [](const Edge& a, const Edge& b) { return a.w > b.w; });
+  Matching m(g.num_vertices());
+  for (const Edge& e : edges) greedy_extend(m, e);
+  return m;
+}
+
+}  // namespace wmatch::baselines

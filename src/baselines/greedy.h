@@ -1,0 +1,23 @@
+// Greedy matching baselines.
+#pragma once
+
+#include <span>
+
+#include "graph/graph.h"
+#include "graph/matching.h"
+
+namespace wmatch::baselines {
+
+/// Adds e to m if both endpoints are free (streaming greedy step).
+/// Returns true if the edge was taken.
+bool greedy_extend(Matching& m, const Edge& e);
+
+/// Maximal matching by arrival order: the classic 1/2-approximation for
+/// unweighted graphs, and the natural strawman for weighted streams.
+Matching greedy_stream_matching(std::span<const Edge> stream, std::size_t n);
+
+/// Offline greedy by decreasing weight: 1/2-approximation for weighted
+/// matching (requires the whole graph; not a streaming algorithm).
+Matching greedy_by_weight(const Graph& g);
+
+}  // namespace wmatch::baselines

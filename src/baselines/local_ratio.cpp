@@ -1,0 +1,32 @@
+#include "baselines/local_ratio.h"
+
+#include "util/require.h"
+
+namespace wmatch::baselines {
+
+bool LocalRatio::feed(const Edge& e) {
+  WMATCH_REQUIRE(e.u < potential_.size() && e.v < potential_.size(),
+                 "edge endpoint out of range");
+  Weight residual = e.w - potential_[e.u] - potential_[e.v];
+  if (residual <= 0) return false;
+  if (!frozen_) {
+    stack_.push_back(e);
+    potential_[e.u] += residual;
+    potential_[e.v] += residual;
+  }
+  return true;
+}
+
+Matching LocalRatio::unwind() const {
+  Matching m(potential_.size());
+  unwind_onto(m);
+  return m;
+}
+
+void LocalRatio::unwind_onto(Matching& m) const {
+  for (auto it = stack_.rbegin(); it != stack_.rend(); ++it) {
+    if (!m.is_matched(it->u) && !m.is_matched(it->v)) m.add(*it);
+  }
+}
+
+}  // namespace wmatch::baselines

@@ -1,0 +1,57 @@
+// Local-ratio streaming algorithm for weighted matching (Paz–Schwartzman
+// [PS17], in the simplified analysis of Ghaffari–Wajc [GW19]).
+//
+// Feeding edge e = {u,v}: let w'(e) = w(e) - αu - αv. If w'(e) > 0 the edge
+// is pushed onto a stack and both potentials increase by w'(e). Unwinding
+// the stack greedily (last pushed first) yields a 1/2-approximate matching
+// of the fed subgraph.
+//
+// The paper's Section 3 uses two extra features implemented here:
+//  * freeze(): stop updating potentials (the "frozen vertex potentials"
+//    adaptation of Section 1.1.1); frozen feeds still report whether the
+//    edge clears the potential threshold but store nothing.
+//  * unwind_onto(): Algorithm 2 Lines 15–17, popping the stack on top of
+//    an externally provided matching.
+#pragma once
+
+#include <vector>
+
+#include "graph/matching.h"
+#include "graph/types.h"
+
+namespace wmatch::baselines {
+
+class LocalRatio {
+ public:
+  explicit LocalRatio(std::size_t n) : potential_(n, 0) {}
+
+  /// Processes a stream edge. Returns true iff w(e) exceeds the current
+  /// potentials (i.e., the edge was pushed — or, when frozen, would have
+  /// been pushed).
+  bool feed(const Edge& e);
+
+  /// Freezes the vertex potentials; subsequent feed() calls no longer push
+  /// onto the stack nor update potentials.
+  void freeze() { frozen_ = true; }
+  bool frozen() const { return frozen_; }
+
+  Weight potential(Vertex v) const { return potential_[v]; }
+  const std::vector<Weight>& potentials() const { return potential_; }
+
+  const std::vector<Edge>& stack() const { return stack_; }
+
+  /// Pops the stack greedily into a fresh matching (1/2-approximation of
+  /// the fed subgraph).
+  Matching unwind() const;
+
+  /// Pops the stack on top of `m`: an edge is added iff both endpoints are
+  /// currently free in `m`.
+  void unwind_onto(Matching& m) const;
+
+ private:
+  std::vector<Weight> potential_;
+  std::vector<Edge> stack_;
+  bool frozen_ = false;
+};
+
+}  // namespace wmatch::baselines

@@ -1,0 +1,124 @@
+#include "core/main_alg.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/require.h"
+
+namespace wmatch::core {
+
+namespace {
+
+/// Geometric ladder of class weights covering every possible augmentation
+/// weight: from just above the heaviest edge times the layer count down to
+/// (roughly) the lightest edge.
+std::vector<Weight> class_ladder(const Graph& g, const ReductionConfig& cfg) {
+  Weight max_w = g.max_weight();
+  if (max_w <= 0) return {};
+  Weight min_w = max_w;
+  for (const Edge& e : g.edges()) min_w = std::min(min_w, e.w);
+
+  double top = static_cast<double>(max_w) *
+               static_cast<double>(cfg.tau.max_layers + 1);
+  double bottom = std::max(1.0, static_cast<double>(min_w));
+  std::vector<Weight> ladder;
+  double w = top;
+  while (w >= bottom && ladder.size() < cfg.max_classes) {
+    ladder.push_back(static_cast<Weight>(std::llround(w)));
+    w /= cfg.class_base;
+  }
+  return ladder;
+}
+
+}  // namespace
+
+Weight improve_matching_once(const Graph& g, Matching& m,
+                             const ReductionConfig& cfg,
+                             UnweightedMatcher& matcher, Rng& rng,
+                             std::size_t* max_invocation_cost_out) {
+  SingleClassOptions opts;
+  opts.delta = cfg.effective_delta();
+  opts.enable_cycles = cfg.enable_cycles;
+  opts.parametrizations = cfg.parametrizations;
+
+  std::vector<Weight> ladder = class_ladder(g, cfg);
+  std::size_t cost_before_max = matcher.max_invocation_cost();
+
+  // Collect augmentations per class ("in parallel").
+  std::vector<std::pair<Weight, SingleClassResult>> per_class;
+  per_class.reserve(ladder.size());
+  for (Weight w_class : ladder) {
+    SingleClassResult r = find_class_augmentations(g, m, w_class, cfg.tau,
+                                                    opts, matcher, rng);
+    if (!r.augmentations.empty()) per_class.emplace_back(w_class, std::move(r));
+  }
+
+  // Greedy conflict resolution: heaviest class first (ladder is already
+  // descending), applying only augmentations that still have positive gain
+  // and do not touch previously used vertices.
+  std::vector<char> used(g.num_vertices(), 0);
+  Weight gain_total = 0;
+  for (auto& [w_class, r] : per_class) {
+    for (const Augmentation& aug : r.augmentations) {
+      std::vector<Vertex> touched = aug.touched_vertices(m);
+      bool conflict = false;
+      for (Vertex v : touched) {
+        if (used[v]) {
+          conflict = true;
+          break;
+        }
+      }
+      if (conflict) continue;
+      if (!aug.is_valid_alternating(m)) continue;
+      Weight gain = aug.gain(m);
+      if (gain <= 0) continue;
+      for (Vertex v : touched) used[v] = 1;
+      Weight realized = aug.apply(m);
+      WMATCH_ASSERT(realized == gain);
+      gain_total += realized;
+    }
+  }
+
+  if (max_invocation_cost_out) {
+    *max_invocation_cost_out =
+        std::max(matcher.max_invocation_cost(), cost_before_max);
+  }
+  return gain_total;
+}
+
+MainAlgResult maximum_weight_matching(const Graph& g,
+                                      const ReductionConfig& cfg,
+                                      UnweightedMatcher& matcher, Rng& rng,
+                                      const Matching* initial) {
+  WMATCH_REQUIRE(cfg.epsilon > 0.0 && cfg.epsilon < 1.0, "epsilon in (0,1)");
+  MainAlgResult result;
+  result.matching = initial ? *initial : Matching(g.num_vertices());
+  result.classes = class_ladder(g, cfg).size();
+
+  std::size_t iters = cfg.max_iterations > 0
+                          ? cfg.max_iterations
+                          : static_cast<std::size_t>(
+                                std::ceil(8.0 / cfg.epsilon));
+
+  // Rounds are randomized (fresh bipartition per class per round), so a
+  // single empty round is weak evidence of convergence; stop only after
+  // several consecutive stalls (or the eps-determined round budget).
+  std::size_t stalls = 0;
+  for (std::size_t it = 0; it < iters && stalls < cfg.stall_patience; ++it) {
+    std::size_t max_cost = 0;
+    Weight gain = improve_matching_once(g, result.matching, cfg, matcher,
+                                        rng, &max_cost);
+    ++result.iterations;
+    result.total_gain += gain;
+    // Parallel-composition charge: one iteration costs the heaviest
+    // invocation plus O(1) orchestration.
+    result.parallel_model_cost += max_cost + 1;
+    stalls = gain == 0 ? stalls + 1 : 0;
+  }
+
+  result.bb_invocations = matcher.invocations();
+  result.bb_total_cost = matcher.total_cost();
+  return result;
+}
+
+}  // namespace wmatch::core

@@ -1,0 +1,58 @@
+#include "core/matcher.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "exact/hopcroft_karp.h"
+#include "mpc/mpc_matching.h"
+#include "util/require.h"
+
+namespace wmatch::core {
+
+namespace {
+
+std::size_t phases_for(double delta) {
+  WMATCH_REQUIRE(delta > 0.0 && delta < 1.0, "delta in (0,1)");
+  return static_cast<std::size_t>(std::ceil(1.0 / delta));
+}
+
+std::size_t pass_cost(std::size_t phases) {
+  // Phase i explores paths of length 2i+1 -> 2i+1 passes.
+  std::size_t cost = 0;
+  for (std::size_t i = 1; i <= phases; ++i) cost += 2 * i + 1;
+  return cost;
+}
+
+}  // namespace
+
+Matching HkStreamingMatcher::solve(const Graph& g,
+                                   const std::vector<char>& side,
+                                   double delta) {
+  auto result = exact::hopcroft_karp(g, side, phases_for(delta));
+  std::size_t cost = pass_cost(result.phases);
+  ++invocations_;
+  total_cost_ += cost;
+  max_cost_ = std::max(max_cost_, cost);
+  return std::move(result.matching);
+}
+
+Matching MpcMatcher::solve(const Graph& g, const std::vector<char>& side,
+                           double delta) {
+  auto result = mpc::mpc_bipartite_matching(g, side, delta, *ctx_, *rng_);
+  ++invocations_;
+  total_cost_ += result.rounds_used;
+  max_cost_ = std::max(max_cost_, result.rounds_used);
+  return std::move(result.matching);
+}
+
+Matching ExactMatcher::solve(const Graph& g, const std::vector<char>& side,
+                             double delta) {
+  (void)delta;
+  auto result = exact::hopcroft_karp(g, side, 0);
+  ++invocations_;
+  total_cost_ += result.phases;
+  max_cost_ = std::max(max_cost_, result.phases);
+  return std::move(result.matching);
+}
+
+}  // namespace wmatch::core

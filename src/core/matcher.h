@@ -1,0 +1,95 @@
+// The `Unw-Bip-Matching` black box interface (Theorems 4.1 / 4.8).
+//
+// The reduction is parametric in any (1-delta)-approximation algorithm for
+// maximum-cardinality matching in bipartite graphs. Implementations also
+// account for the cost of each invocation in their model's currency
+// (streaming passes or MPC rounds), so the drivers can report the paper's
+// complexity claims. Invocations made "in parallel" by the reduction (all
+// tau pairs / all weight classes of one iteration) cost the *maximum*
+// invocation cost, not the sum — that is exactly how the paper charges
+// them (Section 4.4, implementation paragraphs).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/matching.h"
+#include "mpc/mpc_context.h"
+#include "util/rng.h"
+
+namespace wmatch::core {
+
+class UnweightedMatcher {
+ public:
+  virtual ~UnweightedMatcher() = default;
+
+  /// (1-delta)-approximate maximum-cardinality matching of the bipartite
+  /// graph g (side[v] in {0,1}).
+  virtual Matching solve(const Graph& g, const std::vector<char>& side,
+                         double delta) = 0;
+
+  virtual std::size_t invocations() const = 0;
+  /// Cumulative model cost over all invocations.
+  virtual std::size_t total_cost() const = 0;
+  /// Largest single-invocation cost (parallel-composition charge).
+  virtual std::size_t max_invocation_cost() const = 0;
+};
+
+/// Streaming black box: phase-limited Hopcroft–Karp. A phase that explores
+/// augmenting paths of length 2i+1 costs 2i+1 passes (one pass per BFS
+/// layer), so one invocation costs sum_{i<=phases}(2i+1) = O(1/delta^2)
+/// passes — independent of n, which is what makes Theorem 1.2's pass count
+/// Oe(1).
+class HkStreamingMatcher final : public UnweightedMatcher {
+ public:
+  Matching solve(const Graph& g, const std::vector<char>& side,
+                 double delta) override;
+  std::size_t invocations() const override { return invocations_; }
+  std::size_t total_cost() const override { return total_cost_; }
+  std::size_t max_invocation_cost() const override { return max_cost_; }
+
+ private:
+  std::size_t invocations_ = 0;
+  std::size_t total_cost_ = 0;
+  std::size_t max_cost_ = 0;
+};
+
+/// MPC black box: LMSV11-style filtering + phase-limited Hopcroft–Karp on
+/// the simulated cluster; costs are rounds charged to the MpcContext.
+class MpcMatcher final : public UnweightedMatcher {
+ public:
+  MpcMatcher(mpc::MpcContext& ctx, Rng& rng) : ctx_(&ctx), rng_(&rng) {}
+
+  Matching solve(const Graph& g, const std::vector<char>& side,
+                 double delta) override;
+  std::size_t invocations() const override { return invocations_; }
+  std::size_t total_cost() const override { return total_cost_; }
+  std::size_t max_invocation_cost() const override { return max_cost_; }
+
+ private:
+  mpc::MpcContext* ctx_;
+  Rng* rng_;
+  std::size_t invocations_ = 0;
+  std::size_t total_cost_ = 0;
+  std::size_t max_cost_ = 0;
+};
+
+/// Exact black box (delta ignored; Hopcroft–Karp to optimality). Useful in
+/// tests to isolate reduction behaviour from black-box slack.
+class ExactMatcher final : public UnweightedMatcher {
+ public:
+  Matching solve(const Graph& g, const std::vector<char>& side,
+                 double delta) override;
+  std::size_t invocations() const override { return invocations_; }
+  std::size_t total_cost() const override { return total_cost_; }
+  std::size_t max_invocation_cost() const override { return max_cost_; }
+
+ private:
+  std::size_t invocations_ = 0;
+  std::size_t total_cost_ = 0;
+  std::size_t max_cost_ = 0;
+};
+
+}  // namespace wmatch::core

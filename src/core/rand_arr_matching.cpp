@@ -1,0 +1,74 @@
+#include "core/rand_arr_matching.h"
+
+#include <algorithm>
+#include <cmath>
+#include <optional>
+
+#include "baselines/local_ratio.h"
+#include "exact/blossom.h"
+#include "graph/graph.h"
+#include "util/require.h"
+
+namespace wmatch::core {
+
+RandArrResult rand_arr_matching(std::span<const Edge> stream, std::size_t n,
+                                const RandArrConfig& cfg, Rng& rng) {
+  double p = cfg.p;
+  if (p <= 0.0) {
+    // Paper's p = 100 / log n, clamped for small instances.
+    double ln = std::log2(static_cast<double>(std::max<std::size_t>(n, 4)));
+    p = std::min(0.5, 100.0 / (ln * 100.0));  // = 1/log2(n), gentle clamp
+  }
+  WMATCH_REQUIRE(p > 0.0 && p < 1.0, "p in (0,1)");
+  const std::size_t prefix =
+      static_cast<std::size_t>(p * static_cast<double>(stream.size()));
+
+  // Phase 1: local-ratio over the prefix.
+  baselines::LocalRatio lr(n);
+  for (std::size_t i = 0; i < prefix; ++i) lr.feed(stream[i]);
+  Matching m0 = lr.unwind();
+
+  // Phase 2: freeze potentials; run T-collection and Wgt-Aug-Paths over
+  // the suffix.
+  lr.freeze();
+  WgtAugPaths wap(m0, cfg.wap, rng);
+  std::vector<Edge> t_set;
+  for (std::size_t i = prefix; i < stream.size(); ++i) {
+    const Edge& e = stream[i];
+    if (lr.feed(e)) t_set.push_back(e);  // frozen: true iff w > alpha_u+alpha_v
+    wap.feed(e);
+  }
+
+  // Phase 3a: M1 = exact max matching of T w.r.t. residual weights, then
+  // pop the stack greedily on top (Lines 14-17).
+  Matching m1(n);
+  if (!t_set.empty()) {
+    std::vector<Edge> residual;
+    residual.reserve(t_set.size());
+    for (const Edge& e : t_set) {
+      Weight w2 = e.w - lr.potential(e.u) - lr.potential(e.v);
+      WMATCH_ASSERT(w2 > 0);
+      residual.push_back({e.u, e.v, w2});
+    }
+    Graph t_graph(n, residual);
+    Matching residual_opt = exact::blossom_max_weight(t_graph);
+    for (const Edge& e : residual_opt.edges()) {
+      m1.add(e.u, e.v, e.w + lr.potential(e.u) + lr.potential(e.v));
+    }
+  }
+  lr.unwind_onto(m1);
+
+  // Phase 3b: M2 from the weighted augmenting-path machinery.
+  Matching m2 = wap.finalize();
+
+  RandArrResult result{
+      m1.weight() >= m2.weight() ? std::move(m1) : std::move(m2),
+      m0.weight(),
+      lr.stack().size(),
+      t_set.size(),
+      lr.stack().size() + t_set.size() + wap.stored_edges(),
+  };
+  return result;
+}
+
+}  // namespace wmatch::core

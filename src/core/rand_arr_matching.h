@@ -1,0 +1,44 @@
+// Rand-Arr-Matching (Algorithm 2): the (1/2 + c)-approximation for
+// weighted matching on random-edge-arrival streams (Theorems 1.1 / 3.14).
+//
+// Pipeline:
+//   1. Run the local-ratio algorithm on the first p fraction of the stream
+//      (stack S, vertex potentials alpha), pop the stack into M0.
+//   2. Freeze the potentials, initialize Wgt-Aug-Paths with M0.
+//   3. For the remaining stream: store every edge with w(e) > alpha_u +
+//      alpha_v into T, and feed the edge to Wgt-Aug-Paths.
+//   4. M1 = exact maximum matching of T under the residual weights
+//      w''(e) = w(e) - alpha_u - alpha_v (Blossom), then pop S on top.
+//      M2 = Wgt-Aug-Paths.finalize().
+//   5. Return the heavier of M1, M2.
+// On random-order streams, |S| and |T| are O(n polylog n) w.h.p.
+// (Lemmas 3.3 / 3.15); the result beats 1/2 by an absolute constant.
+#pragma once
+
+#include <span>
+
+#include "core/wgt_aug_paths.h"
+#include "graph/matching.h"
+#include "util/rng.h"
+
+namespace wmatch::core {
+
+struct RandArrConfig {
+  /// Prefix fraction; the paper uses p = 100/log n, which we clamp to
+  /// (0, 0.5]. A value of 0 selects the paper's formula.
+  double p = 0.0;
+  WgtAugPathsConfig wap;
+};
+
+struct RandArrResult {
+  Matching matching;
+  Weight m0_weight = 0;          ///< weight of the prefix matching
+  std::size_t stack_size = 0;    ///< |S| at end of stream
+  std::size_t t_size = 0;        ///< |T| at end of stream
+  std::size_t stored_peak = 0;   ///< total stored edges (S + T + WAP state)
+};
+
+RandArrResult rand_arr_matching(std::span<const Edge> stream, std::size_t n,
+                                const RandArrConfig& cfg, Rng& rng);
+
+}  // namespace wmatch::core

@@ -1,0 +1,32 @@
+// Constructive witness for Lemma 4.9 / Theorem 4.7: if
+// w(M) <= w(M*)/(1+eps), there is a vertex-disjoint collection of *short*
+// augmentations with total gain >= eps^2 w(M*)/200, each with comparable
+// edge weights (properties (A)-(E) of Lemma 4.9).
+//
+// This module extracts such a collection given M and M* by following the
+// lemma's proof: decompose M △ M* into alternating components, delete
+// every L-th M*-edge (L = ceil(4/eps)) for the best of L offsets, then
+// prune light edges and pieces violating the gain ratio. It exists to
+// *validate* the structural theorem empirically (tests + bench E7); the
+// actual algorithms never see M*.
+#pragma once
+
+#include <vector>
+
+#include "graph/augmentation.h"
+#include "graph/graph.h"
+#include "graph/matching.h"
+
+namespace wmatch::core {
+
+struct ShortAugmentationsResult {
+  std::vector<Augmentation> collection;  ///< vertex-disjoint pieces
+  Weight total_gain = 0;                 ///< sum of w(C∩M*) - w(C_M)
+  std::size_t max_piece_edges = 0;       ///< longest piece (edges)
+};
+
+ShortAugmentationsResult short_augmentations(const Matching& m,
+                                             const Matching& m_star,
+                                             double epsilon);
+
+}  // namespace wmatch::core

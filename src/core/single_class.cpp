@@ -1,0 +1,119 @@
+#include "core/single_class.h"
+
+#include <algorithm>
+
+#include "core/decompose.h"
+#include "util/require.h"
+
+namespace wmatch::core {
+
+namespace {
+
+/// Translates an augmenting path of the layered graph (compressed-id edge
+/// sequence) back to a walk in G.
+std::vector<Edge> translate_walk(const LayeredGraph& lg,
+                                 const std::vector<Edge>& layered_path) {
+  std::vector<Edge> walk;
+  walk.reserve(layered_path.size());
+  for (const Edge& e : layered_path) {
+    walk.push_back({lg.original[e.u], lg.original[e.v], e.w});
+  }
+  return walk;
+}
+
+}  // namespace
+
+SingleClassResult find_class_augmentations(const Graph& g, const Matching& m,
+                                           Weight w_class,
+                                           const TauConfig& tau_cfg,
+                                           const SingleClassOptions& opts,
+                                           UnweightedMatcher& matcher,
+                                           Rng& rng) {
+  SingleClassResult result;
+  const Weight unit = quantum(w_class, tau_cfg);
+  const int umax = max_units(tau_cfg);
+
+  // Candidate augmentations pooled over all bipartitions and tau pairs.
+  // (Divergence from the paper's Line 13 — see file comment in
+  // single_class.h.)
+  std::vector<Augmentation> candidates;
+
+  const std::size_t reps = std::max<std::size_t>(1, opts.parametrizations);
+  for (std::size_t rep = 0; rep < reps; ++rep) {
+  Parametrization par = random_parametrization(g.num_vertices(), rng);
+  CrossingEdges crossing = crossing_edges(g, m, par);
+  if (crossing.unmatched.empty()) continue;
+  BucketedEdges buckets = bucket_edges(crossing, unit, umax);
+
+  std::vector<TauPair> pairs = pairs_for_values(
+      buckets.matched_values(), buckets.unmatched_values(), tau_cfg, rng);
+
+  for (const TauPair& pair : pairs) {
+    LayeredGraph lg =
+        build_layered_graph(buckets, m, par, pair, g.num_vertices());
+    if (lg.num_between_edges == 0) continue;
+    ++result.layered_graphs;
+
+    Matching mprime = matcher.solve(lg.lprime, lg.side, opts.delta);
+
+    // Augmenting paths of M' w.r.t. ML' are path components of the
+    // symmetric difference with one more M'-edge than ML'-edge.
+    for (Augmentation& comp :
+         symmetric_difference_components(mprime, lg.ml)) {
+      if (comp.is_cycle) continue;
+      std::size_t in_mprime = 0;
+      for (const Edge& e : comp.edges) {
+        if (mprime.contains(e)) ++in_mprime;
+      }
+      if (2 * in_mprime <= comp.edges.size()) continue;  // not augmenting
+
+      std::vector<Edge> walk = translate_walk(lg, comp.edges);
+      Augmentation best;
+      Weight best_gain = 0;
+      for (Augmentation& piece : decompose_walk(walk)) {
+        if (!piece.is_valid_alternating(m)) continue;
+        if (!opts.enable_cycles) {
+          if (piece.is_cycle) continue;
+          // Classic path augmentations only: every removed matched edge
+          // must lie on the path itself.
+          std::size_t on_path_matched = 0;
+          for (const Edge& e : piece.edges) {
+            if (m.contains(e)) ++on_path_matched;
+          }
+          if (piece.matching_neighborhood(m).size() != on_path_matched) {
+            continue;
+          }
+        }
+        Weight gain = piece.gain(m);
+        if (gain > best_gain) {
+          best_gain = gain;
+          best = std::move(piece);
+        }
+      }
+      if (best_gain > 0) candidates.push_back(std::move(best));
+    }
+  }
+  }  // parametrization repetitions
+
+  // Greedy selection by decreasing gain; keep vertex-disjoint ones.
+  std::vector<std::pair<Weight, std::size_t>> order;
+  order.reserve(candidates.size());
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    order.emplace_back(candidates[i].gain(m), i);
+  }
+  std::stable_sort(order.begin(), order.end(),
+                   [](const auto& x, const auto& y) { return x.first > y.first; });
+  std::vector<Augmentation> sorted;
+  sorted.reserve(candidates.size());
+  for (const auto& [gain, idx] : order) sorted.push_back(std::move(candidates[idx]));
+
+  for (std::size_t idx : select_disjoint(sorted, m)) {
+    Weight gain = sorted[idx].gain(m);
+    WMATCH_ASSERT(gain > 0);
+    result.total_gain += gain;
+    result.augmentations.push_back(std::move(sorted[idx]));
+  }
+  return result;
+}
+
+}  // namespace wmatch::core

@@ -1,0 +1,59 @@
+// Algorithm 4 (Theorem 4.8): augmentations for a single augmentation class.
+//
+// For a fixed class weight W: draw a random L/R bipartition, and for every
+// good (tau^A, tau^B) pair build the layered graph L', solve it with the
+// unweighted bipartite black box, extract the augmenting paths of
+// M' ∪ M_{L'}, translate them back to G, decompose every translated walk
+// (Lemma 4.11) and keep its best-gain component. The returned collection
+// is vertex-disjoint and every element has strictly positive gain.
+//
+// Divergence from the paper's Line 13 (documented in DESIGN.md): instead
+// of keeping only the single best tau pair's augmentation set, we pool
+// candidates from all pairs and greedily select disjoint ones by gain —
+// a strict improvement that does not affect soundness.
+#pragma once
+
+#include <vector>
+
+#include "core/layered_graph.h"
+#include "core/matcher.h"
+#include "core/tau.h"
+#include "graph/augmentation.h"
+#include "graph/graph.h"
+#include "graph/matching.h"
+#include "util/rng.h"
+
+namespace wmatch::core {
+
+struct SingleClassResult {
+  std::vector<Augmentation> augmentations;  ///< disjoint, positive gain
+  Weight total_gain = 0;     ///< sum of gains against the input matching
+  std::size_t layered_graphs = 0;  ///< non-trivial layered graphs solved
+};
+
+struct SingleClassOptions {
+  double delta = 0.1;  ///< black-box approximation slack
+  /// Number of independent random L/R bipartitions tried per invocation.
+  /// Each short augmentation survives one random bipartition with
+  /// probability 2^-|C|; repetitions trade black-box work for per-round
+  /// recall (the paper achieves the same by iterating Theorem 4.8).
+  std::size_t parametrizations = 1;
+  /// Ablation toggle (bench E8). When false, only *classic* augmenting
+  /// paths are applied: no cycles, and no paths that remove matched edges
+  /// off the path (in weighted semantics such paths are cycle-equivalent —
+  /// they can improve a perfect matching, which is exactly the capability
+  /// the ablation is meant to remove).
+  bool enable_cycles = true;
+};
+
+/// The tau pairs are generated internally per class via pairs_for_values,
+/// restricted to the quantized weights that occur under this class's unit
+/// (see tau.h for the substitution rationale).
+SingleClassResult find_class_augmentations(const Graph& g, const Matching& m,
+                                           Weight w_class,
+                                           const TauConfig& tau_cfg,
+                                           const SingleClassOptions& opts,
+                                           UnweightedMatcher& matcher,
+                                           Rng& rng);
+
+}  // namespace wmatch::core

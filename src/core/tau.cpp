@@ -1,0 +1,198 @@
+#include "core/tau.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/require.h"
+
+namespace wmatch::core {
+
+int max_units(const TauConfig& cfg) {
+  return static_cast<int>(std::ceil((1.0 + cfg.slack) / cfg.granularity));
+}
+
+Weight quantum(Weight w_class, const TauConfig& cfg) {
+  WMATCH_REQUIRE(w_class >= 1, "class weight must be positive");
+  return std::max<Weight>(
+      1, static_cast<Weight>(std::floor(cfg.granularity *
+                                        static_cast<double>(w_class))));
+}
+
+bool is_good_pair(const TauPair& pair, const TauConfig& cfg) {
+  const std::size_t layers = pair.tau_a.size();
+  if (layers < 2 || layers > cfg.max_layers) return false;          // (A)
+  if (pair.tau_b.size() + 1 != layers) return false;                // (B)
+  for (int a : pair.tau_a) {
+    if (a < 0) return false;                                        // (C)
+  }
+  for (std::size_t t = 1; t + 1 < layers; ++t) {
+    if (pair.tau_a[t] < 1) return false;                            // (D)
+  }
+  int sum_b = 0;
+  for (int b : pair.tau_b) {
+    if (b < 1) return false;                                        // (D)
+    sum_b += b;
+  }
+  if (sum_b > max_units(cfg)) return false;                         // (E)
+  int sum_a = std::accumulate(pair.tau_a.begin(), pair.tau_a.end(), 0);
+  return sum_b - sum_a >= 1;                                        // (F)
+}
+
+TauPair induced_pair(const std::vector<Weight>& a_w,
+                     const std::vector<Weight>& b_w, Weight unit) {
+  WMATCH_REQUIRE(a_w.size() == b_w.size() + 1, "profile arity mismatch");
+  WMATCH_REQUIRE(unit >= 1, "unit must be positive");
+  TauPair pair;
+  pair.tau_a.reserve(a_w.size());
+  pair.tau_b.reserve(b_w.size());
+  for (Weight w : a_w) {
+    // Round up to the closest multiple of the unit.
+    pair.tau_a.push_back(static_cast<int>((w + unit - 1) / unit));
+  }
+  for (Weight w : b_w) {
+    // Round down.
+    pair.tau_b.push_back(static_cast<int>(w / unit));
+  }
+  return pair;
+}
+
+namespace {
+
+std::vector<int> with_zero(const std::vector<int>& vals) {
+  std::vector<int> out{0};
+  out.insert(out.end(), vals.begin(), vals.end());
+  return out;
+}
+
+}  // namespace
+
+std::vector<TauPair> pairs_for_values(const std::vector<int>& a_vals_in,
+                                      const std::vector<int>& b_vals_in,
+                                      const TauConfig& cfg, Rng& rng) {
+  const int umax = max_units(cfg);
+  std::vector<int> a_vals, b_vals;
+  for (int a : a_vals_in) {
+    if (a >= 1 && a <= umax) a_vals.push_back(a);
+  }
+  for (int b : b_vals_in) {
+    if (b >= 1 && b <= umax) b_vals.push_back(b);
+  }
+  std::sort(a_vals.begin(), a_vals.end());
+  a_vals.erase(std::unique(a_vals.begin(), a_vals.end()), a_vals.end());
+  std::sort(b_vals.begin(), b_vals.end());
+  b_vals.erase(std::unique(b_vals.begin(), b_vals.end()), b_vals.end());
+
+  std::vector<TauPair> out;
+  if (b_vals.empty()) return out;
+  const std::vector<int> a_ends = with_zero(a_vals);  // endpoint choices
+
+  auto push_if_good = [&](TauPair pair) {
+    if (out.size() >= cfg.max_pairs) return false;
+    if (is_good_pair(pair, cfg)) out.push_back(std::move(pair));
+    return out.size() < cfg.max_pairs;
+  };
+
+  // --- Priority 1: all 2-layer profiles (k = 1). ---
+  if (cfg.max_layers >= 2) {
+    for (int b1 : b_vals) {
+      for (int a1 : a_ends) {
+        for (int a2 : a_ends) {
+          if (a1 + a2 >= b1) continue;
+          if (!push_if_good({{a1, a2}, {b1}})) return out;
+        }
+      }
+    }
+  }
+
+  // --- Priority 2: 3-layer profiles with free endpoints (the classic
+  // weighted 3-augmentation with unmatched wings). ---
+  if (cfg.max_layers >= 3) {
+    for (int a2 : a_vals) {
+      for (int b1 : b_vals) {
+        for (int b2 : b_vals) {
+          if (b1 + b2 <= a2) continue;
+          if (!push_if_good({{0, a2, 0}, {b1, b2}})) return out;
+        }
+      }
+    }
+  }
+
+  // --- Priority 3: uniform deep profiles (repeated-cycle walks and long
+  // uniform paths; endpoints either free or matching the interior). ---
+  for (std::size_t layers = 3; layers <= cfg.max_layers; ++layers) {
+    const int k = static_cast<int>(layers) - 1;
+    for (int a : a_vals) {
+      for (int b : b_vals) {
+        if (k * b > umax) continue;
+        TauPair interior;
+        interior.tau_a.assign(layers, a);
+        interior.tau_b.assign(static_cast<std::size_t>(k), b);
+        if (!push_if_good(interior)) return out;
+        TauPair free_ends = interior;
+        free_ends.tau_a.front() = 0;
+        free_ends.tau_a.back() = 0;
+        if (!push_if_good(std::move(free_ends))) return out;
+      }
+    }
+  }
+
+  // --- Priority 4: random samples of the general 3-layer space. ---
+  auto sample = [&](const std::vector<int>& vals) {
+    return vals[rng.next_below(vals.size())];
+  };
+  if (cfg.max_layers >= 3 && !a_vals.empty()) {
+    std::size_t budget =
+        cfg.max_pairs > out.size() ? (cfg.max_pairs - out.size()) / 2 : 0;
+    for (std::size_t trial = 0; trial < 6 * budget; ++trial) {
+      TauPair pair{{sample(a_ends), sample(a_vals), sample(a_ends)},
+                   {sample(b_vals), sample(b_vals)}};
+      if (is_good_pair(pair, cfg)) {
+        out.push_back(std::move(pair));
+        if (out.size() >= cfg.max_pairs) break;
+      }
+    }
+  }
+
+  // --- Priority 5: random non-uniform deep profiles. ---
+  if (cfg.max_layers >= 4 && !a_vals.empty()) {
+    std::size_t budget =
+        cfg.max_pairs > out.size() ? cfg.max_pairs - out.size() : 0;
+    for (std::size_t trial = 0; trial < 6 * budget; ++trial) {
+      std::size_t layers = 4 + rng.next_below(cfg.max_layers - 3);
+      TauPair pair;
+      pair.tau_a.resize(layers);
+      pair.tau_b.resize(layers - 1);
+      pair.tau_a.front() = sample(a_ends);
+      pair.tau_a.back() = sample(a_ends);
+      for (std::size_t t = 1; t + 1 < layers; ++t) {
+        pair.tau_a[t] = sample(a_vals);
+      }
+      for (auto& b : pair.tau_b) b = sample(b_vals);
+      if (is_good_pair(pair, cfg)) {
+        out.push_back(std::move(pair));
+        if (out.size() >= cfg.max_pairs) break;
+      }
+    }
+  }
+
+  // De-duplicate, preserving priority order.
+  std::vector<TauPair> dedup;
+  dedup.reserve(out.size());
+  for (auto& p : out) {
+    if (std::find(dedup.begin(), dedup.end(), p) == dedup.end()) {
+      dedup.push_back(std::move(p));
+    }
+  }
+  return dedup;
+}
+
+std::vector<TauPair> generate_good_pairs(const TauConfig& cfg, Rng& rng) {
+  const int umax = max_units(cfg);
+  std::vector<int> all;
+  all.reserve(static_cast<std::size_t>(umax));
+  for (int v = 1; v <= umax; ++v) all.push_back(v);
+  return pairs_for_values(all, all, cfg, rng);
+}
+
+}  // namespace wmatch::core

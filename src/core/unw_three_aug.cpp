@@ -1,0 +1,72 @@
+#include "core/unw_three_aug.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+#include "util/require.h"
+
+namespace wmatch::core {
+
+UnwThreeAugPaths::UnwThreeAugPaths(const Matching& m, double beta)
+    : initial_(m),
+      lambda_(static_cast<std::size_t>(std::ceil(8.0 / beta))),
+      degree_(m.num_vertices(), 0) {
+  WMATCH_REQUIRE(beta > 0.0 && beta <= 1.0, "beta in (0,1]");
+}
+
+void UnwThreeAugPaths::feed(const Edge& e) {
+  bool u_matched = initial_.is_matched(e.u);
+  bool v_matched = initial_.is_matched(e.v);
+  if (u_matched == v_matched) return;  // need exactly one free endpoint
+  Vertex free_v = u_matched ? e.v : e.u;
+  Vertex matched_v = u_matched ? e.u : e.v;
+  if (degree_[free_v] >= lambda_) return;
+  if (degree_[matched_v] >= 2) return;
+  support_.push_back(e);
+  ++degree_[free_v];
+  ++degree_[matched_v];
+}
+
+std::vector<UnwThreeAugPaths::AugPath> UnwThreeAugPaths::extract() const {
+  // Wing edges available per matched vertex (at most 2 by construction).
+  std::vector<std::array<std::int32_t, 2>> wings(
+      initial_.num_vertices(), {-1, -1});
+  for (std::size_t i = 0; i < support_.size(); ++i) {
+    const Edge& e = support_[i];
+    Vertex matched_v = initial_.is_matched(e.u) ? e.u : e.v;
+    auto& slot = wings[matched_v];
+    if (slot[0] < 0) {
+      slot[0] = static_cast<std::int32_t>(i);
+    } else if (slot[1] < 0) {
+      slot[1] = static_cast<std::int32_t>(i);
+    }
+  }
+
+  std::vector<char> used(initial_.num_vertices(), 0);
+  std::vector<AugPath> out;
+  for (const Edge& mid : initial_.edges()) {
+    if (used[mid.u] || used[mid.v]) continue;
+    bool taken = false;
+    for (int a = 0; a < 2 && !taken; ++a) {
+      std::int32_t ia = wings[mid.u][a];
+      if (ia < 0) continue;
+      const Edge& left = support_[static_cast<std::size_t>(ia)];
+      Vertex av = left.other(mid.u);
+      if (used[av]) continue;
+      for (int b = 0; b < 2 && !taken; ++b) {
+        std::int32_t ib = wings[mid.v][b];
+        if (ib < 0) continue;
+        const Edge& right = support_[static_cast<std::size_t>(ib)];
+        Vertex bv = right.other(mid.v);
+        if (used[bv] || bv == av) continue;
+        out.push_back({left, mid, right});
+        used[mid.u] = used[mid.v] = used[av] = used[bv] = 1;
+        taken = true;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace wmatch::core

@@ -1,0 +1,54 @@
+// Unw-3-Aug-Paths (Lemma 3.1; technique of Kale–Tirodkar [KT17]).
+//
+// A streaming algorithm that, initialized with a matching M and a
+// parameter beta, maintains a bounded "support set" S of edges between
+// free and matched vertices and, at the end of the stream, extracts
+// vertex-disjoint 3-augmenting paths a - u = v - b (where {u,v} in M and
+// a, b free). If the stream contains beta*|M| vertex-disjoint
+// 3-augmenting paths, at least (beta^2/32)*|M| are returned; the support
+// set stores O(|M|/beta) edges.
+//
+// The weighted pipeline (Algorithm 1) uses one instance per weight class,
+// feeding it filtered edges; edge weights are carried through untouched so
+// that the caller can evaluate weighted gains.
+#pragma once
+
+#include <vector>
+
+#include "graph/matching.h"
+#include "graph/types.h"
+
+namespace wmatch::core {
+
+class UnwThreeAugPaths {
+ public:
+  /// A 3-augmenting path: mid in the initial matching, left/right its wings
+  /// (left incident to mid.u-side, right to mid.v-side of the path).
+  struct AugPath {
+    Edge left;
+    Edge mid;
+    Edge right;
+  };
+
+  /// `m` is the matching to augment; `beta` > 0 sets lambda = 8/beta.
+  UnwThreeAugPaths(const Matching& m, double beta);
+
+  /// Feeds one stream edge. Edges whose endpoints are both free or both
+  /// matched (w.r.t. the initial matching) are ignored.
+  void feed(const Edge& e);
+
+  /// Greedily extracts vertex-disjoint 3-augmenting paths from the support
+  /// set. Idempotent w.r.t. the fed stream; call at end of stream.
+  std::vector<AugPath> extract() const;
+
+  std::size_t support_size() const { return support_.size(); }
+  std::size_t lambda() const { return lambda_; }
+
+ private:
+  Matching initial_;
+  std::size_t lambda_;
+  std::vector<Edge> support_;
+  std::vector<std::uint32_t> degree_;  // support degree per vertex
+};
+
+}  // namespace wmatch::core

@@ -1,0 +1,69 @@
+#include "core/unweighted_random_arrival.h"
+
+#include <vector>
+
+#include "baselines/greedy.h"
+#include "core/unw_three_aug.h"
+#include "exact/blossom.h"
+#include "graph/augmentation.h"
+#include "graph/graph.h"
+#include "util/require.h"
+
+namespace wmatch::core {
+
+UnweightedRandomArrivalResult unweighted_random_arrival(
+    std::span<const Edge> stream, std::size_t n,
+    const UnweightedRandomArrivalConfig& cfg) {
+  WMATCH_REQUIRE(cfg.p > 0.0 && cfg.p < 1.0, "p in (0,1)");
+  const std::size_t prefix =
+      static_cast<std::size_t>(cfg.p * static_cast<double>(stream.size()));
+
+  // Phase 1: greedy maximal matching on the prefix.
+  Matching m0(n);
+  for (std::size_t i = 0; i < prefix; ++i) {
+    baselines::greedy_extend(m0, stream[i]);
+  }
+
+  UnweightedRandomArrivalResult result{Matching(n), m0.size(), 0, 0, 0};
+
+  // Phase 2: three parallel branches over the suffix.
+  Matching m_prime = m0;            // branch 2: continued greedy
+  std::vector<Edge> s1;             // branch 1: edges between free vertices
+  UnwThreeAugPaths three_aug(m0, cfg.beta);  // branch 3
+
+  for (std::size_t i = prefix; i < stream.size(); ++i) {
+    const Edge& e = stream[i];
+    if (!m0.is_matched(e.u) && !m0.is_matched(e.v)) s1.push_back(e);
+    baselines::greedy_extend(m_prime, e);
+    three_aug.feed(e);
+  }
+  result.s1_stored = s1.size();
+  result.support_stored = three_aug.support_size();
+
+  // Branch 1: M0 plus a maximum matching among the free-free edges.
+  Matching branch1 = m0;
+  if (!s1.empty()) {
+    Graph s1_graph(n, s1);
+    Matching s1_opt = exact::blossom_max_weight(s1_graph, true);
+    for (const Edge& e : s1_opt.edges()) branch1.add(e);
+  }
+
+  // Branch 3: apply the recovered 3-augmentations to M0.
+  Matching branch3 = m0;
+  for (const auto& path : three_aug.extract()) {
+    Augmentation aug;
+    aug.edges = {path.left, path.mid, path.right};
+    // Wings connect to free vertices, so applying strictly grows |M|.
+    aug.apply(branch3);
+    ++result.augmentations;
+  }
+
+  // Return the largest of the three (cardinality objective).
+  const Matching* best = &branch1;
+  if (m_prime.size() > best->size()) best = &m_prime;
+  if (branch3.size() > best->size()) best = &branch3;
+  result.matching = *best;
+  return result;
+}
+
+}  // namespace wmatch::core

@@ -1,0 +1,39 @@
+// One-pass 0.506-approximate maximum unweighted matching for random-order
+// streams (Section 3.1, Theorem 3.4).
+//
+// The algorithm computes a greedy maximal matching M0 on the first p
+// fraction of the stream, then runs three branches in parallel on the
+// remaining (1-p) fraction:
+//   1. store every edge between M0-free vertices (set S1) and, at the end,
+//      add a maximum matching of S1 to M0;
+//   2. keep growing M0 greedily into M';
+//   3. find 3-augmentations of M0 with Unw-3-Aug-Paths.
+// The best of the three results is returned. The random arrival order is
+// what makes branch 1's storage O(n log n / p) w.h.p. (Lemma 3.3).
+#pragma once
+
+#include <span>
+
+#include "graph/matching.h"
+#include "graph/types.h"
+
+namespace wmatch::core {
+
+struct UnweightedRandomArrivalConfig {
+  double p = 0.05;     ///< prefix fraction used to build M0
+  double beta = 0.1;   ///< Unw-3-Aug-Paths parameter
+};
+
+struct UnweightedRandomArrivalResult {
+  Matching matching;        ///< best of the three branches
+  std::size_t m0_size = 0;  ///< |M0| after the prefix
+  std::size_t s1_stored = 0;   ///< edges stored by branch 1
+  std::size_t support_stored = 0;  ///< edges stored by branch 3
+  std::size_t augmentations = 0;   ///< 3-augmentations applied by branch 3
+};
+
+UnweightedRandomArrivalResult unweighted_random_arrival(
+    std::span<const Edge> stream, std::size_t n,
+    const UnweightedRandomArrivalConfig& cfg = {});
+
+}  // namespace wmatch::core

@@ -1,0 +1,145 @@
+#include "core/wgt_aug_paths.h"
+
+#include <bit>
+
+#include "graph/augmentation.h"
+#include "util/require.h"
+
+namespace wmatch::core {
+
+int WgtAugPaths::weight_class(Weight w) {
+  WMATCH_ASSERT(w > 0);
+  // Wi = [2^{i-1}, 2^i)  =>  class(w) = bit_width(w).
+  return std::bit_width(static_cast<std::uint64_t>(w));
+}
+
+WgtAugPaths::WgtAugPaths(const Matching& m0, const WgtAugPathsConfig& cfg,
+                         Rng& rng)
+    : m0_(m0),
+      cfg_(cfg),
+      marked_(m0.num_vertices(), 0),
+      excess_(m0.num_vertices()) {
+  WMATCH_REQUIRE(cfg.alpha > 0.0, "alpha must be positive");
+  // Mark each M0-edge with probability 1/2 and bucket the marked edges by
+  // weight class.
+  std::map<int, Matching> class_matchings;
+  for (const Edge& e : m0_.edges()) {
+    if (!rng.next_bool(0.5)) continue;
+    marked_[e.u] = marked_[e.v] = 1;
+    auto [it, inserted] =
+        class_matchings.try_emplace(weight_class(e.w), m0_.num_vertices());
+    it->second.add(e);
+  }
+  for (auto& [cls, matching] : class_matchings) {
+    per_class_.emplace(cls, UnwThreeAugPaths(matching, cfg_.beta));
+  }
+}
+
+bool WgtAugPaths::is_marked(Vertex v) const { return marked_[v] != 0; }
+
+void WgtAugPaths::feed(const Edge& e) {
+  const Weight wu = m0_.weight_at(e.u);
+  const Weight wv = m0_.weight_at(e.v);
+
+  // Line 7: edges with positive excess weight feed Approx-Wgt-Matching.
+  if (e.w > wu + wv) {
+    excess_.feed({e.u, e.v, e.w - wu - wv});
+  }
+
+  // Deviation from the paper's Line 12 (which routes by the class of
+  // w(e)): support edges are only useful to the instance whose initial
+  // matching contains the incident *marked middle* edge, so we route by
+  // the middle edge's weight class. Routing by w(e) silently drops every
+  // augmentation whose wing weights land in a different geometric class
+  // than the middle (e.g. middle 10, wings 18) and makes Algorithm 1
+  // vacuous; the paper's own analysis (Lemma 3.9) buckets augmentations by
+  // the middle edge's class.
+  auto forward = [&](const Edge& edge, Weight middle_w) {
+    auto it = per_class_.find(weight_class(middle_w));
+    if (it != per_class_.end()) it->second.feed(edge);
+  };
+
+  if (!cfg_.filtering) {
+    // Ablation: forward without any weight thresholds.
+    if (marked_[e.u] != 0 && m0_.is_matched(e.u)) forward(e, wu);
+    if (marked_[e.v] != 0 && m0_.is_matched(e.v)) forward(e, wv);
+    return;
+  }
+
+  // Line 9: only edges with small excess weight participate in
+  // 3-augmentations.
+  const double lhs = static_cast<double>(e.w);
+  if (lhs > (1.0 + cfg_.alpha) * static_cast<double>(wu + wv)) return;
+
+  const bool mu = marked_[e.u] != 0 && m0_.is_matched(e.u);
+  const bool mv = marked_[e.v] != 0 && m0_.is_matched(e.v);
+  // Lines 10-12: marked middle on the u side.
+  if (mu && !mv) {
+    if (lhs > (1.0 + 2.0 * cfg_.alpha) *
+                  (0.5 * static_cast<double>(wu) + static_cast<double>(wv))) {
+      forward(e, wu);
+    }
+  }
+  // Lines 13-15: marked middle on the v side.
+  if (mv && !mu) {
+    if (lhs > (1.0 + 2.0 * cfg_.alpha) *
+                  (static_cast<double>(wu) + 0.5 * static_cast<double>(wv))) {
+      forward(e, wv);
+    }
+  }
+}
+
+std::size_t WgtAugPaths::stored_edges() const {
+  std::size_t total = excess_.stack().size();
+  for (const auto& [cls, inst] : per_class_) total += inst.support_size();
+  return total;
+}
+
+Matching WgtAugPaths::finalize_excess() const {
+  Matching m1 = m0_;
+  Matching excess_matching = excess_.unwind();
+  for (const Edge& e : excess_matching.edges()) {
+    // Recover the original weight: w = w' + w(M0(u)) + w(M0(v)).
+    Weight original = e.w + m0_.weight_at(e.u) + m0_.weight_at(e.v);
+    m1.add_exclusive(e.u, e.v, original);
+  }
+  return m1;
+}
+
+Matching WgtAugPaths::finalize_augmented() const {
+  // Apply recovered 3-augmentations, heaviest class first, greedily
+  // skipping conflicts.
+  Matching m2 = m0_;
+  std::vector<char> used(m0_.num_vertices(), 0);
+  for (auto it = per_class_.rbegin(); it != per_class_.rend(); ++it) {
+    for (const auto& path : it->second.extract()) {
+      Augmentation aug;
+      aug.edges = {path.left, path.mid, path.right};
+      bool conflict = false;
+      std::vector<Vertex> touched = aug.touched_vertices(m2);
+      for (Vertex v : touched) {
+        if (used[v]) {
+          conflict = true;
+          break;
+        }
+      }
+      if (conflict) continue;
+      // Only apply when the augmentation gains weight. With filtering on,
+      // the thresholds guarantee this; the guard also covers the ablation
+      // mode and rounding slack.
+      if (cfg_.filtering ? aug.gain(m2) <= 0 : false) continue;
+      for (Vertex v : touched) used[v] = 1;
+      aug.apply(m2);
+    }
+  }
+
+  return m2;
+}
+
+Matching WgtAugPaths::finalize() const {
+  Matching m1 = finalize_excess();
+  Matching m2 = finalize_augmented();
+  return m1.weight() >= m2.weight() ? m1 : m2;
+}
+
+}  // namespace wmatch::core

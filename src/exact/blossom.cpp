@@ -1,0 +1,578 @@
+#include "exact/blossom.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/require.h"
+
+namespace wmatch::exact {
+
+namespace {
+
+// Internal solver state. Indices follow the original implementation:
+// vertices are 0..nv-1, blossoms nv..2*nv-1, "endpoints" are 2*edge+side.
+class BlossomSolver {
+ public:
+  BlossomSolver(const Graph& g, bool max_cardinality)
+      : g_(g), maxcard_(max_cardinality), nv_(static_cast<int>(g.num_vertices())),
+        ne_(static_cast<int>(g.num_edges())) {
+    edges_.reserve(ne_);
+    for (const Edge& e : g.edges()) {
+      // Weights doubled so dual variables stay integral.
+      edges_.push_back({static_cast<int>(e.u), static_cast<int>(e.v), 2 * e.w});
+    }
+    Weight maxweight = 0;
+    for (const auto& e : edges_) maxweight = std::max(maxweight, e.w);
+
+    endpoint_.resize(2 * ne_);
+    neighbend_.assign(nv_, {});
+    for (int k = 0; k < ne_; ++k) {
+      endpoint_[2 * k] = edges_[k].i;
+      endpoint_[2 * k + 1] = edges_[k].j;
+      neighbend_[edges_[k].i].push_back(2 * k + 1);
+      neighbend_[edges_[k].j].push_back(2 * k);
+    }
+
+    mate_.assign(nv_, -1);
+    label_.assign(2 * nv_, 0);
+    labelend_.assign(2 * nv_, -1);
+    inblossom_.resize(nv_);
+    for (int v = 0; v < nv_; ++v) inblossom_[v] = v;
+    blossomparent_.assign(2 * nv_, -1);
+    blossomchilds_.assign(2 * nv_, {});
+    blossombase_.assign(2 * nv_, -1);
+    for (int v = 0; v < nv_; ++v) blossombase_[v] = v;
+    blossomendps_.assign(2 * nv_, {});
+    bestedge_.assign(2 * nv_, -1);
+    blossombestedges_.assign(2 * nv_, {});
+    has_bestedges_.assign(2 * nv_, false);
+    for (int b = 2 * nv_ - 1; b >= nv_; --b) unusedblossoms_.push_back(b);
+    dualvar_.assign(2 * nv_, 0);
+    for (int v = 0; v < nv_; ++v) dualvar_[v] = maxweight;
+    allowedge_.assign(ne_, false);
+  }
+
+  Matching solve() {
+    if (ne_ > 0) main_loop();
+    Matching m(g_.num_vertices());
+    for (int v = 0; v < nv_; ++v) {
+      if (mate_[v] >= 0) {
+        int p = mate_[v];
+        int w = endpoint_[p];
+        if (v < w) m.add(g_.edge(static_cast<std::size_t>(p / 2)));
+      }
+    }
+    return m;
+  }
+
+ private:
+  struct IEdge {
+    int i, j;
+    Weight w;
+  };
+
+  Weight slack(int k) const {
+    return dualvar_[edges_[k].i] + dualvar_[edges_[k].j] - 2 * edges_[k].w;
+  }
+
+  void blossom_leaves(int b, std::vector<int>& out) const {
+    if (b < nv_) {
+      out.push_back(b);
+    } else {
+      for (int t : blossomchilds_[b]) blossom_leaves(t, out);
+    }
+  }
+
+  void assign_label(int w, int t, int p) {
+    int b = inblossom_[w];
+    WMATCH_ASSERT(label_[w] == 0 && label_[b] == 0);
+    label_[w] = label_[b] = t;
+    labelend_[w] = labelend_[b] = p;
+    bestedge_[w] = bestedge_[b] = -1;
+    if (t == 1) {
+      std::vector<int> leaves;
+      blossom_leaves(b, leaves);
+      queue_.insert(queue_.end(), leaves.begin(), leaves.end());
+    } else if (t == 2) {
+      int base = blossombase_[b];
+      WMATCH_ASSERT(mate_[base] >= 0);
+      assign_label(endpoint_[mate_[base]], 1, mate_[base] ^ 1);
+    }
+  }
+
+  int scan_blossom(int v, int w) {
+    std::vector<int> path;
+    int base = -1;
+    while (v != -1 || w != -1) {
+      int b = inblossom_[v];
+      if (label_[b] & 4) {
+        base = blossombase_[b];
+        break;
+      }
+      WMATCH_ASSERT(label_[b] == 1);
+      path.push_back(b);
+      label_[b] = 5;
+      WMATCH_ASSERT(labelend_[b] == mate_[blossombase_[b]]);
+      if (labelend_[b] == -1) {
+        v = -1;
+      } else {
+        v = endpoint_[labelend_[b]];
+        b = inblossom_[v];
+        WMATCH_ASSERT(label_[b] == 2);
+        WMATCH_ASSERT(labelend_[b] >= 0);
+        v = endpoint_[labelend_[b]];
+      }
+      if (w != -1) std::swap(v, w);
+    }
+    for (int b : path) label_[b] = 1;
+    return base;
+  }
+
+  void add_blossom(int base, int k) {
+    int v = edges_[k].i;
+    int w = edges_[k].j;
+    int bb = inblossom_[base];
+    int bv = inblossom_[v];
+    int bw = inblossom_[w];
+    WMATCH_ASSERT(!unusedblossoms_.empty());
+    int b = unusedblossoms_.back();
+    unusedblossoms_.pop_back();
+    blossombase_[b] = base;
+    blossomparent_[b] = -1;
+    blossomparent_[bb] = b;
+    std::vector<int> path;
+    std::vector<int> endps;
+    // Trace from v back to the base.
+    while (bv != bb) {
+      blossomparent_[bv] = b;
+      path.push_back(bv);
+      endps.push_back(labelend_[bv]);
+      WMATCH_ASSERT(label_[bv] == 2 ||
+                    (label_[bv] == 1 &&
+                     labelend_[bv] == mate_[blossombase_[bv]]));
+      WMATCH_ASSERT(labelend_[bv] >= 0);
+      v = endpoint_[labelend_[bv]];
+      bv = inblossom_[v];
+    }
+    path.push_back(bb);
+    std::reverse(path.begin(), path.end());
+    std::reverse(endps.begin(), endps.end());
+    endps.push_back(2 * k);
+    // Trace from w back to the base.
+    while (bw != bb) {
+      blossomparent_[bw] = b;
+      path.push_back(bw);
+      endps.push_back(labelend_[bw] ^ 1);
+      WMATCH_ASSERT(label_[bw] == 2 ||
+                    (label_[bw] == 1 &&
+                     labelend_[bw] == mate_[blossombase_[bw]]));
+      WMATCH_ASSERT(labelend_[bw] >= 0);
+      w = endpoint_[labelend_[bw]];
+      bw = inblossom_[w];
+    }
+    blossomchilds_[b] = std::move(path);
+    blossomendps_[b] = std::move(endps);
+    WMATCH_ASSERT(label_[bb] == 1);
+    label_[b] = 1;
+    labelend_[b] = labelend_[bb];
+    dualvar_[b] = 0;
+    std::vector<int> leaves;
+    blossom_leaves(b, leaves);
+    for (int lv : leaves) {
+      if (label_[inblossom_[lv]] == 2) queue_.push_back(lv);
+      inblossom_[lv] = b;
+    }
+    // Compute best edges to neighbouring S-blossoms.
+    std::vector<int> bestedgeto(2 * nv_, -1);
+    for (int child : blossomchilds_[b]) {
+      std::vector<std::vector<int>> nblists;
+      if (!has_bestedges_[child]) {
+        std::vector<int> cl;
+        blossom_leaves(child, cl);
+        for (int lv : cl) {
+          std::vector<int> lst;
+          lst.reserve(neighbend_[lv].size());
+          for (int p : neighbend_[lv]) lst.push_back(p / 2);
+          nblists.push_back(std::move(lst));
+        }
+      } else {
+        nblists.push_back(blossombestedges_[child]);
+      }
+      for (const auto& nblist : nblists) {
+        for (int ek : nblist) {
+          int i = edges_[ek].i;
+          int j = edges_[ek].j;
+          if (inblossom_[j] == b) std::swap(i, j);
+          int bj = inblossom_[j];
+          if (bj != b && label_[bj] == 1 &&
+              (bestedgeto[bj] == -1 || slack(ek) < slack(bestedgeto[bj]))) {
+            bestedgeto[bj] = ek;
+          }
+        }
+      }
+      blossombestedges_[child].clear();
+      has_bestedges_[child] = false;
+      bestedge_[child] = -1;
+    }
+    blossombestedges_[b].clear();
+    for (int ek : bestedgeto) {
+      if (ek != -1) blossombestedges_[b].push_back(ek);
+    }
+    has_bestedges_[b] = true;
+    bestedge_[b] = -1;
+    for (int ek : blossombestedges_[b]) {
+      if (bestedge_[b] == -1 || slack(ek) < slack(bestedge_[b])) {
+        bestedge_[b] = ek;
+      }
+    }
+  }
+
+  void expand_blossom(int b, bool endstage) {
+    for (int s : blossomchilds_[b]) {
+      blossomparent_[s] = -1;
+      if (s < nv_) {
+        inblossom_[s] = s;
+      } else if (endstage && dualvar_[s] == 0) {
+        expand_blossom(s, endstage);
+      } else {
+        std::vector<int> leaves;
+        blossom_leaves(s, leaves);
+        for (int lv : leaves) inblossom_[lv] = s;
+      }
+    }
+    if (!endstage && label_[b] == 2) {
+      WMATCH_ASSERT(labelend_[b] >= 0);
+      int entrychild = inblossom_[endpoint_[labelend_[b] ^ 1]];
+      int j = static_cast<int>(
+          std::find(blossomchilds_[b].begin(), blossomchilds_[b].end(),
+                    entrychild) -
+          blossomchilds_[b].begin());
+      int jstep, endptrick;
+      if (j & 1) {
+        j -= static_cast<int>(blossomchilds_[b].size());
+        jstep = 1;
+        endptrick = 0;
+      } else {
+        jstep = -1;
+        endptrick = 1;
+      }
+      auto child_at = [&](int idx) {
+        int sz = static_cast<int>(blossomchilds_[b].size());
+        return blossomchilds_[b][(idx % sz + sz) % sz];
+      };
+      auto endp_at = [&](int idx) {
+        int sz = static_cast<int>(blossomendps_[b].size());
+        return blossomendps_[b][(idx % sz + sz) % sz];
+      };
+      int p = labelend_[b];
+      while (j != 0) {
+        label_[endpoint_[p ^ 1]] = 0;
+        label_[endpoint_[endp_at(j - endptrick) ^ endptrick ^ 1]] = 0;
+        assign_label(endpoint_[p ^ 1], 2, p);
+        allowedge_[endp_at(j - endptrick) / 2] = true;
+        j += jstep;
+        p = endp_at(j - endptrick) ^ endptrick;
+        allowedge_[p / 2] = true;
+        j += jstep;
+      }
+      int bv = child_at(j);
+      label_[endpoint_[p ^ 1]] = label_[bv] = 2;
+      labelend_[endpoint_[p ^ 1]] = labelend_[bv] = p;
+      bestedge_[bv] = -1;
+      j += jstep;
+      while (child_at(j) != entrychild) {
+        bv = child_at(j);
+        if (label_[bv] == 1) {
+          j += jstep;
+          continue;
+        }
+        std::vector<int> leaves;
+        blossom_leaves(bv, leaves);
+        int labelled = -1;
+        for (int lv : leaves) {
+          if (label_[lv] != 0) {
+            labelled = lv;
+            break;
+          }
+        }
+        if (labelled != -1) {
+          WMATCH_ASSERT(label_[labelled] == 2);
+          WMATCH_ASSERT(inblossom_[labelled] == bv);
+          label_[labelled] = 0;
+          label_[endpoint_[mate_[blossombase_[bv]]]] = 0;
+          assign_label(labelled, 2, labelend_[labelled]);
+        }
+        j += jstep;
+      }
+    }
+    label_[b] = -1;
+    labelend_[b] = -1;
+    blossomchilds_[b].clear();
+    blossomendps_[b].clear();
+    blossombase_[b] = -1;
+    blossombestedges_[b].clear();
+    has_bestedges_[b] = false;
+    bestedge_[b] = -1;
+    unusedblossoms_.push_back(b);
+  }
+
+  void augment_blossom(int b, int v) {
+    int t = v;
+    while (blossomparent_[t] != b) t = blossomparent_[t];
+    if (t >= nv_) augment_blossom(t, v);
+    int i = static_cast<int>(
+        std::find(blossomchilds_[b].begin(), blossomchilds_[b].end(), t) -
+        blossomchilds_[b].begin());
+    int j = i;
+    int jstep, endptrick;
+    int sz = static_cast<int>(blossomchilds_[b].size());
+    if (i & 1) {
+      j -= sz;
+      jstep = 1;
+      endptrick = 0;
+    } else {
+      jstep = -1;
+      endptrick = 1;
+    }
+    auto child_at = [&](int idx) {
+      return blossomchilds_[b][(idx % sz + sz) % sz];
+    };
+    auto endp_at = [&](int idx) {
+      return blossomendps_[b][(idx % sz + sz) % sz];
+    };
+    while (j != 0) {
+      j += jstep;
+      int tt = child_at(j);
+      int p = endp_at(j - endptrick) ^ endptrick;
+      if (tt >= nv_) augment_blossom(tt, endpoint_[p]);
+      j += jstep;
+      tt = child_at(j);
+      if (tt >= nv_) augment_blossom(tt, endpoint_[p ^ 1]);
+      mate_[endpoint_[p]] = p ^ 1;
+      mate_[endpoint_[p ^ 1]] = p;
+    }
+    std::rotate(blossomchilds_[b].begin(), blossomchilds_[b].begin() + i,
+                blossomchilds_[b].end());
+    std::rotate(blossomendps_[b].begin(), blossomendps_[b].begin() + i,
+                blossomendps_[b].end());
+    blossombase_[b] = blossombase_[blossomchilds_[b][0]];
+    WMATCH_ASSERT(blossombase_[b] == v);
+  }
+
+  void augment_matching(int k) {
+    int v = edges_[k].i;
+    int w = edges_[k].j;
+    const int starts[2][2] = {{v, 2 * k + 1}, {w, 2 * k}};
+    for (const auto& sp : starts) {
+      int s = sp[0];
+      int p = sp[1];
+      for (;;) {
+        int bs = inblossom_[s];
+        WMATCH_ASSERT(label_[bs] == 1);
+        WMATCH_ASSERT(labelend_[bs] == mate_[blossombase_[bs]]);
+        if (bs >= nv_) augment_blossom(bs, s);
+        mate_[s] = p;
+        if (labelend_[bs] == -1) break;
+        int t = endpoint_[labelend_[bs]];
+        int bt = inblossom_[t];
+        WMATCH_ASSERT(label_[bt] == 2);
+        WMATCH_ASSERT(labelend_[bt] >= 0);
+        s = endpoint_[labelend_[bt]];
+        int j = endpoint_[labelend_[bt] ^ 1];
+        WMATCH_ASSERT(blossombase_[bt] == t);
+        if (bt >= nv_) augment_blossom(bt, j);
+        mate_[j] = labelend_[bt];
+        p = labelend_[bt] ^ 1;
+      }
+    }
+  }
+
+  void main_loop() {
+    for (int stage = 0; stage < nv_; ++stage) {
+      std::fill(label_.begin(), label_.end(), 0);
+      std::fill(bestedge_.begin(), bestedge_.end(), -1);
+      for (int b = nv_; b < 2 * nv_; ++b) {
+        blossombestedges_[b].clear();
+        has_bestedges_[b] = false;
+      }
+      std::fill(allowedge_.begin(), allowedge_.end(), false);
+      queue_.clear();
+      for (int v = 0; v < nv_; ++v) {
+        if (mate_[v] == -1 && label_[inblossom_[v]] == 0) {
+          assign_label(v, 1, -1);
+        }
+      }
+      bool augmented = false;
+      for (;;) {
+        while (!queue_.empty() && !augmented) {
+          int v = queue_.back();
+          queue_.pop_back();
+          WMATCH_ASSERT(label_[inblossom_[v]] == 1);
+          for (int p : neighbend_[v]) {
+            int k = p / 2;
+            int w = endpoint_[p];
+            if (inblossom_[v] == inblossom_[w]) continue;
+            Weight kslack = 0;
+            if (!allowedge_[k]) {
+              kslack = slack(k);
+              if (kslack <= 0) allowedge_[k] = true;
+            }
+            if (allowedge_[k]) {
+              if (label_[inblossom_[w]] == 0) {
+                assign_label(w, 2, p ^ 1);
+              } else if (label_[inblossom_[w]] == 1) {
+                int base = scan_blossom(v, w);
+                if (base >= 0) {
+                  add_blossom(base, k);
+                } else {
+                  augment_matching(k);
+                  augmented = true;
+                  break;
+                }
+              } else if (label_[w] == 0) {
+                WMATCH_ASSERT(label_[inblossom_[w]] == 2);
+                label_[w] = 2;
+                labelend_[w] = p ^ 1;
+              }
+            } else if (label_[inblossom_[w]] == 1) {
+              int b = inblossom_[v];
+              if (bestedge_[b] == -1 || kslack < slack(bestedge_[b])) {
+                bestedge_[b] = k;
+              }
+            } else if (label_[w] == 0) {
+              if (bestedge_[w] == -1 || kslack < slack(bestedge_[w])) {
+                bestedge_[w] = k;
+              }
+            }
+          }
+        }
+        if (augmented) break;
+
+        // Dual adjustment.
+        int deltatype = -1;
+        Weight delta = 0;
+        int deltaedge = -1;
+        int deltablossom = -1;
+        if (!maxcard_) {
+          deltatype = 1;
+          delta = dualvar_[0];
+          for (int v = 1; v < nv_; ++v) delta = std::min(delta, dualvar_[v]);
+        }
+        for (int v = 0; v < nv_; ++v) {
+          if (label_[inblossom_[v]] == 0 && bestedge_[v] != -1) {
+            Weight d = slack(bestedge_[v]);
+            if (deltatype == -1 || d < delta) {
+              delta = d;
+              deltatype = 2;
+              deltaedge = bestedge_[v];
+            }
+          }
+        }
+        for (int b = 0; b < 2 * nv_; ++b) {
+          if (blossomparent_[b] == -1 && label_[b] == 1 &&
+              bestedge_[b] != -1) {
+            Weight kslack = slack(bestedge_[b]);
+            WMATCH_ASSERT(kslack % 2 == 0);
+            Weight d = kslack / 2;
+            if (deltatype == -1 || d < delta) {
+              delta = d;
+              deltatype = 3;
+              deltaedge = bestedge_[b];
+            }
+          }
+        }
+        for (int b = nv_; b < 2 * nv_; ++b) {
+          if (blossombase_[b] >= 0 && blossomparent_[b] == -1 &&
+              label_[b] == 2 && (deltatype == -1 || dualvar_[b] < delta)) {
+            delta = dualvar_[b];
+            deltatype = 4;
+            deltablossom = b;
+          }
+        }
+        if (deltatype == -1) {
+          // No further improvement possible (max-cardinality path).
+          deltatype = 1;
+          Weight mn = dualvar_[0];
+          for (int v = 1; v < nv_; ++v) mn = std::min(mn, dualvar_[v]);
+          delta = std::max<Weight>(0, mn);
+        }
+
+        for (int v = 0; v < nv_; ++v) {
+          int lbl = label_[inblossom_[v]];
+          if (lbl == 1) {
+            dualvar_[v] -= delta;
+          } else if (lbl == 2) {
+            dualvar_[v] += delta;
+          }
+        }
+        for (int b = nv_; b < 2 * nv_; ++b) {
+          if (blossombase_[b] >= 0 && blossomparent_[b] == -1) {
+            if (label_[b] == 1) {
+              dualvar_[b] += delta;
+            } else if (label_[b] == 2) {
+              dualvar_[b] -= delta;
+            }
+          }
+        }
+
+        if (deltatype == 1) {
+          break;
+        } else if (deltatype == 2) {
+          allowedge_[deltaedge] = true;
+          int i = edges_[deltaedge].i;
+          int j = edges_[deltaedge].j;
+          if (label_[inblossom_[i]] == 0) std::swap(i, j);
+          WMATCH_ASSERT(label_[inblossom_[i]] == 1);
+          queue_.push_back(i);
+        } else if (deltatype == 3) {
+          allowedge_[deltaedge] = true;
+          int i = edges_[deltaedge].i;
+          WMATCH_ASSERT(label_[inblossom_[i]] == 1);
+          queue_.push_back(i);
+        } else {
+          expand_blossom(deltablossom, false);
+        }
+      }
+      if (!augmented) break;
+      // End of stage: expand all S-blossoms with zero dual.
+      for (int b = nv_; b < 2 * nv_; ++b) {
+        if (blossomparent_[b] == -1 && blossombase_[b] >= 0 &&
+            label_[b] == 1 && dualvar_[b] == 0) {
+          expand_blossom(b, true);
+        }
+      }
+    }
+  }
+
+  const Graph& g_;
+  bool maxcard_;
+  int nv_;
+  int ne_;
+  std::vector<IEdge> edges_;
+  std::vector<int> endpoint_;
+  std::vector<std::vector<int>> neighbend_;
+  std::vector<int> mate_;
+  std::vector<int> label_;
+  std::vector<int> labelend_;
+  std::vector<int> inblossom_;
+  std::vector<int> blossomparent_;
+  std::vector<std::vector<int>> blossomchilds_;
+  std::vector<int> blossombase_;
+  std::vector<std::vector<int>> blossomendps_;
+  std::vector<int> bestedge_;
+  std::vector<std::vector<int>> blossombestedges_;
+  std::vector<char> has_bestedges_;
+  std::vector<int> unusedblossoms_;
+  std::vector<Weight> dualvar_;
+  std::vector<char> allowedge_;
+  std::vector<int> queue_;
+};
+
+}  // namespace
+
+Matching blossom_max_weight(const Graph& g, bool max_cardinality) {
+  BlossomSolver solver(g, max_cardinality);
+  return solver.solve();
+}
+
+}  // namespace wmatch::exact

@@ -1,0 +1,23 @@
+// Exact maximum-weight matching in general graphs (Blossom algorithm).
+//
+// This is a C++ port of the well-known O(n^3) primal-dual implementation by
+// Joris van Rantwijk (mwmatching.py), following Galil's exposition
+// "Efficient algorithms for finding maximum matching in graphs" (ACM
+// Computing Surveys, 1986). Edge weights are doubled internally so that all
+// dual variables remain integral; all arithmetic is exact.
+//
+// Role in this repository: the paper's guarantees are relative to w(M*);
+// this solver provides w(M*) for every experiment, and implements the
+// "maximum matching in T" step (Algorithm 2, Line 14).
+#pragma once
+
+#include "graph/graph.h"
+#include "graph/matching.h"
+
+namespace wmatch::exact {
+
+/// Returns a maximum-weight matching of g. When `max_cardinality` is true,
+/// returns a maximum-weight matching among maximum-cardinality matchings.
+Matching blossom_max_weight(const Graph& g, bool max_cardinality = false);
+
+}  // namespace wmatch::exact

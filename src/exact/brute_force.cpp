@@ -1,0 +1,69 @@
+#include "exact/brute_force.h"
+
+#include <algorithm>
+
+#include "util/require.h"
+
+namespace wmatch::exact {
+
+namespace {
+
+struct Search {
+  const std::vector<Edge>& edges;
+  std::vector<Weight> suffix_weight;  // upper bound on remaining gain
+  std::vector<char> used;
+  std::vector<std::size_t> current;
+  std::vector<std::size_t> best_set;
+  Weight best = -1;
+
+  explicit Search(const Graph& g, const std::vector<Edge>& es)
+      : edges(es), used(g.num_vertices(), 0) {
+    suffix_weight.assign(edges.size() + 1, 0);
+    for (std::size_t i = edges.size(); i-- > 0;) {
+      suffix_weight[i] = suffix_weight[i + 1] + edges[i].w;
+    }
+  }
+
+  void run(std::size_t i, Weight acc) {
+    if (acc > best) {
+      best = acc;
+      best_set = current;
+    }
+    if (i == edges.size()) return;
+    if (acc + suffix_weight[i] <= best) return;  // bound
+    const Edge& e = edges[i];
+    if (!used[e.u] && !used[e.v]) {
+      used[e.u] = used[e.v] = 1;
+      current.push_back(i);
+      run(i + 1, acc + e.w);
+      current.pop_back();
+      used[e.u] = used[e.v] = 0;
+    }
+    run(i + 1, acc);
+  }
+};
+
+}  // namespace
+
+Matching brute_force_max_weight(const Graph& g) {
+  WMATCH_REQUIRE(g.num_vertices() <= 32 || g.num_edges() <= 96,
+                 "brute force oracle limited to small graphs");
+  std::vector<Edge> edges(g.edges().begin(), g.edges().end());
+  // Heaviest first helps the bound.
+  std::sort(edges.begin(), edges.end(),
+            [](const Edge& a, const Edge& b) { return a.w > b.w; });
+  Search s(g, edges);
+  s.run(0, 0);
+  Matching m(g.num_vertices());
+  for (std::size_t i : s.best_set) m.add(edges[i]);
+  return m;
+}
+
+std::size_t brute_force_max_cardinality(const Graph& g) {
+  std::vector<Edge> unit(g.edges().begin(), g.edges().end());
+  for (Edge& e : unit) e.w = 1;
+  Graph gu(g.num_vertices(), std::move(unit));
+  return brute_force_max_weight(gu).size();
+}
+
+}  // namespace wmatch::exact

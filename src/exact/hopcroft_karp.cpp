@@ -1,0 +1,148 @@
+#include "exact/hopcroft_karp.h"
+
+#include <limits>
+#include <queue>
+
+#include "util/require.h"
+
+namespace wmatch::exact {
+
+namespace {
+constexpr std::uint32_t kInf = std::numeric_limits<std::uint32_t>::max();
+constexpr std::uint32_t kNoEdge = std::numeric_limits<std::uint32_t>::max();
+}  // namespace
+
+std::vector<char> bipartition_of(const Graph& g) {
+  std::vector<char> color(g.num_vertices(), -1);
+  std::queue<Vertex> q;
+  for (Vertex s = 0; s < g.num_vertices(); ++s) {
+    if (color[s] != -1) continue;
+    color[s] = 0;
+    q.push(s);
+    while (!q.empty()) {
+      Vertex v = q.front();
+      q.pop();
+      for (std::uint32_t ei : g.incident(v)) {
+        Vertex u = g.edge(ei).other(v);
+        if (color[u] == -1) {
+          color[u] = static_cast<char>(1 - color[v]);
+          q.push(u);
+        } else if (color[u] == color[v]) {
+          return {};
+        }
+      }
+    }
+  }
+  return color;
+}
+
+HopcroftKarpResult hopcroft_karp(const Graph& g, const std::vector<char>& side,
+                                 std::size_t max_phases,
+                                 const Matching* initial) {
+  const std::size_t n = g.num_vertices();
+  WMATCH_REQUIRE(side.size() == n, "side vector size mismatch");
+  for (const Edge& e : g.edges()) {
+    WMATCH_REQUIRE(side[e.u] != side[e.v], "edge within one side");
+  }
+
+  // match_edge[v] = index of the matched edge at v, or kNoEdge.
+  std::vector<std::uint32_t> match_edge(n, kNoEdge);
+  if (initial) {
+    WMATCH_REQUIRE(initial->num_vertices() == n, "initial matching size");
+    for (const Edge& me : initial->edges()) {
+      bool found = false;
+      for (std::uint32_t ei : g.incident(me.u)) {
+        if (g.edge(ei).has_endpoint(me.v)) {
+          match_edge[me.u] = ei;
+          match_edge[me.v] = ei;
+          found = true;
+          break;
+        }
+      }
+      WMATCH_REQUIRE(found, "initial matching edge not in graph");
+    }
+  }
+
+  auto mate = [&](Vertex v) -> Vertex {
+    return match_edge[v] == kNoEdge ? kNoVertex : g.edge(match_edge[v]).other(v);
+  };
+
+  std::vector<char> in_left(n);
+  for (Vertex v = 0; v < n; ++v) in_left[v] = (side[v] == 0);
+
+  std::vector<std::uint32_t> dist(n);
+
+  // BFS over alternating layers from free left vertices.
+  auto bfs = [&]() -> bool {
+    std::queue<Vertex> q;
+    bool reachable_free_right = false;
+    std::fill(dist.begin(), dist.end(), kInf);
+    for (Vertex v = 0; v < n; ++v) {
+      if (in_left[v] && match_edge[v] == kNoEdge) {
+        dist[v] = 0;
+        q.push(v);
+      }
+    }
+    while (!q.empty()) {
+      Vertex v = q.front();
+      q.pop();
+      for (std::uint32_t ei : g.incident(v)) {
+        if (ei == match_edge[v]) continue;  // leave on non-matching edges
+        Vertex u = g.edge(ei).other(v);
+        if (dist[u] != kInf) continue;
+        dist[u] = dist[v] + 1;
+        Vertex w = mate(u);
+        if (w == kNoVertex) {
+          reachable_free_right = true;
+        } else if (dist[w] == kInf) {
+          dist[w] = dist[u] + 1;
+          q.push(w);
+        }
+      }
+    }
+    return reachable_free_right;
+  };
+
+  std::vector<std::uint32_t> iter(n);
+  auto dfs = [&](auto&& self, Vertex v) -> bool {
+    auto inc = g.incident(v);
+    for (; iter[v] < inc.size(); ++iter[v]) {
+      std::uint32_t ei = inc[iter[v]];
+      if (ei == match_edge[v]) continue;
+      Vertex u = g.edge(ei).other(v);
+      if (dist[u] != dist[v] + 1) continue;
+      Vertex w = mate(u);
+      if (w == kNoVertex || (dist[w] == dist[u] + 1 && self(self, w))) {
+        dist[u] = kInf;
+        match_edge[v] = ei;
+        match_edge[u] = ei;
+        return true;
+      }
+    }
+    dist[v] = kInf;
+    return false;
+  };
+
+  std::size_t phases = 0;
+  while ((max_phases == 0 || phases < max_phases) && bfs()) {
+    std::fill(iter.begin(), iter.end(), 0);
+    bool any = false;
+    for (Vertex v = 0; v < n; ++v) {
+      if (in_left[v] && match_edge[v] == kNoEdge && dist[v] == 0) {
+        if (dfs(dfs, v)) any = true;
+      }
+    }
+    ++phases;
+    if (!any) break;
+  }
+
+  Matching m(n);
+  for (Vertex v = 0; v < n; ++v) {
+    if (match_edge[v] != kNoEdge && v < g.edge(match_edge[v]).other(v)) {
+      m.add(g.edge(match_edge[v]));
+    }
+  }
+  return {std::move(m), phases};
+}
+
+}  // namespace wmatch::exact

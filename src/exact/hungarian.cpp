@@ -1,0 +1,97 @@
+#include "exact/hungarian.h"
+
+#include <limits>
+
+#include "util/require.h"
+
+namespace wmatch::exact {
+
+Matching hungarian_max_weight(const Graph& g, const std::vector<char>& side) {
+  const std::size_t n = g.num_vertices();
+  WMATCH_REQUIRE(side.size() == n, "side vector size mismatch");
+
+  std::vector<Vertex> left, right;
+  std::vector<std::size_t> index_of(n, 0);
+  for (Vertex v = 0; v < n; ++v) {
+    if (side[v] == 0) {
+      index_of[v] = left.size();
+      left.push_back(v);
+    } else {
+      index_of[v] = right.size();
+      right.push_back(v);
+    }
+  }
+  for (const Edge& e : g.edges()) {
+    WMATCH_REQUIRE(side[e.u] != side[e.v], "edge within one side");
+  }
+
+  // Rows must be the smaller side for the O(rows^2 * cols) loop.
+  bool swapped = left.size() > right.size();
+  if (swapped) std::swap(left, right);
+  const std::size_t rows = left.size();
+  const std::size_t cols = right.size();
+  if (rows == 0) return Matching(n);
+
+  // cost[i][j] = -(edge weight), 0 when absent (absent = "stay unmatched").
+  std::vector<std::vector<Weight>> cost(rows, std::vector<Weight>(cols, 0));
+  for (const Edge& e : g.edges()) {
+    Vertex lv = side[e.u] == (swapped ? 1 : 0) ? e.u : e.v;
+    Vertex rv = e.other(lv);
+    cost[index_of[lv]][index_of[rv]] = -e.w;
+  }
+
+  constexpr Weight kInf = std::numeric_limits<Weight>::max() / 4;
+  // 1-indexed potentials / assignment arrays (classic formulation).
+  std::vector<Weight> u(rows + 1, 0), v(cols + 1, 0);
+  std::vector<std::size_t> p(cols + 1, 0), way(cols + 1, 0);
+
+  for (std::size_t i = 1; i <= rows; ++i) {
+    p[0] = i;
+    std::size_t j0 = 0;
+    std::vector<Weight> minv(cols + 1, kInf);
+    std::vector<char> used(cols + 1, 0);
+    do {
+      used[j0] = 1;
+      std::size_t i0 = p[j0], j1 = 0;
+      Weight delta = kInf;
+      for (std::size_t j = 1; j <= cols; ++j) {
+        if (used[j]) continue;
+        Weight cur = cost[i0 - 1][j - 1] - u[i0] - v[j];
+        if (cur < minv[j]) {
+          minv[j] = cur;
+          way[j] = j0;
+        }
+        if (minv[j] < delta) {
+          delta = minv[j];
+          j1 = j;
+        }
+      }
+      for (std::size_t j = 0; j <= cols; ++j) {
+        if (used[j]) {
+          u[p[j]] += delta;
+          v[j] -= delta;
+        } else {
+          minv[j] -= delta;
+        }
+      }
+      j0 = j1;
+    } while (p[j0] != 0);
+    do {
+      std::size_t j1 = way[j0];
+      p[j0] = p[j1];
+      j0 = j1;
+    } while (j0 != 0);
+  }
+
+  Matching m(n);
+  for (std::size_t j = 1; j <= cols; ++j) {
+    if (p[j] == 0) continue;
+    std::size_t i = p[j];
+    if (cost[i - 1][j - 1] < 0) {
+      m.add(left[i - 1], right[j - 1], -cost[i - 1][j - 1]);
+    }
+  }
+  return m;
+}
+
+}  // namespace wmatch::exact

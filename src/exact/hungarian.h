@@ -1,0 +1,19 @@
+// Hungarian algorithm (Jonker–Volgenant style O(N^3) dense implementation)
+// for exact maximum-weight bipartite matching. Used as a cross-check oracle
+// for the Blossom solver on bipartite inputs and as the exact optimum in
+// bipartite benchmarks.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/matching.h"
+
+namespace wmatch::exact {
+
+/// `side[v]` is 0 (left) or 1 (right); every edge must cross sides.
+/// Returns a maximum-weight matching (vertices may stay unmatched; absent
+/// edges are never used). Dense: practical for sides up to ~2000.
+Matching hungarian_max_weight(const Graph& g, const std::vector<char>& side);
+
+}  // namespace wmatch::exact

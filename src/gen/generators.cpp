@@ -1,0 +1,162 @@
+#include "gen/generators.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "util/require.h"
+
+namespace wmatch::gen {
+
+Graph erdos_renyi(std::size_t n, std::size_t m, Rng& rng) {
+  WMATCH_REQUIRE(n >= 2, "need at least two vertices");
+  std::size_t max_edges = n * (n - 1) / 2;
+  WMATCH_REQUIRE(m <= max_edges, "too many edges requested");
+  Graph g(n);
+  std::unordered_set<std::uint64_t> seen;
+  seen.reserve(m * 2);
+  while (seen.size() < m) {
+    Vertex u = static_cast<Vertex>(rng.next_below(n));
+    Vertex v = static_cast<Vertex>(rng.next_below(n));
+    if (u == v) continue;
+    Edge e{u, v, 1};
+    if (seen.insert(e.key()).second) g.add_edge(u, v, 1);
+  }
+  return g;
+}
+
+Graph random_bipartite(std::size_t n_left, std::size_t n_right, std::size_t m,
+                       Rng& rng) {
+  WMATCH_REQUIRE(n_left >= 1 && n_right >= 1, "empty side");
+  WMATCH_REQUIRE(m <= n_left * n_right, "too many edges requested");
+  Graph g(n_left + n_right);
+  std::unordered_set<std::uint64_t> seen;
+  seen.reserve(m * 2);
+  while (seen.size() < m) {
+    Vertex u = static_cast<Vertex>(rng.next_below(n_left));
+    Vertex v = static_cast<Vertex>(n_left + rng.next_below(n_right));
+    Edge e{u, v, 1};
+    if (seen.insert(e.key()).second) g.add_edge(u, v, 1);
+  }
+  return g;
+}
+
+Graph barabasi_albert(std::size_t n, std::size_t attach, Rng& rng) {
+  WMATCH_REQUIRE(attach >= 1, "attach must be positive");
+  WMATCH_REQUIRE(n > attach, "n must exceed attachment count");
+  Graph g(n);
+  // Endpoint pool: each vertex appears once per incident edge, so sampling
+  // uniformly from the pool is degree-proportional sampling.
+  std::vector<Vertex> pool;
+  pool.reserve(2 * n * attach);
+  // Seed clique on attach+1 vertices.
+  for (Vertex u = 0; u <= attach; ++u) {
+    for (Vertex v = u + 1; v <= attach; ++v) {
+      g.add_edge(u, v, 1);
+      pool.push_back(u);
+      pool.push_back(v);
+    }
+  }
+  for (Vertex v = static_cast<Vertex>(attach + 1); v < n; ++v) {
+    std::unordered_set<Vertex> targets;
+    while (targets.size() < attach) {
+      Vertex t = pool[rng.next_below(pool.size())];
+      if (t != v) targets.insert(t);
+    }
+    for (Vertex t : targets) {
+      g.add_edge(v, t, 1);
+      pool.push_back(v);
+      pool.push_back(t);
+    }
+  }
+  return g;
+}
+
+Graph random_geometric(std::size_t n, double radius, Weight scale, Rng& rng) {
+  WMATCH_REQUIRE(radius > 0 && scale > 0, "bad geometric parameters");
+  std::vector<double> x(n), y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = rng.next_double();
+    y[i] = rng.next_double();
+  }
+  Graph g(n);
+  for (Vertex u = 0; u < n; ++u) {
+    for (Vertex v = u + 1; v < n; ++v) {
+      double dx = x[u] - x[v];
+      double dy = y[u] - y[v];
+      double dist = std::sqrt(dx * dx + dy * dy);
+      if (dist <= radius) {
+        Weight w =
+            static_cast<Weight>(std::llround(static_cast<double>(scale) *
+                                             (1.0 - dist / radius))) +
+            1;
+        g.add_edge(u, v, w);
+      }
+    }
+  }
+  return g;
+}
+
+Graph path_graph(const std::vector<Weight>& weights) {
+  Graph g(weights.size() + 1);
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    g.add_edge(static_cast<Vertex>(i), static_cast<Vertex>(i + 1), weights[i]);
+  }
+  return g;
+}
+
+Graph cycle_graph(const std::vector<Weight>& weights) {
+  WMATCH_REQUIRE(weights.size() >= 3, "cycle needs >= 3 edges");
+  std::size_t n = weights.size();
+  Graph g(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    g.add_edge(static_cast<Vertex>(i), static_cast<Vertex>((i + 1) % n),
+               weights[i]);
+  }
+  return g;
+}
+
+std::vector<Edge> random_stream(const Graph& g, Rng& rng) {
+  std::vector<Edge> edges(g.edges().begin(), g.edges().end());
+  rng.shuffle(edges);
+  return edges;
+}
+
+std::vector<Edge> increasing_weight_stream(const Graph& g) {
+  std::vector<Edge> edges(g.edges().begin(), g.edges().end());
+  std::stable_sort(edges.begin(), edges.end(),
+                   [](const Edge& a, const Edge& b) { return a.w < b.w; });
+  return edges;
+}
+
+std::vector<Edge> decreasing_weight_stream(const Graph& g) {
+  std::vector<Edge> edges(g.edges().begin(), g.edges().end());
+  std::stable_sort(edges.begin(), edges.end(),
+                   [](const Edge& a, const Edge& b) { return a.w > b.w; });
+  return edges;
+}
+
+std::vector<Edge> clustered_stream(const Graph& g) {
+  std::vector<Edge> edges(g.edges().begin(), g.edges().end());
+  std::stable_sort(edges.begin(), edges.end(), [](const Edge& a,
+                                                  const Edge& b) {
+    return std::min(a.u, a.v) < std::min(b.u, b.v);
+  });
+  return edges;
+}
+
+std::vector<Edge> locally_shuffled_stream(const Graph& g, std::size_t window,
+                                          Rng& rng) {
+  std::vector<Edge> edges = increasing_weight_stream(g);
+  if (window == 0 || edges.size() < 2) return edges;
+  // One pass of bounded random transpositions: each position swaps with a
+  // uniform position at distance <= window ahead of it.
+  for (std::size_t i = 0; i + 1 < edges.size(); ++i) {
+    std::size_t hi = std::min(edges.size() - 1, i + window);
+    std::size_t j = i + rng.next_below(hi - i + 1);
+    std::swap(edges[i], edges[j]);
+  }
+  return edges;
+}
+
+}  // namespace wmatch::gen

@@ -1,0 +1,133 @@
+#include "gen/hard_instances.h"
+
+#include <algorithm>
+
+#include "util/require.h"
+
+namespace wmatch::gen {
+
+PlantedInstance four_cycle_family(std::size_t k, Weight base, Weight gap) {
+  WMATCH_REQUIRE(k >= 1 && base >= 1 && gap >= 1, "bad parameters");
+  Graph g(4 * k);
+  Matching m(4 * k);
+  for (std::size_t i = 0; i < k; ++i) {
+    Vertex a = static_cast<Vertex>(4 * i);
+    Vertex b = a + 1, c = a + 2, d = a + 3;
+    g.add_edge(a, b, base);
+    g.add_edge(b, c, base + gap);
+    g.add_edge(c, d, base);
+    g.add_edge(d, a, base + gap);
+    m.add(a, b, base);
+    m.add(c, d, base);
+  }
+  return {std::move(g), std::move(m),
+          static_cast<Weight>(2 * k) * (base + gap)};
+}
+
+PlantedInstance figure1_example() {
+  // Vertices: a=0, b=1, c=2, d=3, e=4, f=5.
+  Graph g(6);
+  g.add_edge(0, 2, 4);  // (a,c)
+  g.add_edge(1, 2, 2);  // (b,c)
+  g.add_edge(2, 3, 5);  // (c,d)
+  g.add_edge(3, 4, 2);  // (d,e)
+  g.add_edge(3, 5, 4);  // (d,f)
+  Matching m(6);
+  m.add(2, 3, 5);
+  return {std::move(g), std::move(m), 8};  // {a,c} + {d,f}
+}
+
+PlantedInstance figure2_example() {
+  // Scaled variant of Fig. 2 (paper weights x10; the zero-weight matched
+  // edge (g,h) becomes weight 1 because the library requires positive
+  // weights). a=0 .. h=7.
+  Graph g(8);
+  g.add_edge(0, 1, 100);  // (a,b)
+  g.add_edge(0, 3, 200);  // (a,d)
+  g.add_edge(2, 3, 130);  // (c,d)
+  g.add_edge(2, 5, 100);  // (c,f)
+  g.add_edge(3, 4, 80);   // (d,e)
+  g.add_edge(4, 5, 10);   // (e,f)
+  g.add_edge(4, 6, 10);   // (e,g)
+  g.add_edge(4, 7, 20);   // (e,h)
+  g.add_edge(5, 7, 10);   // (f,h)
+  g.add_edge(6, 7, 1);    // (g,h)
+  Matching m(8);
+  m.add(0, 1, 100);
+  m.add(2, 3, 130);
+  m.add(4, 5, 10);
+  m.add(6, 7, 1);
+  // Optimum: (a,d)=200, (c,f)=100, (e,h)=20 -> 320.
+  return {std::move(g), std::move(m), 320};
+}
+
+PlantedInstance greedy_trap_paths(std::size_t k, Weight mid, Weight wing) {
+  WMATCH_REQUIRE(2 * wing > mid && wing <= mid,
+                 "need wing <= mid < 2*wing for the trap to bind");
+  Graph g(4 * k);
+  Matching m(4 * k);
+  for (std::size_t i = 0; i < k; ++i) {
+    Vertex a = static_cast<Vertex>(4 * i);
+    Vertex u = a + 1, v = a + 2, b = a + 3;
+    g.add_edge(a, u, wing);
+    g.add_edge(u, v, mid);
+    g.add_edge(v, b, wing);
+    m.add(u, v, mid);
+  }
+  return {std::move(g), std::move(m), static_cast<Weight>(2 * k) * wing};
+}
+
+PlantedInstance planted_three_augs(std::size_t m_size, double beta, Rng& rng) {
+  WMATCH_REQUIRE(beta >= 0.0 && beta <= 1.0, "beta in [0,1]");
+  // Vertices: 2*m_size matched + 2*m_size potential wings.
+  std::size_t n = 4 * m_size;
+  Graph g(n);
+  Matching m(n);
+  std::size_t planted = 0;
+  for (std::size_t i = 0; i < m_size; ++i) {
+    Vertex u = static_cast<Vertex>(2 * i);
+    Vertex v = u + 1;
+    g.add_edge(u, v, 1);
+    m.add(u, v, 1);
+  }
+  for (std::size_t i = 0; i < m_size; ++i) {
+    if (rng.next_double() < beta) {
+      Vertex u = static_cast<Vertex>(2 * i);
+      Vertex v = u + 1;
+      Vertex a = static_cast<Vertex>(2 * m_size + 2 * i);
+      Vertex b = a + 1;
+      g.add_edge(a, u, 1);
+      g.add_edge(v, b, 1);
+      ++planted;
+    }
+  }
+  return {std::move(g), std::move(m),
+          static_cast<Weight>(m_size + planted)};
+}
+
+PlantedInstance long_path_family(std::size_t k, std::size_t L, Weight light,
+                                 Weight heavy) {
+  WMATCH_REQUIRE(L >= 1 && heavy > light, "need heavy > light, L >= 1");
+  // Each unit: path with L+1 light (matched) edges alternating with L heavy
+  // (unmatched) edges: e1 o1 e2 o2 ... oL e_{L+1}. The gain of flipping is
+  // L*heavy - (L+1)*light; choose weights so only the full-length flip wins.
+  std::size_t verts_per = 2 * (L + 1);
+  Graph g(k * verts_per);
+  Matching m(k * verts_per);
+  Weight opt = 0;
+  for (std::size_t i = 0; i < k; ++i) {
+    Vertex base = static_cast<Vertex>(i * verts_per);
+    for (std::size_t j = 0; j <= L; ++j) {
+      Vertex a = base + static_cast<Vertex>(2 * j);
+      g.add_edge(a, a + 1, light);
+      m.add(a, a + 1, light);
+      if (j < L) g.add_edge(a + 1, a + 2, heavy);
+    }
+    Weight flipped = static_cast<Weight>(L) * heavy;
+    Weight kept = static_cast<Weight>(L + 1) * light;
+    opt += std::max(flipped, kept);
+  }
+  return {std::move(g), std::move(m), opt};
+}
+
+}  // namespace wmatch::gen

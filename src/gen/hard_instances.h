@@ -1,0 +1,57 @@
+// Structured / adversarial instances from the paper.
+//
+// These reproduce the motivating examples of Sections 1.1 and 3 and give
+// the benchmarks instances with known optima and known failure modes for
+// the baselines.
+#pragma once
+
+#include "graph/graph.h"
+#include "graph/matching.h"
+#include "util/rng.h"
+
+namespace wmatch::gen {
+
+struct PlantedInstance {
+  Graph graph;
+  Matching matching;        ///< the trap / initial matching
+  Weight optimal_weight{};  ///< known w(M*)
+};
+
+/// Section 1.1.2's augmenting-cycle obstruction: `k` disjoint 4-cycles with
+/// weights (base, base+gap, base, base+gap). `matching` is the perfect
+/// matching of the weight-`base` edges; improving it requires augmenting
+/// *cycles* (no augmenting path exists, every vertex is matched).
+PlantedInstance four_cycle_family(std::size_t k, Weight base, Weight gap);
+
+/// Figure 1's six-vertex example (weights 4,5,2,2,4): the current matching
+/// {c,d} of weight 5 has weighted 3-augmentations; an unweighted augmenter
+/// without filtering can pick the losing path b-c-d-e.
+PlantedInstance figure1_example();
+
+/// Figure 2's eight-vertex example with matching M0 = {ab?}: weights per the
+/// paper: (a,b)=10, (a,d)=20, (c,d)=13, (c,f)=10, (e,f)=1, (e,g)=1,
+/// (e,h)=2, (f,h)=1, (g,h) unmatched weight 0 replaced by 1 (weights must
+/// be positive). matching = {(a,b),(c,d),(e,f),(g,h)}.
+PlantedInstance figure2_example();
+
+/// Chains of length-3 augmenting paths that leave a greedy maximal matching
+/// exactly 1/2-approximate: `k` disjoint paths a - u - v - b where (u,v)
+/// has weight `mid` and wings have weight `wing` > mid/2. Greedy-by-arrival
+/// that sees (u,v) first keeps only mid; optimum takes both wings.
+/// `matching` is the greedy trap {all (u,v)}.
+PlantedInstance greedy_trap_paths(std::size_t k, Weight mid, Weight wing);
+
+/// Planted 3-augmentation instance for Lemma 3.1 benchmarking: a matching
+/// of `m_size` edges; a `beta` fraction receives two free wing vertices
+/// connected to its endpoints (forming a 3-augmenting path); remaining
+/// wings are absent. Unit weights. optimal_weight = cardinality optimum.
+PlantedInstance planted_three_augs(std::size_t m_size, double beta, Rng& rng);
+
+/// Long-augmentation instance: `k` disjoint paths with 2L+1 edges that
+/// alternate (light matched, heavy unmatched, ...), so that the only
+/// improving augmentations have length 2L+1. Exercises the layered graph
+/// with L+1 layers. `matching` holds the light edges.
+PlantedInstance long_path_family(std::size_t k, std::size_t L, Weight light,
+                                 Weight heavy);
+
+}  // namespace wmatch::gen

@@ -1,0 +1,51 @@
+#include "gen/weights.h"
+
+#include <cmath>
+
+#include "util/require.h"
+
+namespace wmatch::gen {
+
+Weight draw_weight(WeightDist dist, Weight max_w, Rng& rng) {
+  WMATCH_REQUIRE(max_w >= 1, "max weight must be >= 1");
+  switch (dist) {
+    case WeightDist::kUniform:
+      return rng.next_int(1, max_w);
+    case WeightDist::kExponential: {
+      // Geometric doubling: weight 2^k with probability ~2^-k.
+      Weight w = 1;
+      while (w * 2 <= max_w && rng.next_bool(0.5)) w *= 2;
+      // Jitter within the class to avoid pathological ties.
+      Weight hi = std::min(max_w, 2 * w - 1);
+      return rng.next_int(w, hi);
+    }
+    case WeightDist::kPolynomial: {
+      double u = rng.next_double();
+      Weight w = 1 + static_cast<Weight>(
+                         std::floor(static_cast<double>(max_w - 1) * u * u * u));
+      return w;
+    }
+    case WeightDist::kClasses: {
+      Weight w = 1;
+      std::size_t classes = 0;
+      while ((w << 1) <= max_w) {
+        w <<= 1;
+        ++classes;
+      }
+      std::size_t pick = rng.next_below(classes + 1);
+      return Weight{1} << pick;
+    }
+  }
+  WMATCH_REQUIRE(false, "unknown weight distribution");
+  return 1;
+}
+
+Graph assign_weights(const Graph& g, WeightDist dist, Weight max_w, Rng& rng) {
+  Graph out(g.num_vertices());
+  for (const Edge& e : g.edges()) {
+    out.add_edge(e.u, e.v, draw_weight(dist, max_w, rng));
+  }
+  return out;
+}
+
+}  // namespace wmatch::gen

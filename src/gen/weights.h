@@ -1,0 +1,27 @@
+// Weight assignment for generated (unit-weight) graphs.
+//
+// The paper assumes positive integer weights bounded by poly(n); all
+// distributions here respect that.
+#pragma once
+
+#include "graph/graph.h"
+#include "util/rng.h"
+
+namespace wmatch::gen {
+
+enum class WeightDist {
+  kUniform,      ///< uniform integers in [1, max_w]
+  kExponential,  ///< geometric-tail weights (many light, few heavy)
+  kPolynomial,   ///< w = 1 + floor(max_w * u^3): heavy-tailed toward light
+  kClasses,      ///< weights are powers of two up to max_w (paper's weight
+                 ///< classes Wi hit exactly)
+};
+
+/// Returns a copy of `g` with weights redrawn from the distribution.
+Graph assign_weights(const Graph& g, WeightDist dist, Weight max_w, Rng& rng);
+
+/// Draws a single weight from the distribution (exposed for stream
+/// generators that fabricate edges on the fly).
+Weight draw_weight(WeightDist dist, Weight max_w, Rng& rng);
+
+}  // namespace wmatch::gen

@@ -1,0 +1,59 @@
+// Simple undirected weighted graph: an edge list with an on-demand
+// adjacency structure. This is the substrate representation used by the
+// offline (exact / ground-truth) algorithms and by the generators; the
+// streaming algorithms never materialize adjacency for the full graph.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "graph/types.h"
+
+namespace wmatch {
+
+class Graph {
+ public:
+  Graph() = default;
+
+  /// A graph on n vertices with no edges.
+  explicit Graph(std::size_t n) : n_(n) {}
+
+  /// Builds from an explicit edge list. Rejects self-loops, out-of-range
+  /// endpoints, non-positive weights, and duplicate (parallel) edges.
+  Graph(std::size_t n, std::vector<Edge> edges);
+
+  std::size_t num_vertices() const { return n_; }
+  std::size_t num_edges() const { return edges_.size(); }
+
+  std::span<const Edge> edges() const { return edges_; }
+  const Edge& edge(std::size_t i) const { return edges_[i]; }
+
+  /// Appends an edge (same validation as the constructor). Invalidates
+  /// adjacency.
+  void add_edge(Vertex u, Vertex v, Weight w);
+
+  /// Edge indices incident to `v` (builds the adjacency index lazily).
+  std::span<const std::uint32_t> incident(Vertex v) const;
+
+  /// Degree of v (forces adjacency construction).
+  std::size_t degree(Vertex v) const { return incident(v).size(); }
+
+  /// Total weight of all edges.
+  Weight total_weight() const;
+
+  /// Largest edge weight (0 for an empty graph).
+  Weight max_weight() const;
+
+ private:
+  void build_adjacency() const;
+
+  std::size_t n_ = 0;
+  std::vector<Edge> edges_;
+
+  // CSR adjacency over edge indices, built lazily.
+  mutable bool adj_built_ = false;
+  mutable std::vector<std::uint32_t> adj_offsets_;
+  mutable std::vector<std::uint32_t> adj_edges_;
+};
+
+}  // namespace wmatch

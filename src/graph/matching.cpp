@@ -1,0 +1,81 @@
+#include "graph/matching.h"
+
+#include <unordered_map>
+
+#include "graph/graph.h"
+#include "util/require.h"
+
+namespace wmatch {
+
+void Matching::add(Vertex u, Vertex v, Weight w) {
+  WMATCH_REQUIRE(u < mate_.size() && v < mate_.size(), "vertex out of range");
+  WMATCH_REQUIRE(u != v, "cannot match a vertex to itself");
+  WMATCH_REQUIRE(mate_[u] == kNoVertex && mate_[v] == kNoVertex,
+                 "endpoint already matched");
+  mate_[u] = v;
+  mate_[v] = u;
+  weight_at_[u] = w;
+  weight_at_[v] = w;
+  ++size_;
+  weight_ += w;
+}
+
+void Matching::remove_at(Vertex v) {
+  WMATCH_REQUIRE(v < mate_.size(), "vertex out of range");
+  Vertex u = mate_[v];
+  if (u == kNoVertex) return;
+  weight_ -= weight_at_[v];
+  --size_;
+  mate_[u] = kNoVertex;
+  mate_[v] = kNoVertex;
+  weight_at_[u] = 0;
+  weight_at_[v] = 0;
+}
+
+Weight Matching::add_exclusive(Vertex u, Vertex v, Weight w) {
+  Weight before = weight_;
+  remove_at(u);
+  remove_at(v);
+  add(u, v, w);
+  return weight_ - before;
+}
+
+std::vector<Edge> Matching::edges() const {
+  std::vector<Edge> out;
+  out.reserve(size_);
+  for (Vertex v = 0; v < mate_.size(); ++v) {
+    if (mate_[v] != kNoVertex && v < mate_[v]) {
+      out.push_back({v, mate_[v], weight_at_[v]});
+    }
+  }
+  return out;
+}
+
+bool is_valid_matching(const Matching& m, const Graph& g) {
+  if (m.num_vertices() != g.num_vertices()) return false;
+  std::unordered_map<std::uint64_t, Weight> edge_weights;
+  edge_weights.reserve(g.num_edges() * 2);
+  for (const Edge& e : g.edges()) edge_weights.emplace(e.key(), e.w);
+
+  std::size_t count = 0;
+  Weight total = 0;
+  for (Vertex v = 0; v < m.num_vertices(); ++v) {
+    Vertex u = m.mate(v);
+    if (u == kNoVertex) {
+      if (m.weight_at(v) != 0) return false;
+      continue;
+    }
+    if (u >= m.num_vertices() || m.mate(u) != v) return false;
+    Edge e{v, u, 1};
+    auto it = edge_weights.find(e.key());
+    if (it == edge_weights.end() || it->second != m.weight_at(v)) return false;
+    if (m.weight_at(u) != m.weight_at(v)) return false;
+    if (v < u) {
+      ++count;
+      total += m.weight_at(v);
+    }
+  }
+  return count == m.size() && total == m.weight();
+}
+
+}  // namespace wmatch

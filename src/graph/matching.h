@@ -1,0 +1,70 @@
+// Matching data structure: a mate array plus per-vertex incident weight.
+//
+// This is the central mutable object of the library. Every algorithm —
+// streaming, MPC, exact — produces or improves a Matching. All mutations
+// keep total weight / cardinality in sync so the bookkeeping the paper
+// relies on (w(M), w(M(v))) is O(1).
+#pragma once
+
+#include <vector>
+
+#include "graph/types.h"
+
+namespace wmatch {
+
+class Graph;
+
+class Matching {
+ public:
+  Matching() = default;
+  explicit Matching(std::size_t n)
+      : mate_(n, kNoVertex), weight_at_(n, 0) {}
+
+  std::size_t num_vertices() const { return mate_.size(); }
+  std::size_t size() const { return size_; }
+  Weight weight() const { return weight_; }
+  bool empty() const { return size_ == 0; }
+
+  bool is_matched(Vertex v) const { return mate_[v] != kNoVertex; }
+
+  /// The partner of v, or kNoVertex if v is free.
+  Vertex mate(Vertex v) const { return mate_[v]; }
+
+  /// w(M(v)) in the paper's notation: weight of the matched edge at v,
+  /// 0 if v is free (the paper's "artificial zero-weight edge").
+  Weight weight_at(Vertex v) const { return weight_at_[v]; }
+
+  bool contains(Vertex u, Vertex v) const {
+    return u < mate_.size() && mate_[u] == v;
+  }
+  bool contains(const Edge& e) const { return contains(e.u, e.v); }
+
+  /// Adds edge {u,v} with weight w. Both endpoints must be free.
+  void add(Vertex u, Vertex v, Weight w);
+  void add(const Edge& e) { add(e.u, e.v, e.w); }
+
+  /// Removes the matched edge at v (no-op if v is free).
+  void remove_at(Vertex v);
+
+  /// Adds {u,v}, first removing any matched edges at u and v.
+  /// Returns the change in matching weight.
+  Weight add_exclusive(Vertex u, Vertex v, Weight w);
+
+  /// All matched edges (each reported once, u < v).
+  std::vector<Edge> edges() const;
+
+  friend bool operator==(const Matching&, const Matching&) = default;
+
+ private:
+  std::vector<Vertex> mate_;
+  std::vector<Weight> weight_at_;
+  std::size_t size_ = 0;
+  Weight weight_ = 0;
+};
+
+/// True iff every matched edge of `m` is an edge of `g` with the recorded
+/// weight and the mate array is symmetric. Used as a universal
+/// postcondition in tests.
+bool is_valid_matching(const Matching& m, const Graph& g);
+
+}  // namespace wmatch

@@ -1,0 +1,41 @@
+// Fundamental types shared across the library.
+//
+// Edge weights are exact 64-bit integers, matching the paper's assumption
+// of positive integer weights bounded by poly(n). All gain computations
+// are exact; approximation ratios are only converted to double for
+// reporting.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace wmatch {
+
+using Vertex = std::uint32_t;
+using Weight = std::int64_t;
+
+inline constexpr Vertex kNoVertex = std::numeric_limits<Vertex>::max();
+
+/// An undirected weighted edge. Stored with u != v; the pair is unordered
+/// (u/v roles carry no meaning) but kept as given for stream fidelity.
+struct Edge {
+  Vertex u = kNoVertex;
+  Vertex v = kNoVertex;
+  Weight w = 0;
+
+  friend bool operator==(const Edge&, const Edge&) = default;
+
+  /// Canonical (min,max) key for set membership independent of orientation.
+  std::uint64_t key() const {
+    Vertex a = u < v ? u : v;
+    Vertex b = u < v ? v : u;
+    return (static_cast<std::uint64_t>(a) << 32) | b;
+  }
+
+  /// The endpoint that is not `x`. Precondition: x is an endpoint.
+  Vertex other(Vertex x) const { return x == u ? v : u; }
+
+  bool has_endpoint(Vertex x) const { return x == u || x == v; }
+};
+
+}  // namespace wmatch

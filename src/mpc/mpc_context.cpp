@@ -1,0 +1,32 @@
+#include "mpc/mpc_context.h"
+
+#include <algorithm>
+
+namespace wmatch::mpc {
+
+MpcContext::MpcContext(const MpcConfig& config) : config_(config) {
+  WMATCH_REQUIRE(config.num_machines >= 1, "need at least one machine");
+  WMATCH_REQUIRE(config.machine_memory_words >= 1, "machine memory must be positive");
+  machine_load_.assign(config.num_machines, 0);
+}
+
+void MpcContext::begin_round() { ++rounds_; }
+
+void MpcContext::charge_memory(std::size_t machine, std::size_t words) {
+  WMATCH_REQUIRE(machine < machine_load_.size(), "machine index out of range");
+  machine_load_[machine] += words;
+  peak_machine_memory_ = std::max(peak_machine_memory_, machine_load_[machine]);
+  if (machine_load_[machine] > config_.machine_memory_words) violated_ = true;
+}
+
+void MpcContext::charge_communication(std::size_t words) {
+  total_comm_ += words;
+}
+
+void MpcContext::release_memory(std::size_t machine, std::size_t words) {
+  WMATCH_REQUIRE(machine < machine_load_.size(), "machine index out of range");
+  machine_load_[machine] =
+      words > machine_load_[machine] ? 0 : machine_load_[machine] - words;
+}
+
+}  // namespace wmatch::mpc

@@ -1,0 +1,57 @@
+// Simulated Massively Parallel Computation (MPC) environment.
+//
+// The MPC model (Section 2 of the paper): Γ machines with S words of
+// memory each; computation proceeds in synchronous rounds; between rounds
+// each machine sends/receives at most S words. We simulate the computation
+// sequentially but account for the model's resources exactly: the round
+// counter, the peak per-machine memory, and the per-round communication
+// volume. An algorithm that exceeds a machine's memory budget trips a
+// violation flag that tests assert on.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/require.h"
+
+namespace wmatch::mpc {
+
+struct MpcConfig {
+  std::size_t num_machines = 1;
+  /// Per-machine memory budget in words (one edge = one word). The paper's
+  /// regime is S = Θ~(n).
+  std::size_t machine_memory_words = 0;
+};
+
+class MpcContext {
+ public:
+  explicit MpcContext(const MpcConfig& config);
+
+  /// Starts a new communication round; resets per-round communication.
+  void begin_round();
+
+  /// Charges `words` of storage on `machine` in the current round.
+  void charge_memory(std::size_t machine, std::size_t words);
+
+  /// Charges `words` of traffic sent in the current round.
+  void charge_communication(std::size_t words);
+
+  /// Releases storage (end of round / data dropped).
+  void release_memory(std::size_t machine, std::size_t words);
+
+  std::size_t rounds() const { return rounds_; }
+  std::size_t peak_machine_memory() const { return peak_machine_memory_; }
+  std::size_t total_communication() const { return total_comm_; }
+  bool memory_violated() const { return violated_; }
+  const MpcConfig& config() const { return config_; }
+
+ private:
+  MpcConfig config_;
+  std::size_t rounds_ = 0;
+  std::vector<std::size_t> machine_load_;
+  std::size_t peak_machine_memory_ = 0;
+  std::size_t total_comm_ = 0;
+  bool violated_ = false;
+};
+
+}  // namespace wmatch::mpc

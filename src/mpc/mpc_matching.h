@@ -1,0 +1,38 @@
+// Unweighted bipartite matching in the simulated MPC model.
+//
+// This is the library's MPC realization of the paper's `Unw-Bip-Matching`
+// black box (the (1-δ)-approximation algorithm Theorem 4.1 is parametric
+// in). It combines:
+//   1. LMSV11-style filtering to compute a maximal matching: repeatedly
+//      sample edges into the coordinator's memory, match greedily, and
+//      drop edges incident to matched vertices (O(1) rounds per halving).
+//   2. ceil(1/δ) Hopcroft–Karp phases to remove short augmenting paths; by
+//      Fact 1.3 the result is a (1-δ)-approximate maximum matching. Each
+//      phase of path length 2i+1 is charged 2i+1 rounds (one round per BFS
+//      layer), the standard cost of path exploration with Θ~(n) memory.
+//
+// The round/memory accounting flows through MpcContext; the matching
+// computation itself is exact and sequential (see DESIGN.md, substitution
+// list).
+#pragma once
+
+#include "graph/graph.h"
+#include "graph/matching.h"
+#include "mpc/mpc_context.h"
+#include "util/rng.h"
+
+namespace wmatch::mpc {
+
+struct MpcMatchingResult {
+  Matching matching;
+  std::size_t rounds_used = 0;  ///< rounds consumed by this invocation
+};
+
+/// (1-delta)-approximate maximum-cardinality matching of the bipartite
+/// graph g (side[v] in {0,1}; all edges must cross sides).
+MpcMatchingResult mpc_bipartite_matching(const Graph& g,
+                                         const std::vector<char>& side,
+                                         double delta, MpcContext& ctx,
+                                         Rng& rng);
+
+}  // namespace wmatch::mpc

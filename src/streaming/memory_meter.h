@@ -1,0 +1,33 @@
+// Semi-streaming memory accounting.
+//
+// The semi-streaming model charges an algorithm for the words it *stores*
+// (the stream itself is free to read). Algorithms own a MemoryMeter and
+// charge it one unit per stored edge / per stored word of auxiliary state;
+// benchmarks read the peak to validate the paper's O(n polylog n) bounds
+// (Lemmas 3.3 and 3.15).
+#pragma once
+
+#include <cstddef>
+
+namespace wmatch {
+
+class MemoryMeter {
+ public:
+  void add(std::size_t words) {
+    current_ += words;
+    if (current_ > peak_) peak_ = current_;
+  }
+  void sub(std::size_t words) {
+    current_ = words > current_ ? 0 : current_ - words;
+  }
+  void reset() { current_ = peak_ = 0; }
+
+  std::size_t current() const { return current_; }
+  std::size_t peak() const { return peak_; }
+
+ private:
+  std::size_t current_ = 0;
+  std::size_t peak_ = 0;
+};
+
+}  // namespace wmatch

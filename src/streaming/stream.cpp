@@ -1,0 +1,4 @@
+#include "streaming/stream.h"
+
+// Header-only today; this TU anchors the library target and keeps the
+// header honest (it must compile standalone).

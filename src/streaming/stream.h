@@ -1,0 +1,42 @@
+// Edge-stream abstraction with pass accounting for the multi-pass
+// (semi-)streaming model.
+//
+// The stream owns (a view of) the edge sequence; algorithms may not index
+// into it randomly — they consume it pass by pass, and each pass is
+// counted. Single-pass algorithms simply take a span and never ask for a
+// second pass.
+#pragma once
+
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "graph/types.h"
+
+namespace wmatch {
+
+class EdgeStream {
+ public:
+  explicit EdgeStream(std::vector<Edge> edges) : edges_(std::move(edges)) {}
+
+  /// Invokes `f` on every edge in stream order and counts one pass.
+  template <typename F>
+  void for_each_pass(F&& f) {
+    ++passes_;
+    for (const Edge& e : edges_) f(e);
+  }
+
+  std::size_t passes() const { return passes_; }
+  std::size_t num_edges() const { return edges_.size(); }
+
+  /// Charges `k` extra passes (for sub-algorithms that conceptually run in
+  /// parallel over the same pass, charge 0; for black boxes that report
+  /// their own pass count, charge it here).
+  void charge_passes(std::size_t k) { passes_ += k; }
+
+ private:
+  std::vector<Edge> edges_;
+  std::size_t passes_ = 0;
+};
+
+}  // namespace wmatch

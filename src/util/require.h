@@ -1,0 +1,37 @@
+// Lightweight precondition / invariant checking.
+//
+// WMATCH_REQUIRE is always on: it guards API preconditions whose violation
+// indicates a caller bug (throws std::invalid_argument so tests can assert
+// on misuse). WMATCH_ASSERT compiles away in NDEBUG builds and guards
+// internal invariants on hot paths.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace wmatch {
+
+[[noreturn]] inline void require_failed(const char* cond, const char* file,
+                                        int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "requirement failed: " << cond << " at " << file << ':' << line;
+  if (!msg.empty()) os << " (" << msg << ')';
+  throw std::invalid_argument(os.str());
+}
+
+}  // namespace wmatch
+
+#define WMATCH_REQUIRE(cond, msg)                                     \
+  do {                                                                 \
+    if (!(cond)) ::wmatch::require_failed(#cond, __FILE__, __LINE__, (msg)); \
+  } while (0)
+
+#ifdef NDEBUG
+#define WMATCH_ASSERT(cond) ((void)0)
+#else
+#define WMATCH_ASSERT(cond)                                            \
+  do {                                                                  \
+    if (!(cond)) ::wmatch::require_failed(#cond, __FILE__, __LINE__, "assert"); \
+  } while (0)
+#endif

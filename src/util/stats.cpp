@@ -1,0 +1,60 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/require.h"
+
+namespace wmatch {
+
+void Accumulator::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double Accumulator::mean() const {
+  WMATCH_REQUIRE(n_ > 0, "mean of empty accumulator");
+  return mean_;
+}
+
+double Accumulator::variance() const {
+  WMATCH_REQUIRE(n_ > 0, "variance of empty accumulator");
+  if (n_ == 1) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double Accumulator::stddev() const { return std::sqrt(variance()); }
+
+double Accumulator::min() const {
+  WMATCH_REQUIRE(n_ > 0, "min of empty accumulator");
+  return min_;
+}
+
+double Accumulator::max() const {
+  WMATCH_REQUIRE(n_ > 0, "max of empty accumulator");
+  return max_;
+}
+
+double Accumulator::ci95_halfwidth() const {
+  WMATCH_REQUIRE(n_ > 0, "ci of empty accumulator");
+  if (n_ == 1) return 0.0;
+  return 1.96 * stddev() / std::sqrt(static_cast<double>(n_));
+}
+
+double median(std::vector<double> v) {
+  WMATCH_REQUIRE(!v.empty(), "median of empty vector");
+  std::sort(v.begin(), v.end());
+  std::size_t n = v.size();
+  if (n % 2 == 1) return v[n / 2];
+  return 0.5 * (v[n / 2 - 1] + v[n / 2]);
+}
+
+}  // namespace wmatch

@@ -1,0 +1,34 @@
+// Summary statistics over repeated experiment trials.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace wmatch {
+
+/// Online accumulator (Welford) for mean / variance / min / max.
+class Accumulator {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return n_; }
+  double mean() const;
+  double variance() const;  ///< sample variance (n-1 denominator)
+  double stddev() const;
+  double min() const;
+  double max() const;
+  /// Half-width of a ~95% normal confidence interval for the mean.
+  double ci95_halfwidth() const;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Median of a copy of `v` (average of middle two for even sizes).
+double median(std::vector<double> v);
+
+}  // namespace wmatch

@@ -1,0 +1,215 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "exact/blossom.h"
+#include "gen/generators.h"
+#include "gen/weights.h"
+#include "graph/augmentation.h"
+#include "util/rng.h"
+
+namespace wmatch {
+namespace {
+
+Matching path_matching(std::size_t n, std::initializer_list<Edge> edges) {
+  Matching m(n);
+  for (const Edge& e : edges) m.add(e);
+  return m;
+}
+
+TEST(Augmentation, VerticesOfPath) {
+  Augmentation aug;
+  aug.edges = {{0, 1, 1}, {1, 2, 1}, {2, 3, 1}};
+  auto v = aug.vertices();
+  ASSERT_EQ(v.size(), 4u);
+  EXPECT_EQ(v[0], 0u);
+  EXPECT_EQ(v[3], 3u);
+}
+
+TEST(Augmentation, VerticesHandleReversedFirstEdge) {
+  Augmentation aug;
+  aug.edges = {{1, 0, 1}, {1, 2, 1}};  // first edge given reversed
+  auto v = aug.vertices();
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_EQ(v[0], 0u);
+  EXPECT_EQ(v[1], 1u);
+  EXPECT_EQ(v[2], 2u);
+}
+
+TEST(Augmentation, VerticesOfCycle) {
+  Augmentation aug;
+  aug.is_cycle = true;
+  aug.edges = {{0, 1, 1}, {1, 2, 1}, {2, 3, 1}, {3, 0, 1}};
+  auto v = aug.vertices();
+  EXPECT_EQ(v.size(), 4u);
+}
+
+TEST(Augmentation, ValidAlternatingPath) {
+  Matching m = path_matching(4, {Edge{1, 2, 5}});
+  Augmentation aug;
+  aug.edges = {{0, 1, 3}, {1, 2, 5}, {2, 3, 4}};
+  EXPECT_TRUE(aug.is_valid_alternating(m));
+}
+
+TEST(Augmentation, InvalidWhenNotAlternating) {
+  Matching m(4);
+  Augmentation aug;  // two consecutive unmatched edges
+  aug.edges = {{0, 1, 3}, {1, 2, 5}};
+  EXPECT_FALSE(aug.is_valid_alternating(m));
+}
+
+TEST(Augmentation, InvalidWhenVertexRepeats) {
+  Matching m = path_matching(4, {Edge{1, 2, 5}});
+  Augmentation aug;
+  aug.edges = {{0, 1, 1}, {1, 2, 5}, {2, 0, 1}};  // revisits 0 but not cycle
+  EXPECT_FALSE(aug.is_valid_alternating(m));
+}
+
+TEST(Augmentation, ValidAlternatingCycle) {
+  Matching m = path_matching(4, {Edge{0, 1, 3}, Edge{2, 3, 3}});
+  Augmentation aug;
+  aug.is_cycle = true;
+  aug.edges = {{0, 1, 3}, {1, 2, 4}, {2, 3, 3}, {3, 0, 4}};
+  EXPECT_TRUE(aug.is_valid_alternating(m));
+}
+
+TEST(Augmentation, OddCycleInvalid) {
+  Matching m(3);
+  Augmentation aug;
+  aug.is_cycle = true;
+  aug.edges = {{0, 1, 1}, {1, 2, 1}, {2, 0, 1}};
+  EXPECT_FALSE(aug.is_valid_alternating(m));
+}
+
+TEST(Augmentation, MatchingNeighborhoodIncludesOffPathEdges) {
+  // Path o = (1,2); matched edges (0,1) and (2,3) are off-path neighbors.
+  Matching m = path_matching(4, {Edge{0, 1, 3}, Edge{2, 3, 4}});
+  Augmentation aug;
+  aug.edges = {{1, 2, 10}};
+  auto nbhd = aug.matching_neighborhood(m);
+  EXPECT_EQ(nbhd.size(), 2u);
+  EXPECT_EQ(aug.gain(m), 10 - 3 - 4);
+}
+
+TEST(Augmentation, ApplyRealizesGain) {
+  Matching m = path_matching(4, {Edge{0, 1, 3}, Edge{2, 3, 4}});
+  Augmentation aug;
+  aug.edges = {{1, 2, 10}};
+  Weight gain = aug.gain(m);
+  Weight realized = aug.apply(m);
+  EXPECT_EQ(gain, realized);
+  EXPECT_EQ(m.weight(), 10);
+  EXPECT_TRUE(m.contains(1, 2));
+  EXPECT_FALSE(m.is_matched(0));
+}
+
+TEST(Augmentation, ApplyCycleSwapsMatchedEdges) {
+  // 4-cycle (3,4,3,4): only the cycle augmentation improves.
+  Matching m = path_matching(4, {Edge{0, 1, 3}, Edge{2, 3, 3}});
+  Augmentation aug;
+  aug.is_cycle = true;
+  aug.edges = {{0, 1, 3}, {1, 2, 4}, {2, 3, 3}, {3, 0, 4}};
+  EXPECT_EQ(aug.gain(m), 2);
+  aug.apply(m);
+  EXPECT_EQ(m.weight(), 8);
+  EXPECT_TRUE(m.contains(1, 2));
+  EXPECT_TRUE(m.contains(3, 0));
+}
+
+TEST(Augmentation, TouchedVerticesIncludeMates) {
+  Matching m = path_matching(6, {Edge{0, 1, 3}, Edge{4, 5, 2}});
+  Augmentation aug;
+  aug.edges = {{1, 4, 10}};
+  auto touched = aug.touched_vertices(m);
+  std::sort(touched.begin(), touched.end());
+  EXPECT_EQ(touched, (std::vector<Vertex>{0, 1, 4, 5}));
+}
+
+TEST(SymmetricDifference, PathComponent) {
+  Matching m(4), n(4);
+  m.add(1, 2, 5);
+  n.add(0, 1, 3);
+  n.add(2, 3, 4);
+  auto comps = symmetric_difference_components(m, n);
+  ASSERT_EQ(comps.size(), 1u);
+  EXPECT_FALSE(comps[0].is_cycle);
+  EXPECT_EQ(comps[0].edges.size(), 3u);
+}
+
+TEST(SymmetricDifference, CycleComponent) {
+  Matching m(4), n(4);
+  m.add(0, 1, 3);
+  m.add(2, 3, 3);
+  n.add(1, 2, 4);
+  n.add(3, 0, 4);
+  auto comps = symmetric_difference_components(m, n);
+  ASSERT_EQ(comps.size(), 1u);
+  EXPECT_TRUE(comps[0].is_cycle);
+  EXPECT_EQ(comps[0].edges.size(), 4u);
+}
+
+TEST(SymmetricDifference, SharedEdgesExcluded) {
+  Matching m(4), n(4);
+  m.add(0, 1, 3);
+  n.add(0, 1, 3);
+  auto comps = symmetric_difference_components(m, n);
+  EXPECT_TRUE(comps.empty());
+}
+
+TEST(SymmetricDifference, MismatchedSizesThrow) {
+  Matching m(3), n(4);
+  EXPECT_THROW(symmetric_difference_components(m, n), std::invalid_argument);
+}
+
+class SymDiffPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SymDiffPropertyTest, ComponentsAreValidAlternatingAndCoverDiff) {
+  Rng rng(GetParam());
+  Graph g = gen::erdos_renyi(24, 60, rng);
+  g = gen::assign_weights(g, gen::WeightDist::kUniform, 50, rng);
+  // Two different matchings: greedy by stream vs exact.
+  Matching greedy(24);
+  for (const Edge& e : g.edges()) {
+    if (!greedy.is_matched(e.u) && !greedy.is_matched(e.v)) greedy.add(e);
+  }
+  Matching opt = exact::blossom_max_weight(g);
+  auto comps = symmetric_difference_components(greedy, opt);
+  std::size_t total_edges = 0;
+  for (const auto& comp : comps) {
+    total_edges += comp.edges.size();
+    // Edges alternate between the two matchings.
+    for (std::size_t i = 0; i + 1 < comp.edges.size(); ++i) {
+      bool a = greedy.contains(comp.edges[i]);
+      bool b = greedy.contains(comp.edges[i + 1]);
+      EXPECT_NE(a, b);
+    }
+  }
+  // Total edge count equals |M △ N|.
+  std::size_t expected = 0;
+  for (const Edge& e : greedy.edges()) {
+    if (!opt.contains(e)) ++expected;
+  }
+  for (const Edge& e : opt.edges()) {
+    if (!greedy.contains(e)) ++expected;
+  }
+  EXPECT_EQ(total_edges, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SymDiffPropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+TEST(SelectDisjoint, PrefersEarlierAndSkipsConflicts) {
+  Matching m(6);
+  m.add(1, 2, 5);
+  Augmentation a1;
+  a1.edges = {{0, 1, 1}, {1, 2, 5}, {2, 3, 1}};
+  Augmentation a2;  // conflicts with a1 (shares 1,2)
+  a2.edges = {{1, 2, 5}};
+  Augmentation a3;  // disjoint from a1
+  a3.edges = {{4, 5, 9}};
+  auto picked = select_disjoint({a1, a2, a3}, m);
+  EXPECT_EQ(picked, (std::vector<std::size_t>{0, 2}));
+}
+
+}  // namespace
+}  // namespace wmatch

@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include "exact/blossom.h"
+#include "exact/brute_force.h"
+#include "gen/generators.h"
+#include "gen/hard_instances.h"
+#include "gen/weights.h"
+#include "util/rng.h"
+
+namespace wmatch {
+namespace {
+
+TEST(Blossom, EmptyAndTrivialGraphs) {
+  Graph g0(0);
+  EXPECT_EQ(exact::blossom_max_weight(g0).weight(), 0);
+  Graph g1(3);
+  EXPECT_EQ(exact::blossom_max_weight(g1).weight(), 0);
+  Graph g2(2);
+  g2.add_edge(0, 1, 9);
+  EXPECT_EQ(exact::blossom_max_weight(g2).weight(), 9);
+}
+
+TEST(Blossom, OddCycleNeedsBlossoms) {
+  // 5-cycle with uniform weights: max matching has 2 edges.
+  Graph g(5);
+  for (Vertex v = 0; v < 5; ++v) g.add_edge(v, (v + 1) % 5, 10);
+  Matching m = exact::blossom_max_weight(g);
+  EXPECT_EQ(m.weight(), 20);
+  EXPECT_EQ(m.size(), 2u);
+}
+
+TEST(Blossom, PetersenLikeNestedStructure) {
+  // Two triangles joined by a path — classic blossom stress shape.
+  Graph g(8);
+  g.add_edge(0, 1, 8);
+  g.add_edge(1, 2, 9);
+  g.add_edge(0, 2, 10);
+  g.add_edge(2, 3, 6);
+  g.add_edge(3, 4, 4);
+  g.add_edge(4, 5, 5);
+  g.add_edge(5, 6, 9);
+  g.add_edge(6, 7, 8);
+  g.add_edge(5, 7, 10);
+  Matching bl = exact::blossom_max_weight(g);
+  Matching bf = exact::brute_force_max_weight(g);
+  EXPECT_EQ(bl.weight(), bf.weight());
+  EXPECT_TRUE(is_valid_matching(bl, g));
+}
+
+TEST(Blossom, MaxCardinalityModeMatchesBruteForce) {
+  Rng rng(5);
+  for (int trial = 0; trial < 30; ++trial) {
+    Graph g = gen::erdos_renyi(11, 20, rng);
+    g = gen::assign_weights(g, gen::WeightDist::kUniform, 8, rng);
+    Matching bl = exact::blossom_max_weight(g, true);
+    EXPECT_EQ(bl.size(), exact::brute_force_max_cardinality(g));
+    EXPECT_TRUE(is_valid_matching(bl, g));
+  }
+}
+
+TEST(Blossom, FourCycleFamilyOptimum) {
+  auto inst = gen::four_cycle_family(5, 3, 1);
+  Matching m = exact::blossom_max_weight(inst.graph);
+  EXPECT_EQ(m.weight(), inst.optimal_weight);
+}
+
+class BlossomRandomTest
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(BlossomRandomTest, AgreesWithBruteForce) {
+  auto [seed, n, maxw] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(seed));
+  for (int trial = 0; trial < 25; ++trial) {
+    std::size_t max_edges = static_cast<std::size_t>(n) * (n - 1) / 2;
+    std::size_t m = 1 + rng.next_below(std::min<std::size_t>(max_edges, 28));
+    Graph g = gen::erdos_renyi(static_cast<std::size_t>(n), m, rng);
+    g = gen::assign_weights(g, gen::WeightDist::kUniform,
+                            static_cast<Weight>(maxw), rng);
+    Matching bl = exact::blossom_max_weight(g);
+    Matching bf = exact::brute_force_max_weight(g);
+    ASSERT_EQ(bl.weight(), bf.weight())
+        << "seed=" << seed << " trial=" << trial << " n=" << n;
+    ASSERT_TRUE(is_valid_matching(bl, g));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, BlossomRandomTest,
+    ::testing::Combine(::testing::Values(1, 2, 3, 4, 5, 6, 7, 8),
+                       ::testing::Values(6, 9, 12),
+                       ::testing::Values(1, 10, 100)));
+
+TEST(Blossom, TiedWeightsStress) {
+  // Uniform weights force many ties -> exercises blossom formation.
+  Rng rng(77);
+  for (int trial = 0; trial < 20; ++trial) {
+    Graph g = gen::erdos_renyi(10, 18, rng);
+    Matching bl = exact::blossom_max_weight(g);
+    Matching bf = exact::brute_force_max_weight(g);
+    ASSERT_EQ(bl.weight(), bf.weight()) << trial;
+  }
+}
+
+TEST(Blossom, LargeInstanceRunsAndIsValid) {
+  Rng rng(123);
+  Graph g = gen::erdos_renyi(300, 2000, rng);
+  g = gen::assign_weights(g, gen::WeightDist::kExponential, 1 << 16, rng);
+  Matching m = exact::blossom_max_weight(g);
+  EXPECT_TRUE(is_valid_matching(m, g));
+  EXPECT_GT(m.weight(), 0);
+}
+
+}  // namespace
+}  // namespace wmatch

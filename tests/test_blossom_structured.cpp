@@ -1,0 +1,163 @@
+// Structured-family stress tests for the Blossom solver: shapes known to
+// exercise blossom formation/expansion paths that random graphs rarely hit.
+#include <gtest/gtest.h>
+
+#include "exact/blossom.h"
+#include "exact/brute_force.h"
+#include "gen/generators.h"
+#include "gen/weights.h"
+#include "util/rng.h"
+
+namespace wmatch {
+namespace {
+
+TEST(BlossomStructured, EvenCycleTakesAlternateEdges) {
+  // Even cycle with alternating weights 1, 9: optimum = all the 9s.
+  std::vector<Weight> w;
+  for (int i = 0; i < 5; ++i) {
+    w.push_back(1);
+    w.push_back(9);
+  }
+  Graph g = gen::cycle_graph(w);
+  Matching m = exact::blossom_max_weight(g);
+  EXPECT_EQ(m.weight(), 45);
+}
+
+TEST(BlossomStructured, OddCycleDropsLightestPair) {
+  // 7-cycle, uniform weight 5: max matching = 3 edges.
+  Graph g = gen::cycle_graph({5, 5, 5, 5, 5, 5, 5});
+  Matching m = exact::blossom_max_weight(g);
+  EXPECT_EQ(m.size(), 3u);
+  EXPECT_EQ(m.weight(), 15);
+}
+
+TEST(BlossomStructured, StarTakesHeaviestRay) {
+  Graph g(6);
+  for (Vertex v = 1; v < 6; ++v) g.add_edge(0, v, static_cast<Weight>(v));
+  Matching m = exact::blossom_max_weight(g);
+  EXPECT_EQ(m.weight(), 5);
+  EXPECT_TRUE(m.contains(0, 5));
+}
+
+TEST(BlossomStructured, CompleteGraphsSmall) {
+  // K_n for n = 4..8 with distinct weights, against brute force.
+  Rng rng(11);
+  for (std::size_t n = 4; n <= 8; ++n) {
+    Graph g(n);
+    for (Vertex u = 0; u < n; ++u) {
+      for (Vertex v = u + 1; v < n; ++v) {
+        g.add_edge(u, v, rng.next_int(1, 100));
+      }
+    }
+    Matching bl = exact::blossom_max_weight(g);
+    Matching bf = exact::brute_force_max_weight(g);
+    EXPECT_EQ(bl.weight(), bf.weight()) << "K_" << n;
+  }
+}
+
+TEST(BlossomStructured, TwoTrianglesBridged) {
+  // Classic nested-blossom shape: triangles {0,1,2} and {3,4,5} joined by
+  // a heavy bridge (2,3).
+  Graph g(6);
+  g.add_edge(0, 1, 6);
+  g.add_edge(1, 2, 6);
+  g.add_edge(0, 2, 6);
+  g.add_edge(3, 4, 6);
+  g.add_edge(4, 5, 6);
+  g.add_edge(3, 5, 6);
+  g.add_edge(2, 3, 10);
+  Matching bl = exact::blossom_max_weight(g);
+  Matching bf = exact::brute_force_max_weight(g);
+  EXPECT_EQ(bl.weight(), bf.weight());
+  EXPECT_EQ(bl.weight(), 22);  // bridge + one edge per triangle
+}
+
+TEST(BlossomStructured, GridGraphs) {
+  // 4 x k grid with random weights vs brute force (k small).
+  Rng rng(13);
+  for (std::size_t k = 2; k <= 5; ++k) {
+    std::size_t rows = 4;
+    Graph g(rows * k);
+    auto id = [&](std::size_t r, std::size_t c) {
+      return static_cast<Vertex>(r * k + c);
+    };
+    for (std::size_t r = 0; r < rows; ++r) {
+      for (std::size_t c = 0; c < k; ++c) {
+        if (c + 1 < k) g.add_edge(id(r, c), id(r, c + 1), rng.next_int(1, 50));
+        if (r + 1 < rows) g.add_edge(id(r, c), id(r + 1, c), rng.next_int(1, 50));
+      }
+    }
+    Matching bl = exact::blossom_max_weight(g);
+    Matching bf = exact::brute_force_max_weight(g);
+    EXPECT_EQ(bl.weight(), bf.weight()) << "grid 4x" << k;
+  }
+}
+
+TEST(BlossomStructured, MaxCardinalityBreaksWeightTies) {
+  // One heavy edge vs two light edges whose sum equals it: the
+  // max-cardinality variant must prefer the two edges.
+  Graph g(4);
+  g.add_edge(1, 2, 10);
+  g.add_edge(0, 1, 5);
+  g.add_edge(2, 3, 5);
+  Matching plain = exact::blossom_max_weight(g, false);
+  Matching maxcard = exact::blossom_max_weight(g, true);
+  EXPECT_EQ(plain.weight(), 10);
+  EXPECT_EQ(maxcard.size(), 2u);
+  EXPECT_EQ(maxcard.weight(), 10);
+}
+
+TEST(BlossomStructured, DisconnectedComponents) {
+  Rng rng(17);
+  // Three disjoint random blobs; optimum = sum of per-blob optima.
+  Graph g(18);
+  Weight expected = 0;
+  for (int blob = 0; blob < 3; ++blob) {
+    Vertex base = static_cast<Vertex>(6 * blob);
+    Graph sub(6);
+    for (int t = 0; t < 9; ++t) {
+      Vertex u = static_cast<Vertex>(rng.next_below(6));
+      Vertex v = static_cast<Vertex>(rng.next_below(6));
+      if (u == v) continue;
+      Weight w = rng.next_int(1, 30);
+      bool dup = false;
+      for (const Edge& e : sub.edges()) {
+        if (e.key() == Edge{u, v, w}.key()) dup = true;
+      }
+      if (dup) continue;
+      sub.add_edge(u, v, w);
+      g.add_edge(base + u, base + v, w);
+    }
+    expected += exact::brute_force_max_weight(sub).weight();
+  }
+  EXPECT_EQ(exact::blossom_max_weight(g).weight(), expected);
+}
+
+TEST(BlossomStructured, LongAlternatingPathFlip) {
+  auto inst_weights = std::vector<Weight>{2, 9, 2, 9, 2, 9, 2};
+  Graph g = gen::path_graph(inst_weights);
+  Matching m = exact::blossom_max_weight(g);
+  EXPECT_EQ(m.weight(), 27);  // the three 9s
+}
+
+class BlossomDenseRandom : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BlossomDenseRandom, DenseTiesAgainstBruteForce) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 10; ++trial) {
+    // Dense small graphs with tiny weight range force heavy tie-breaking.
+    Graph g = gen::erdos_renyi(10, 30, rng);
+    g = gen::assign_weights(g, gen::WeightDist::kUniform, 3, rng);
+    Matching bl = exact::blossom_max_weight(g);
+    Matching bf = exact::brute_force_max_weight(g);
+    ASSERT_EQ(bl.weight(), bf.weight());
+    ASSERT_TRUE(is_valid_matching(bl, g));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BlossomDenseRandom,
+                         ::testing::Values(21, 22, 23, 24, 25, 26, 27, 28, 29,
+                                           30));
+
+}  // namespace
+}  // namespace wmatch

@@ -1,0 +1,70 @@
+#include <gtest/gtest.h>
+
+#include "exact/brute_force.h"
+#include "gen/generators.h"
+#include "gen/weights.h"
+#include "util/rng.h"
+
+namespace wmatch {
+namespace {
+
+TEST(BruteForce, EmptyGraph) {
+  Graph g(4);
+  Matching m = exact::brute_force_max_weight(g);
+  EXPECT_EQ(m.weight(), 0);
+  EXPECT_EQ(exact::brute_force_max_cardinality(g), 0u);
+}
+
+TEST(BruteForce, SingleEdge) {
+  Graph g(2);
+  g.add_edge(0, 1, 7);
+  EXPECT_EQ(exact::brute_force_max_weight(g).weight(), 7);
+}
+
+TEST(BruteForce, Triangle) {
+  Graph g(3);
+  g.add_edge(0, 1, 5);
+  g.add_edge(1, 2, 6);
+  g.add_edge(0, 2, 4);
+  // Only one edge fits; the heaviest wins.
+  EXPECT_EQ(exact::brute_force_max_weight(g).weight(), 6);
+  EXPECT_EQ(exact::brute_force_max_cardinality(g), 1u);
+}
+
+TEST(BruteForce, PathPrefersEndEdges) {
+  // Path with weights 3-5-3: optimum takes the two 3s (weight 6) over 5.
+  Graph g(4);
+  g.add_edge(0, 1, 3);
+  g.add_edge(1, 2, 5);
+  g.add_edge(2, 3, 3);
+  Matching m = exact::brute_force_max_weight(g);
+  EXPECT_EQ(m.weight(), 6);
+  EXPECT_EQ(m.size(), 2u);
+}
+
+TEST(BruteForce, WeightVsCardinalityDiffer) {
+  // One heavy edge vs two light edges.
+  Graph g(4);
+  g.add_edge(1, 2, 10);
+  g.add_edge(0, 1, 3);
+  g.add_edge(2, 3, 3);
+  EXPECT_EQ(exact::brute_force_max_weight(g).weight(), 10);
+  EXPECT_EQ(exact::brute_force_max_cardinality(g), 2u);
+}
+
+TEST(BruteForce, ResultIsValidMatching) {
+  Rng rng(13);
+  Graph g = gen::erdos_renyi(12, 30, rng);
+  g = gen::assign_weights(g, gen::WeightDist::kUniform, 20, rng);
+  Matching m = exact::brute_force_max_weight(g);
+  EXPECT_TRUE(is_valid_matching(m, g));
+}
+
+TEST(BruteForce, RefusesHugeInputs) {
+  Rng rng(1);
+  Graph g = gen::erdos_renyi(64, 300, rng);
+  EXPECT_THROW(exact::brute_force_max_weight(g), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace wmatch

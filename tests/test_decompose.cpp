@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include "core/decompose.h"
+#include "util/rng.h"
+
+namespace wmatch {
+namespace {
+
+using core::decompose_walk;
+
+TEST(Decompose, SimplePathStaysWhole) {
+  std::vector<Edge> walk{{0, 1, 1}, {1, 2, 2}, {2, 3, 3}};
+  auto parts = decompose_walk(walk);
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_FALSE(parts[0].is_cycle);
+  EXPECT_EQ(parts[0].edges.size(), 3u);
+}
+
+TEST(Decompose, EmptyWalk) {
+  EXPECT_TRUE(decompose_walk({}).empty());
+}
+
+TEST(Decompose, SingleEdge) {
+  auto parts = decompose_walk({{4, 7, 9}});
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0].edges.size(), 1u);
+}
+
+TEST(Decompose, PureCycleWalk) {
+  std::vector<Edge> walk{{0, 1, 1}, {1, 2, 1}, {2, 3, 1}, {3, 0, 1}};
+  auto parts = decompose_walk(walk);
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_TRUE(parts[0].is_cycle);
+  EXPECT_EQ(parts[0].edges.size(), 4u);
+}
+
+TEST(Decompose, PaperNonSimpleWalkSplits) {
+  // Section 4.3.4's problem walk: a-b-c-d-b-a in the 6-vertex example
+  // (vertices a=0,b=1,c=2,d=3). Walk edges: (0,1),(1,2),(2,3),(3,1),(1,0).
+  // Decomposes into cycle b-c-d-b and path a-b + b-a -> actually the two
+  // (0,1) traversals form a 2-edge degenerate cycle; the stack method
+  // yields cycle {1,2,3} and cycle {0,1 twice}.
+  std::vector<Edge> walk{{0, 1, 1}, {1, 2, 2}, {2, 3, 1}, {3, 1, 2}, {1, 0, 1}};
+  auto parts = decompose_walk(walk);
+  std::size_t total = 0;
+  for (const auto& p : parts) total += p.edges.size();
+  EXPECT_EQ(total, walk.size());  // conservation
+  bool has_cycle3 = false;
+  for (const auto& p : parts) {
+    if (p.is_cycle && p.edges.size() == 3u) has_cycle3 = true;
+  }
+  EXPECT_TRUE(has_cycle3);
+}
+
+TEST(Decompose, RepeatedCycleBlowupSplitsIntoCopies) {
+  // The repeated-cycle trick of Section 1.1.2: the 4-cycle traversed
+  // 3 times decomposes into 3 copies of the simple cycle.
+  std::vector<Edge> cyc{{0, 1, 1}, {1, 2, 2}, {2, 3, 1}, {3, 0, 2}};
+  std::vector<Edge> walk;
+  for (int rep = 0; rep < 3; ++rep) {
+    walk.insert(walk.end(), cyc.begin(), cyc.end());
+  }
+  auto parts = decompose_walk(walk);
+  ASSERT_EQ(parts.size(), 3u);
+  for (const auto& p : parts) {
+    EXPECT_TRUE(p.is_cycle);
+    EXPECT_EQ(p.edges.size(), 4u);
+  }
+}
+
+TEST(Decompose, FigureEightSplitsAtSharedVertex) {
+  // Two 4-cycles sharing vertex 0, walked consecutively.
+  std::vector<Edge> walk{{0, 1, 1}, {1, 2, 1}, {2, 3, 1}, {3, 0, 1},
+                         {0, 4, 1}, {4, 5, 1}, {5, 6, 1}, {6, 0, 1}};
+  auto parts = decompose_walk(walk);
+  ASSERT_EQ(parts.size(), 2u);
+  EXPECT_TRUE(parts[0].is_cycle);
+  EXPECT_TRUE(parts[1].is_cycle);
+}
+
+TEST(Decompose, PathWithDetourCycle) {
+  // 0-1-2-1 ... walk revisits 1 then continues to 3.
+  std::vector<Edge> walk{{0, 1, 1}, {1, 2, 1}, {2, 1, 1}, {1, 3, 1}};
+  auto parts = decompose_walk(walk);
+  std::size_t path_edges = 0;
+  for (const auto& p : parts) {
+    if (!p.is_cycle) path_edges += p.edges.size();
+  }
+  EXPECT_EQ(path_edges, 2u);  // 0-1 and 1-3 remain as the simple path
+}
+
+TEST(Decompose, RejectsNonConsecutiveWalk) {
+  std::vector<Edge> walk{{0, 1, 1}, {2, 3, 1}};
+  EXPECT_THROW(decompose_walk(walk), std::invalid_argument);
+}
+
+TEST(Decompose, ConservesEdgesOnRandomClosedWalks) {
+  // Random walks on a complete-ish graph: decomposition must conserve the
+  // number of edges and produce components that are simple.
+  Rng rng(5);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<Edge> walk;
+    Vertex cur = 0;
+    for (int step = 0; step < 12; ++step) {
+      Vertex nxt = static_cast<Vertex>(rng.next_below(6));
+      if (nxt == cur) nxt = (nxt + 1) % 6;
+      walk.push_back({cur, nxt, 1});
+      cur = nxt;
+    }
+    auto parts = decompose_walk(walk);
+    std::size_t total = 0;
+    for (const auto& p : parts) {
+      total += p.edges.size();
+      // Simplicity: within a component no vertex repeats (checked through
+      // vertices() cardinality).
+      auto verts = p.vertices();
+      std::size_t expected =
+          p.is_cycle ? p.edges.size() : p.edges.size() + 1;
+      EXPECT_EQ(verts.size(), expected);
+    }
+    EXPECT_EQ(total, walk.size());
+  }
+}
+
+}  // namespace
+}  // namespace wmatch

@@ -1,0 +1,138 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "gen/generators.h"
+#include "gen/weights.h"
+#include "util/rng.h"
+
+namespace wmatch {
+namespace {
+
+TEST(Generators, ErdosRenyiHasRequestedEdges) {
+  Rng rng(1);
+  Graph g = gen::erdos_renyi(50, 200, rng);
+  EXPECT_EQ(g.num_vertices(), 50u);
+  EXPECT_EQ(g.num_edges(), 200u);
+}
+
+TEST(Generators, ErdosRenyiRejectsOverfull) {
+  Rng rng(1);
+  EXPECT_THROW(gen::erdos_renyi(4, 7, rng), std::invalid_argument);
+}
+
+TEST(Generators, ErdosRenyiDeterministicPerSeed) {
+  Rng a(7), b(7);
+  Graph g1 = gen::erdos_renyi(30, 100, a);
+  Graph g2 = gen::erdos_renyi(30, 100, b);
+  ASSERT_EQ(g1.num_edges(), g2.num_edges());
+  for (std::size_t i = 0; i < g1.num_edges(); ++i) {
+    EXPECT_EQ(g1.edge(i), g2.edge(i));
+  }
+}
+
+TEST(Generators, BipartiteEdgesCrossSides) {
+  Rng rng(2);
+  Graph g = gen::random_bipartite(20, 30, 150, rng);
+  EXPECT_EQ(g.num_vertices(), 50u);
+  for (const Edge& e : g.edges()) {
+    bool u_left = e.u < 20;
+    bool v_left = e.v < 20;
+    EXPECT_NE(u_left, v_left);
+  }
+}
+
+TEST(Generators, BarabasiAlbertDegreesSkewed) {
+  Rng rng(3);
+  Graph g = gen::barabasi_albert(200, 2, rng);
+  EXPECT_EQ(g.num_vertices(), 200u);
+  // m = seed clique + 2 per new vertex.
+  EXPECT_EQ(g.num_edges(), 3u + (200u - 3u) * 2u);
+  std::size_t max_deg = 0;
+  for (Vertex v = 0; v < 200; ++v) max_deg = std::max(max_deg, g.degree(v));
+  EXPECT_GT(max_deg, 8u);  // hubs exist
+}
+
+TEST(Generators, GeometricWeightsReflectDistance) {
+  Rng rng(4);
+  Graph g = gen::random_geometric(100, 0.3, 100, rng);
+  for (const Edge& e : g.edges()) {
+    EXPECT_GE(e.w, 1);
+    EXPECT_LE(e.w, 101);
+  }
+  EXPECT_GT(g.num_edges(), 0u);
+}
+
+TEST(Generators, PathAndCycleShapes) {
+  Graph p = gen::path_graph({5, 6, 7});
+  EXPECT_EQ(p.num_vertices(), 4u);
+  EXPECT_EQ(p.num_edges(), 3u);
+  Graph c = gen::cycle_graph({1, 2, 3, 4});
+  EXPECT_EQ(c.num_vertices(), 4u);
+  EXPECT_EQ(c.num_edges(), 4u);
+  EXPECT_EQ(c.degree(0), 2u);
+  EXPECT_THROW(gen::cycle_graph({1, 2}), std::invalid_argument);
+}
+
+TEST(Generators, RandomStreamIsPermutationOfEdges) {
+  Rng rng(5);
+  Graph g = gen::erdos_renyi(20, 50, rng);
+  auto stream = gen::random_stream(g, rng);
+  ASSERT_EQ(stream.size(), g.num_edges());
+  std::multiset<std::uint64_t> a, b;
+  for (const Edge& e : g.edges()) a.insert(e.key());
+  for (const Edge& e : stream) b.insert(e.key());
+  EXPECT_EQ(a, b);
+}
+
+TEST(Generators, IncreasingWeightStreamSorted) {
+  Rng rng(6);
+  Graph g = gen::erdos_renyi(20, 50, rng);
+  g = gen::assign_weights(g, gen::WeightDist::kUniform, 100, rng);
+  auto stream = gen::increasing_weight_stream(g);
+  EXPECT_TRUE(std::is_sorted(
+      stream.begin(), stream.end(),
+      [](const Edge& a, const Edge& b) { return a.w < b.w; }));
+}
+
+class WeightDistTest : public ::testing::TestWithParam<gen::WeightDist> {};
+
+TEST_P(WeightDistTest, WeightsWithinRangeAndPositive) {
+  Rng rng(7);
+  const Weight max_w = 1000;
+  for (int i = 0; i < 2000; ++i) {
+    Weight w = gen::draw_weight(GetParam(), max_w, rng);
+    EXPECT_GE(w, 1);
+    EXPECT_LE(w, max_w);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDists, WeightDistTest,
+                         ::testing::Values(gen::WeightDist::kUniform,
+                                           gen::WeightDist::kExponential,
+                                           gen::WeightDist::kPolynomial,
+                                           gen::WeightDist::kClasses));
+
+TEST(Weights, ClassesArePowersOfTwo) {
+  Rng rng(8);
+  for (int i = 0; i < 500; ++i) {
+    Weight w = gen::draw_weight(gen::WeightDist::kClasses, 64, rng);
+    EXPECT_EQ(w & (w - 1), 0) << w;  // power of two
+  }
+}
+
+TEST(Weights, AssignPreservesTopology) {
+  Rng rng(9);
+  Graph g = gen::erdos_renyi(30, 80, rng);
+  Graph wg = gen::assign_weights(g, gen::WeightDist::kExponential, 256, rng);
+  ASSERT_EQ(wg.num_edges(), g.num_edges());
+  for (std::size_t i = 0; i < g.num_edges(); ++i) {
+    EXPECT_EQ(wg.edge(i).u, g.edge(i).u);
+    EXPECT_EQ(wg.edge(i).v, g.edge(i).v);
+    EXPECT_GE(wg.edge(i).w, 1);
+  }
+}
+
+}  // namespace
+}  // namespace wmatch

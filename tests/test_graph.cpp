@@ -1,0 +1,85 @@
+#include <gtest/gtest.h>
+
+#include "graph/graph.h"
+
+namespace wmatch {
+namespace {
+
+TEST(Graph, EmptyGraph) {
+  Graph g(5);
+  EXPECT_EQ(g.num_vertices(), 5u);
+  EXPECT_EQ(g.num_edges(), 0u);
+  EXPECT_EQ(g.total_weight(), 0);
+  EXPECT_EQ(g.max_weight(), 0);
+  EXPECT_TRUE(g.incident(0).empty());
+}
+
+TEST(Graph, AddAndQueryEdges) {
+  Graph g(4);
+  g.add_edge(0, 1, 5);
+  g.add_edge(1, 2, 3);
+  g.add_edge(2, 3, 7);
+  EXPECT_EQ(g.num_edges(), 3u);
+  EXPECT_EQ(g.total_weight(), 15);
+  EXPECT_EQ(g.max_weight(), 7);
+  EXPECT_EQ(g.degree(1), 2u);
+  EXPECT_EQ(g.degree(0), 1u);
+}
+
+TEST(Graph, IncidentEdgesAreCorrect) {
+  Graph g(4);
+  g.add_edge(0, 1, 1);
+  g.add_edge(0, 2, 2);
+  g.add_edge(0, 3, 3);
+  auto inc = g.incident(0);
+  ASSERT_EQ(inc.size(), 3u);
+  Weight sum = 0;
+  for (auto ei : inc) sum += g.edge(ei).w;
+  EXPECT_EQ(sum, 6);
+}
+
+TEST(Graph, AdjacencyRebuiltAfterAdd) {
+  Graph g(3);
+  g.add_edge(0, 1, 1);
+  EXPECT_EQ(g.degree(0), 1u);  // forces adjacency build
+  g.add_edge(0, 2, 1);
+  EXPECT_EQ(g.degree(0), 2u);  // must reflect the new edge
+}
+
+TEST(Graph, RejectsSelfLoop) {
+  Graph g(3);
+  EXPECT_THROW(g.add_edge(1, 1, 2), std::invalid_argument);
+}
+
+TEST(Graph, RejectsOutOfRange) {
+  Graph g(3);
+  EXPECT_THROW(g.add_edge(0, 3, 2), std::invalid_argument);
+}
+
+TEST(Graph, RejectsNonPositiveWeight) {
+  Graph g(3);
+  EXPECT_THROW(g.add_edge(0, 1, 0), std::invalid_argument);
+  EXPECT_THROW(g.add_edge(0, 1, -5), std::invalid_argument);
+}
+
+TEST(Graph, ConstructorRejectsDuplicateEdges) {
+  std::vector<Edge> edges{{0, 1, 2}, {1, 0, 3}};
+  EXPECT_THROW(Graph(3, edges), std::invalid_argument);
+}
+
+TEST(Graph, EdgeKeyIsOrientationIndependent) {
+  Edge a{2, 7, 1};
+  Edge b{7, 2, 9};
+  EXPECT_EQ(a.key(), b.key());
+}
+
+TEST(Graph, EdgeOtherAndHasEndpoint) {
+  Edge e{3, 8, 1};
+  EXPECT_EQ(e.other(3), 8u);
+  EXPECT_EQ(e.other(8), 3u);
+  EXPECT_TRUE(e.has_endpoint(3));
+  EXPECT_FALSE(e.has_endpoint(5));
+}
+
+}  // namespace
+}  // namespace wmatch

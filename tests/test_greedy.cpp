@@ -1,0 +1,63 @@
+#include <gtest/gtest.h>
+
+#include "baselines/greedy.h"
+#include "exact/blossom.h"
+#include "gen/generators.h"
+#include "gen/weights.h"
+#include "util/rng.h"
+
+namespace wmatch {
+namespace {
+
+TEST(Greedy, ExtendTakesOnlyFreeEndpoints) {
+  Matching m(4);
+  EXPECT_TRUE(baselines::greedy_extend(m, {0, 1, 5}));
+  EXPECT_FALSE(baselines::greedy_extend(m, {1, 2, 9}));
+  EXPECT_TRUE(baselines::greedy_extend(m, {2, 3, 1}));
+  EXPECT_EQ(m.size(), 2u);
+}
+
+TEST(Greedy, StreamMatchingIsMaximal) {
+  Rng rng(1);
+  Graph g = gen::erdos_renyi(40, 150, rng);
+  auto stream = gen::random_stream(g, rng);
+  Matching m = baselines::greedy_stream_matching(stream, 40);
+  // Maximality: no edge has both endpoints free.
+  for (const Edge& e : g.edges()) {
+    EXPECT_TRUE(m.is_matched(e.u) || m.is_matched(e.v));
+  }
+  EXPECT_TRUE(is_valid_matching(m, g));
+}
+
+TEST(Greedy, MaximalIsHalfApproxCardinality) {
+  Rng rng(2);
+  for (int trial = 0; trial < 10; ++trial) {
+    Graph g = gen::erdos_renyi(30, 80, rng);
+    auto stream = gen::random_stream(g, rng);
+    Matching m = baselines::greedy_stream_matching(stream, 30);
+    Matching opt = exact::blossom_max_weight(g, true);
+    EXPECT_GE(2 * m.size(), opt.size());
+  }
+}
+
+TEST(Greedy, ByWeightIsHalfApproxWeighted) {
+  Rng rng(3);
+  for (int trial = 0; trial < 10; ++trial) {
+    Graph g = gen::erdos_renyi(30, 100, rng);
+    g = gen::assign_weights(g, gen::WeightDist::kExponential, 1000, rng);
+    Matching m = baselines::greedy_by_weight(g);
+    Matching opt = exact::blossom_max_weight(g);
+    EXPECT_GE(2 * m.weight(), opt.weight());
+    EXPECT_TRUE(is_valid_matching(m, g));
+  }
+}
+
+TEST(Greedy, ArrivalOrderCanBeHalfWorst) {
+  // Light middle edge first traps greedy-by-arrival.
+  std::vector<Edge> stream{{1, 2, 10}, {0, 1, 9}, {2, 3, 9}};
+  Matching m = baselines::greedy_stream_matching(stream, 4);
+  EXPECT_EQ(m.weight(), 10);  // optimum is 18
+}
+
+}  // namespace
+}  // namespace wmatch

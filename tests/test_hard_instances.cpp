@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include "exact/blossom.h"
+#include "gen/hard_instances.h"
+#include "graph/augmentation.h"
+#include "util/rng.h"
+
+namespace wmatch {
+namespace {
+
+TEST(HardInstances, FourCycleFamilyShape) {
+  auto inst = gen::four_cycle_family(3, 3, 1);
+  EXPECT_EQ(inst.graph.num_vertices(), 12u);
+  EXPECT_EQ(inst.graph.num_edges(), 12u);
+  EXPECT_EQ(inst.matching.size(), 3u * 2u);
+  EXPECT_TRUE(is_valid_matching(inst.matching, inst.graph));
+  EXPECT_EQ(inst.optimal_weight, 2 * 3 * (3 + 1));
+}
+
+TEST(HardInstances, FourCycleMatchingIsPerfectButSuboptimal) {
+  auto inst = gen::four_cycle_family(2, 3, 1);
+  // Every vertex is matched -> no augmenting path exists.
+  for (Vertex v = 0; v < inst.graph.num_vertices(); ++v) {
+    EXPECT_TRUE(inst.matching.is_matched(v));
+  }
+  Matching opt = exact::blossom_max_weight(inst.graph);
+  EXPECT_EQ(opt.weight(), inst.optimal_weight);
+  EXPECT_LT(inst.matching.weight(), opt.weight());
+}
+
+TEST(HardInstances, FourCycleOnlyCycleAugmentationImproves) {
+  auto inst = gen::four_cycle_family(1, 3, 1);
+  // The alternating cycle on all four edges gains 2*gap.
+  Augmentation cyc;
+  cyc.is_cycle = true;
+  cyc.edges = {{0, 1, 3}, {1, 2, 4}, {2, 3, 3}, {3, 0, 4}};
+  EXPECT_TRUE(cyc.is_valid_alternating(inst.matching));
+  EXPECT_EQ(cyc.gain(inst.matching), 2);
+}
+
+TEST(HardInstances, Figure1MatchesPaper) {
+  auto inst = gen::figure1_example();
+  EXPECT_EQ(inst.matching.weight(), 5);
+  Matching opt = exact::blossom_max_weight(inst.graph);
+  EXPECT_EQ(opt.weight(), 8);
+  EXPECT_EQ(inst.optimal_weight, 8);
+  // The "losing" unweighted augmenting path b-c-d-e would decrease weight.
+  Augmentation losing;
+  losing.edges = {{1, 2, 2}, {2, 3, 5}, {3, 4, 2}};
+  EXPECT_TRUE(losing.is_valid_alternating(inst.matching));
+  EXPECT_LT(losing.gain(inst.matching), 0);
+}
+
+TEST(HardInstances, Figure2OptimalWeight) {
+  auto inst = gen::figure2_example();
+  EXPECT_TRUE(is_valid_matching(inst.matching, inst.graph));
+  Matching opt = exact::blossom_max_weight(inst.graph);
+  EXPECT_EQ(opt.weight(), inst.optimal_weight);
+}
+
+TEST(HardInstances, GreedyTrapRatioApproachesHalf) {
+  auto inst = gen::greedy_trap_paths(10, 10, 6);
+  EXPECT_EQ(inst.matching.weight(), 100);
+  EXPECT_EQ(inst.optimal_weight, 120);
+  Matching opt = exact::blossom_max_weight(inst.graph);
+  EXPECT_EQ(opt.weight(), inst.optimal_weight);
+}
+
+TEST(HardInstances, GreedyTrapRejectsBadParameters) {
+  EXPECT_THROW(gen::greedy_trap_paths(1, 10, 4), std::invalid_argument);
+}
+
+TEST(HardInstances, PlantedThreeAugsCountsOptimum) {
+  Rng rng(3);
+  auto inst = gen::planted_three_augs(50, 0.5, rng);
+  EXPECT_EQ(inst.matching.size(), 50u);
+  Matching opt = exact::blossom_max_weight(inst.graph, true);
+  EXPECT_EQ(static_cast<Weight>(opt.size()), inst.optimal_weight);
+  EXPECT_GT(inst.optimal_weight, 50);
+}
+
+TEST(HardInstances, LongPathFamilyNeedsFullFlip) {
+  auto inst = gen::long_path_family(2, 3, 2, 5);
+  // Each unit: 4 light matched edges (w=2), 3 heavy unmatched (w=5):
+  // flip gain = 15 - 8 = 7 per unit.
+  EXPECT_EQ(inst.matching.weight(), 2 * 4 * 2);
+  EXPECT_EQ(inst.optimal_weight, 2 * 15);
+  Matching opt = exact::blossom_max_weight(inst.graph);
+  EXPECT_EQ(opt.weight(), inst.optimal_weight);
+}
+
+}  // namespace
+}  // namespace wmatch

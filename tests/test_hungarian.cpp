@@ -1,0 +1,100 @@
+#include <gtest/gtest.h>
+
+#include "exact/blossom.h"
+#include "exact/brute_force.h"
+#include "exact/hungarian.h"
+#include "gen/generators.h"
+#include "gen/weights.h"
+#include "util/rng.h"
+
+namespace wmatch {
+namespace {
+
+std::vector<char> sides_by_cut(std::size_t n_left, std::size_t n) {
+  std::vector<char> side(n, 1);
+  for (std::size_t v = 0; v < n_left; ++v) side[v] = 0;
+  return side;
+}
+
+TEST(Hungarian, SimpleAssignment) {
+  // 2x2: diag weights 5,5 vs cross 9,1 -> take diag (10) over cross (10)?
+  // cross = 9 + 1 = 10 too; make it unambiguous.
+  Graph g(4);
+  g.add_edge(0, 2, 5);
+  g.add_edge(0, 3, 9);
+  g.add_edge(1, 2, 2);
+  g.add_edge(1, 3, 5);
+  Matching m = exact::hungarian_max_weight(g, sides_by_cut(2, 4));
+  EXPECT_EQ(m.weight(), 11);  // (0,3)=9 + (1,2)=2
+}
+
+TEST(Hungarian, LeavesVerticesUnmatchedWhenProfitable) {
+  Graph g(4);
+  g.add_edge(0, 2, 10);
+  g.add_edge(1, 2, 9);  // 1 stays unmatched; only one right vertex useful
+  g.add_edge(1, 3, 1);
+  Matching m = exact::hungarian_max_weight(g, sides_by_cut(2, 4));
+  EXPECT_EQ(m.weight(), 11);
+}
+
+TEST(Hungarian, EmptyGraphAndEmptySide) {
+  Graph g(3);
+  Matching m = exact::hungarian_max_weight(g, {0, 1, 1});
+  EXPECT_EQ(m.weight(), 0);
+  Graph g2(2);
+  Matching m2 = exact::hungarian_max_weight(g2, {1, 1});
+  EXPECT_EQ(m2.weight(), 0);
+}
+
+TEST(Hungarian, UnbalancedSides) {
+  Graph g(5);  // 1 left, 4 right
+  g.add_edge(0, 1, 3);
+  g.add_edge(0, 2, 8);
+  g.add_edge(0, 3, 5);
+  Matching m = exact::hungarian_max_weight(g, {0, 1, 1, 1, 1});
+  EXPECT_EQ(m.weight(), 8);
+  EXPECT_TRUE(m.contains(0, 2));
+}
+
+TEST(Hungarian, RejectsIntraSideEdge) {
+  Graph g(4);
+  g.add_edge(0, 1, 1);
+  EXPECT_THROW(exact::hungarian_max_weight(g, {0, 0, 1, 1}),
+               std::invalid_argument);
+}
+
+class HungarianCrossCheck : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(HungarianCrossCheck, AgreesWithBlossomAndBruteForce) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 20; ++trial) {
+    std::size_t nl = 2 + rng.next_below(5);
+    std::size_t nr = 2 + rng.next_below(5);
+    std::size_t m = 1 + rng.next_below(std::min<std::size_t>(nl * nr, 20));
+    Graph g = gen::random_bipartite(nl, nr, m, rng);
+    g = gen::assign_weights(g, gen::WeightDist::kUniform, 50, rng);
+    auto side = sides_by_cut(nl, nl + nr);
+    Matching hung = exact::hungarian_max_weight(g, side);
+    Matching bl = exact::blossom_max_weight(g);
+    Matching bf = exact::brute_force_max_weight(g);
+    ASSERT_EQ(hung.weight(), bf.weight()) << "trial " << trial;
+    ASSERT_EQ(bl.weight(), bf.weight()) << "trial " << trial;
+    ASSERT_TRUE(is_valid_matching(hung, g));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HungarianCrossCheck,
+                         ::testing::Values(10, 20, 30, 40, 50, 60));
+
+TEST(Hungarian, MediumDenseInstance) {
+  Rng rng(99);
+  Graph g = gen::random_bipartite(60, 60, 1800, rng);
+  g = gen::assign_weights(g, gen::WeightDist::kUniform, 1000, rng);
+  auto side = sides_by_cut(60, 120);
+  Matching hung = exact::hungarian_max_weight(g, side);
+  Matching bl = exact::blossom_max_weight(g);
+  EXPECT_EQ(hung.weight(), bl.weight());
+}
+
+}  // namespace
+}  // namespace wmatch

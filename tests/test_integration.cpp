@@ -1,0 +1,168 @@
+// End-to-end pipelines across graph families: every algorithm must produce
+// a valid matching and meet (a relaxed form of) its guarantee, on the same
+// instances the benchmarks use.
+#include <gtest/gtest.h>
+
+#include "baselines/greedy.h"
+#include "baselines/local_ratio.h"
+#include "core/main_alg.h"
+#include "core/rand_arr_matching.h"
+#include "core/unweighted_random_arrival.h"
+#include "exact/blossom.h"
+#include "gen/generators.h"
+#include "gen/hard_instances.h"
+#include "gen/weights.h"
+#include "mpc/mpc_context.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace wmatch {
+namespace {
+
+struct Family {
+  const char* name;
+  Graph graph;
+};
+
+std::vector<Family> families(Rng& rng) {
+  std::vector<Family> out;
+  out.push_back({"erdos_renyi",
+                 gen::assign_weights(gen::erdos_renyi(60, 300, rng),
+                                     gen::WeightDist::kUniform, 128, rng)});
+  out.push_back({"barabasi_albert",
+                 gen::assign_weights(gen::barabasi_albert(60, 3, rng),
+                                     gen::WeightDist::kExponential, 512, rng)});
+  out.push_back({"bipartite",
+                 gen::assign_weights(gen::random_bipartite(30, 30, 250, rng),
+                                     gen::WeightDist::kPolynomial, 256, rng)});
+  out.push_back({"geometric", gen::random_geometric(60, 0.35, 100, rng)});
+  return out;
+}
+
+TEST(Integration, SinglePassPipelineAcrossFamilies) {
+  Rng master(11);
+  for (auto& fam : families(master)) {
+    Rng rng = master.split();
+    auto stream = gen::random_stream(fam.graph, rng);
+    auto result =
+        core::rand_arr_matching(stream, fam.graph.num_vertices(), {}, rng);
+    Matching opt = exact::blossom_max_weight(fam.graph);
+    ASSERT_TRUE(is_valid_matching(result.matching, fam.graph)) << fam.name;
+    EXPECT_GE(static_cast<double>(result.matching.weight()),
+              0.4 * static_cast<double>(opt.weight()))
+        << fam.name;
+  }
+}
+
+TEST(Integration, MultipassPipelineAcrossFamilies) {
+  Rng master(12);
+  core::ReductionConfig cfg;
+  cfg.epsilon = 0.25;
+  cfg.tau.max_layers = 3;
+  cfg.tau.max_pairs = 400;
+  cfg.max_iterations = 5;
+  for (auto& fam : families(master)) {
+    Rng rng = master.split();
+    core::HkStreamingMatcher matcher;
+    auto result = core::maximum_weight_matching(fam.graph, cfg, matcher, rng);
+    Matching opt = exact::blossom_max_weight(fam.graph);
+    ASSERT_TRUE(is_valid_matching(result.matching, fam.graph)) << fam.name;
+    EXPECT_GE(static_cast<double>(result.matching.weight()),
+              0.7 * static_cast<double>(opt.weight()))
+        << fam.name;
+  }
+}
+
+TEST(Integration, MpcPipelineProducesValidNearOptimalMatching) {
+  Rng rng(13);
+  Graph g = gen::assign_weights(gen::erdos_renyi(50, 220, rng),
+                                gen::WeightDist::kUniform, 100, rng);
+  mpc::MpcContext ctx({4, 4 * 50 * 6});
+  core::MpcMatcher matcher(ctx, rng);
+  core::ReductionConfig cfg;
+  cfg.epsilon = 0.25;
+  cfg.tau.max_pairs = 300;
+  cfg.max_iterations = 4;
+  auto result = core::maximum_weight_matching(g, cfg, matcher, rng);
+  Matching opt = exact::blossom_max_weight(g);
+  EXPECT_TRUE(is_valid_matching(result.matching, g));
+  EXPECT_GE(static_cast<double>(result.matching.weight()),
+            0.7 * static_cast<double>(opt.weight()));
+  EXPECT_GT(ctx.rounds(), 0u);
+}
+
+TEST(Integration, ReductionBeatsSinglePassBaselinesGivenMorePasses) {
+  // On a decreasing-weight stream the mid edges arrive first, trapping
+  // both greedy and local-ratio at w=10 per unit while the optimum takes
+  // both wings (w=12); the multipass (1-eps) algorithm escapes the trap.
+  Rng rng(14);
+  auto inst = gen::greedy_trap_paths(25, 10, 6);
+  std::vector<Edge> stream(inst.graph.edges().begin(),
+                           inst.graph.edges().end());
+  std::stable_sort(stream.begin(), stream.end(),
+                   [](const Edge& a, const Edge& b) { return a.w > b.w; });
+
+  Matching greedy = baselines::greedy_stream_matching(
+      stream, inst.graph.num_vertices());
+  baselines::LocalRatio lr(inst.graph.num_vertices());
+  for (const Edge& e : stream) lr.feed(e);
+  Matching local_ratio = lr.unwind();
+  EXPECT_EQ(greedy.weight(), 250);  // the trap binds
+
+  core::ReductionConfig cfg;
+  cfg.epsilon = 0.2;
+  cfg.max_iterations = 15;
+  core::HkStreamingMatcher matcher;
+  auto multipass =
+      core::maximum_weight_matching(inst.graph, cfg, matcher, rng);
+
+  EXPECT_GT(multipass.matching.weight(), greedy.weight());
+  EXPECT_GE(multipass.matching.weight(), local_ratio.weight());
+  EXPECT_GE(static_cast<double>(multipass.matching.weight()),
+            0.9 * static_cast<double>(inst.optimal_weight));
+}
+
+TEST(Integration, UnweightedPipelineOnBipartiteFamilies) {
+  Rng master(15);
+  Accumulator ratios;
+  for (int trial = 0; trial < 5; ++trial) {
+    Rng rng = master.split();
+    Graph g = gen::random_bipartite(60, 60, 360, rng);
+    auto stream = gen::random_stream(g, rng);
+    auto result =
+        core::unweighted_random_arrival(stream, g.num_vertices());
+    Matching opt = exact::blossom_max_weight(g, true);
+    ASSERT_TRUE(is_valid_matching(result.matching, g));
+    ratios.add(static_cast<double>(result.matching.size()) /
+               static_cast<double>(opt.size()));
+  }
+  EXPECT_GT(ratios.mean(), 0.5);
+}
+
+TEST(Integration, WeightScaleInvarianceOfReduction) {
+  // Scaling all weights by a constant should not change the structure of
+  // the result (ratios stay comparable).
+  Rng rng_a(16), rng_b(16), rng_topo(16);
+  Graph g = gen::assign_weights(gen::erdos_renyi(40, 160, rng_topo),
+                                gen::WeightDist::kUniform, 50, rng_a);
+  Graph scaled(g.num_vertices());
+  for (const Edge& e : g.edges()) scaled.add_edge(e.u, e.v, e.w * 1000);
+
+  core::ReductionConfig cfg;
+  cfg.epsilon = 0.25;
+  cfg.max_iterations = 4;
+  cfg.tau.max_pairs = 300;
+
+  core::HkStreamingMatcher m1, m2;
+  auto r1 = core::maximum_weight_matching(g, cfg, m1, rng_a);
+  auto r2 = core::maximum_weight_matching(scaled, cfg, m2, rng_b);
+  Matching opt = exact::blossom_max_weight(g);
+  double ratio1 = static_cast<double>(r1.matching.weight()) /
+                  static_cast<double>(opt.weight());
+  double ratio2 = static_cast<double>(r2.matching.weight()) /
+                  (1000.0 * static_cast<double>(opt.weight()));
+  EXPECT_NEAR(ratio1, ratio2, 0.15);
+}
+
+}  // namespace
+}  // namespace wmatch

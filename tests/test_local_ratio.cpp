@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include "baselines/local_ratio.h"
+#include "exact/blossom.h"
+#include "gen/generators.h"
+#include "gen/weights.h"
+#include "util/rng.h"
+
+namespace wmatch {
+namespace {
+
+TEST(LocalRatio, PushesOnlyPositiveResidual) {
+  baselines::LocalRatio lr(4);
+  EXPECT_TRUE(lr.feed({0, 1, 5}));   // residual 5
+  EXPECT_FALSE(lr.feed({0, 2, 4}));  // residual 4 - 5 < 0
+  EXPECT_TRUE(lr.feed({0, 2, 9}));   // residual 4
+  EXPECT_EQ(lr.stack().size(), 2u);
+  EXPECT_EQ(lr.potential(0), 9);
+  EXPECT_EQ(lr.potential(1), 5);
+  EXPECT_EQ(lr.potential(2), 4);
+}
+
+TEST(LocalRatio, UnwindIsGreedyFromTop) {
+  baselines::LocalRatio lr(4);
+  lr.feed({1, 2, 10});
+  lr.feed({0, 1, 19});  // residual 9, pushed later
+  Matching m = lr.unwind();
+  // Last pushed (0,1) wins; (1,2) conflicts.
+  EXPECT_TRUE(m.contains(0, 1));
+  EXPECT_EQ(m.size(), 1u);
+}
+
+TEST(LocalRatio, HalfApproximationOnRandomGraphs) {
+  Rng rng(4);
+  for (int trial = 0; trial < 15; ++trial) {
+    Graph g = gen::erdos_renyi(30, 120, rng);
+    g = gen::assign_weights(g, gen::WeightDist::kUniform, 100, rng);
+    auto stream = gen::random_stream(g, rng);
+    baselines::LocalRatio lr(30);
+    for (const Edge& e : stream) lr.feed(e);
+    Matching m = lr.unwind();
+    Matching opt = exact::blossom_max_weight(g);
+    EXPECT_GE(2 * m.weight(), opt.weight()) << trial;
+    EXPECT_TRUE(is_valid_matching(m, g));
+  }
+}
+
+TEST(LocalRatio, HalfApproxHoldsOnAdversarialOrder) {
+  Rng rng(5);
+  Graph g = gen::erdos_renyi(25, 90, rng);
+  g = gen::assign_weights(g, gen::WeightDist::kExponential, 4096, rng);
+  auto stream = gen::increasing_weight_stream(g);
+  baselines::LocalRatio lr(25);
+  for (const Edge& e : stream) lr.feed(e);
+  Matching m = lr.unwind();
+  Matching opt = exact::blossom_max_weight(g);
+  EXPECT_GE(2 * m.weight(), opt.weight());
+}
+
+TEST(LocalRatio, FreezeStopsUpdatesButReportsThreshold) {
+  baselines::LocalRatio lr(4);
+  lr.feed({0, 1, 5});
+  lr.freeze();
+  EXPECT_TRUE(lr.frozen());
+  // Above potentials: reported true, but not stored.
+  EXPECT_TRUE(lr.feed({0, 2, 6}));
+  EXPECT_EQ(lr.stack().size(), 1u);
+  EXPECT_EQ(lr.potential(2), 0);
+  // Below potentials: reported false.
+  EXPECT_FALSE(lr.feed({0, 3, 5}));
+}
+
+TEST(LocalRatio, UnwindOntoRespectsExistingMatching) {
+  baselines::LocalRatio lr(6);
+  lr.feed({0, 1, 5});
+  lr.feed({2, 3, 5});
+  Matching m(6);
+  m.add(1, 2, 100);  // blocks both stack edges
+  lr.unwind_onto(m);
+  EXPECT_EQ(m.size(), 1u);
+  EXPECT_TRUE(m.contains(1, 2));
+}
+
+TEST(LocalRatio, StackSmallOnRandomOrder) {
+  // Lemma 3.15 flavor: random order keeps the stack near O(n log n);
+  // adversarial increasing order pushes far more.
+  Rng rng(6);
+  Graph g = gen::erdos_renyi(60, 1500, rng);
+  g = gen::assign_weights(g, gen::WeightDist::kUniform, 1 << 20, rng);
+
+  baselines::LocalRatio random_lr(60);
+  auto random_order = gen::random_stream(g, rng);
+  for (const Edge& e : random_order) random_lr.feed(e);
+
+  baselines::LocalRatio adv_lr(60);
+  for (const Edge& e : gen::increasing_weight_stream(g)) adv_lr.feed(e);
+
+  EXPECT_LT(random_lr.stack().size(), adv_lr.stack().size());
+}
+
+TEST(LocalRatio, RejectsOutOfRangeEdge) {
+  baselines::LocalRatio lr(3);
+  EXPECT_THROW(lr.feed({0, 7, 1}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace wmatch

@@ -1,0 +1,86 @@
+#include <gtest/gtest.h>
+
+#include "core/matcher.h"
+#include "exact/hopcroft_karp.h"
+#include "gen/generators.h"
+#include "util/rng.h"
+
+namespace wmatch {
+namespace {
+
+std::vector<char> sides_by_cut(std::size_t n_left, std::size_t n) {
+  std::vector<char> side(n, 1);
+  for (std::size_t v = 0; v < n_left; ++v) side[v] = 0;
+  return side;
+}
+
+TEST(Matcher, HkStreamingDeliversApproximation) {
+  Rng rng(1);
+  Graph g = gen::random_bipartite(100, 100, 700, rng);
+  auto side = sides_by_cut(100, 200);
+  core::HkStreamingMatcher matcher;
+  Matching m = matcher.solve(g, side, 0.25);
+  auto opt = exact::hopcroft_karp(g, side);
+  EXPECT_GE(static_cast<double>(m.size()),
+            0.75 * static_cast<double>(opt.matching.size()));
+  EXPECT_EQ(matcher.invocations(), 1u);
+  EXPECT_GT(matcher.total_cost(), 0u);
+  EXPECT_EQ(matcher.total_cost(), matcher.max_invocation_cost());
+}
+
+TEST(Matcher, CostIndependentOfGraphSize) {
+  // The pass cost depends only on delta (Oe(1) passes), not on n.
+  Rng rng(2);
+  std::size_t costs[2];
+  std::size_t idx = 0;
+  for (std::size_t n : {64u, 512u}) {
+    Graph g = gen::random_bipartite(n, n, 5 * n, rng);
+    core::HkStreamingMatcher matcher;
+    matcher.solve(g, sides_by_cut(n, 2 * n), 0.2);
+    costs[idx++] = matcher.max_invocation_cost();
+  }
+  // Bounded by sum_{i<=5}(2i+1) = 35 regardless of n.
+  EXPECT_LE(costs[0], 35u);
+  EXPECT_LE(costs[1], 35u);
+}
+
+TEST(Matcher, AccumulatesAcrossInvocations) {
+  Rng rng(3);
+  core::HkStreamingMatcher matcher;
+  for (int i = 0; i < 3; ++i) {
+    Graph g = gen::random_bipartite(20, 20, 60, rng);
+    matcher.solve(g, sides_by_cut(20, 40), 0.5);
+  }
+  EXPECT_EQ(matcher.invocations(), 3u);
+  EXPECT_GE(matcher.total_cost(), matcher.max_invocation_cost());
+}
+
+TEST(Matcher, ExactMatcherIsOptimal) {
+  Rng rng(4);
+  Graph g = gen::random_bipartite(40, 40, 200, rng);
+  auto side = sides_by_cut(40, 80);
+  core::ExactMatcher matcher;
+  Matching m = matcher.solve(g, side, 0.5);
+  auto opt = exact::hopcroft_karp(g, side);
+  EXPECT_EQ(m.size(), opt.matching.size());
+}
+
+TEST(Matcher, MpcMatcherChargesContextRounds) {
+  Rng rng(5);
+  Graph g = gen::random_bipartite(50, 50, 300, rng);
+  mpc::MpcContext ctx({4, 800});
+  core::MpcMatcher matcher(ctx, rng);
+  Matching m = matcher.solve(g, sides_by_cut(50, 100), 0.2);
+  EXPECT_GT(m.size(), 0u);
+  EXPECT_EQ(matcher.invocations(), 1u);
+  EXPECT_EQ(matcher.total_cost(), ctx.rounds());
+}
+
+TEST(Matcher, RejectsBadDelta) {
+  Graph g(2);
+  core::HkStreamingMatcher matcher;
+  EXPECT_THROW(matcher.solve(g, {0, 1}, 0.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace wmatch

@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include "graph/graph.h"
+#include "graph/matching.h"
+
+namespace wmatch {
+namespace {
+
+TEST(Matching, EmptyState) {
+  Matching m(4);
+  EXPECT_TRUE(m.empty());
+  EXPECT_EQ(m.size(), 0u);
+  EXPECT_EQ(m.weight(), 0);
+  EXPECT_FALSE(m.is_matched(0));
+  EXPECT_EQ(m.mate(0), kNoVertex);
+  EXPECT_EQ(m.weight_at(0), 0);
+}
+
+TEST(Matching, AddAndRemove) {
+  Matching m(4);
+  m.add(0, 1, 5);
+  EXPECT_EQ(m.size(), 1u);
+  EXPECT_EQ(m.weight(), 5);
+  EXPECT_EQ(m.mate(0), 1u);
+  EXPECT_EQ(m.mate(1), 0u);
+  EXPECT_EQ(m.weight_at(0), 5);
+  EXPECT_EQ(m.weight_at(1), 5);
+  m.remove_at(1);
+  EXPECT_TRUE(m.empty());
+  EXPECT_EQ(m.weight(), 0);
+  EXPECT_FALSE(m.is_matched(0));
+}
+
+TEST(Matching, RemoveUnmatchedIsNoop) {
+  Matching m(3);
+  m.remove_at(2);
+  EXPECT_TRUE(m.empty());
+}
+
+TEST(Matching, AddRejectsConflicts) {
+  Matching m(4);
+  m.add(0, 1, 2);
+  EXPECT_THROW(m.add(1, 2, 2), std::invalid_argument);
+  EXPECT_THROW(m.add(0, 0, 2), std::invalid_argument);
+  EXPECT_THROW(m.add(0, 9, 2), std::invalid_argument);
+}
+
+TEST(Matching, AddExclusiveDisplacesBothSides) {
+  Matching m(6);
+  m.add(0, 1, 3);
+  m.add(2, 3, 4);
+  Weight delta = m.add_exclusive(1, 2, 10);
+  EXPECT_EQ(delta, 10 - 3 - 4);
+  EXPECT_EQ(m.size(), 1u);
+  EXPECT_EQ(m.weight(), 10);
+  EXPECT_FALSE(m.is_matched(0));
+  EXPECT_FALSE(m.is_matched(3));
+  EXPECT_TRUE(m.contains(1, 2));
+}
+
+TEST(Matching, EdgesReportsEachOnce) {
+  Matching m(6);
+  m.add(0, 5, 1);
+  m.add(1, 2, 7);
+  auto edges = m.edges();
+  ASSERT_EQ(edges.size(), 2u);
+  Weight total = 0;
+  for (const Edge& e : edges) total += e.w;
+  EXPECT_EQ(total, 8);
+}
+
+TEST(Matching, ContainsChecksBothOrientations) {
+  Matching m(3);
+  m.add(0, 2, 1);
+  EXPECT_TRUE(m.contains(0, 2));
+  EXPECT_TRUE(m.contains(2, 0));
+  EXPECT_FALSE(m.contains(0, 1));
+  EXPECT_TRUE(m.contains(Edge{0, 2, 1}));
+}
+
+TEST(Matching, ValidationAcceptsConsistentMatching) {
+  Graph g(4);
+  g.add_edge(0, 1, 5);
+  g.add_edge(2, 3, 6);
+  Matching m(4);
+  m.add(0, 1, 5);
+  m.add(2, 3, 6);
+  EXPECT_TRUE(is_valid_matching(m, g));
+}
+
+TEST(Matching, ValidationRejectsWrongWeight) {
+  Graph g(2);
+  g.add_edge(0, 1, 5);
+  Matching m(2);
+  m.add(0, 1, 4);  // wrong weight recorded
+  EXPECT_FALSE(is_valid_matching(m, g));
+}
+
+TEST(Matching, ValidationRejectsNonEdge) {
+  Graph g(4);
+  g.add_edge(0, 1, 5);
+  Matching m(4);
+  m.add(2, 3, 5);  // not a graph edge
+  EXPECT_FALSE(is_valid_matching(m, g));
+}
+
+TEST(Matching, ValidationRejectsSizeMismatch) {
+  Graph g(4);
+  Matching m(3);
+  EXPECT_FALSE(is_valid_matching(m, g));
+}
+
+}  // namespace
+}  // namespace wmatch

@@ -1,0 +1,104 @@
+#include <gtest/gtest.h>
+
+#include "exact/hopcroft_karp.h"
+#include "gen/generators.h"
+#include "mpc/mpc_context.h"
+#include "mpc/mpc_matching.h"
+#include "util/rng.h"
+
+namespace wmatch {
+namespace {
+
+std::vector<char> sides_by_cut(std::size_t n_left, std::size_t n) {
+  std::vector<char> side(n, 1);
+  for (std::size_t v = 0; v < n_left; ++v) side[v] = 0;
+  return side;
+}
+
+TEST(MpcContext, RoundAndMemoryAccounting) {
+  mpc::MpcContext ctx({4, 100});
+  EXPECT_EQ(ctx.rounds(), 0u);
+  ctx.begin_round();
+  ctx.charge_memory(0, 60);
+  ctx.charge_memory(1, 30);
+  EXPECT_EQ(ctx.rounds(), 1u);
+  EXPECT_EQ(ctx.peak_machine_memory(), 60u);
+  EXPECT_FALSE(ctx.memory_violated());
+  ctx.charge_memory(0, 50);  // 110 > 100
+  EXPECT_TRUE(ctx.memory_violated());
+  ctx.release_memory(0, 200);  // clamps
+  ctx.charge_communication(12);
+  EXPECT_EQ(ctx.total_communication(), 12u);
+}
+
+TEST(MpcContext, RejectsBadConfigAndMachine) {
+  EXPECT_THROW(mpc::MpcContext({0, 10}), std::invalid_argument);
+  EXPECT_THROW(mpc::MpcContext({2, 0}), std::invalid_argument);
+  mpc::MpcContext ctx({2, 10});
+  EXPECT_THROW(ctx.charge_memory(5, 1), std::invalid_argument);
+}
+
+TEST(MpcMatching, FindsNearOptimalMatching) {
+  Rng rng(4);
+  Graph g = gen::random_bipartite(100, 100, 800, rng);
+  auto side = sides_by_cut(100, 200);
+  mpc::MpcConfig config{8, 4 * 200};  // S = Theta(n)
+  mpc::MpcContext ctx(config);
+  auto result = mpc::mpc_bipartite_matching(g, side, 0.1, ctx, rng);
+  auto exact_r = exact::hopcroft_karp(g, side);
+  EXPECT_GE(static_cast<double>(result.matching.size()),
+            0.9 * static_cast<double>(exact_r.matching.size()));
+  EXPECT_TRUE(is_valid_matching(result.matching, g));
+  EXPECT_GT(result.rounds_used, 0u);
+}
+
+TEST(MpcMatching, RoundsScaleGentlyWithSize) {
+  Rng rng(5);
+  std::size_t prev_rounds = 0;
+  for (std::size_t n : {64u, 256u, 1024u}) {
+    Graph g = gen::random_bipartite(n, n, 4 * n, rng);
+    mpc::MpcContext ctx({8, 8 * n});
+    auto result =
+        mpc::mpc_bipartite_matching(g, sides_by_cut(n, 2 * n), 0.2, ctx, rng);
+    // Rounds stay in the same ballpark (no linear blow-up).
+    EXPECT_LT(result.rounds_used, 80u) << n;
+    prev_rounds = result.rounds_used;
+  }
+  EXPECT_GT(prev_rounds, 0u);
+}
+
+TEST(MpcMatching, DeltaControlsQualityVsRounds) {
+  Rng rng(6);
+  Graph g = gen::random_bipartite(128, 128, 1024, rng);
+  auto side = sides_by_cut(128, 256);
+  mpc::MpcContext loose_ctx({8, 2048});
+  auto loose = mpc::mpc_bipartite_matching(g, side, 0.5, loose_ctx, rng);
+  mpc::MpcContext tight_ctx({8, 2048});
+  auto tight = mpc::mpc_bipartite_matching(g, side, 0.05, tight_ctx, rng);
+  EXPECT_GE(tight.matching.size(), loose.matching.size());
+  EXPECT_GE(tight.rounds_used, loose.rounds_used);
+}
+
+TEST(MpcMatching, RejectsBadDelta) {
+  Rng rng(7);
+  Graph g = gen::random_bipartite(4, 4, 4, rng);
+  mpc::MpcContext ctx({2, 64});
+  EXPECT_THROW(
+      mpc::mpc_bipartite_matching(g, sides_by_cut(4, 8), 0.0, ctx, rng),
+      std::invalid_argument);
+  EXPECT_THROW(
+      mpc::mpc_bipartite_matching(g, sides_by_cut(4, 8), 1.0, ctx, rng),
+      std::invalid_argument);
+}
+
+TEST(MpcMatching, EmptyGraphTerminates) {
+  Rng rng(8);
+  Graph g(10);
+  mpc::MpcContext ctx({2, 64});
+  auto result = mpc::mpc_bipartite_matching(g, sides_by_cut(5, 10), 0.2,
+                                            ctx, rng);
+  EXPECT_EQ(result.matching.size(), 0u);
+}
+
+}  // namespace
+}  // namespace wmatch

@@ -1,0 +1,112 @@
+#include <gtest/gtest.h>
+
+#include "baselines/greedy.h"
+#include "core/rand_arr_matching.h"
+#include "exact/blossom.h"
+#include "gen/generators.h"
+#include "gen/hard_instances.h"
+#include "gen/weights.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace wmatch {
+namespace {
+
+TEST(RandArrMatching, ValidAndNonTrivial) {
+  Rng rng(1);
+  Graph g = gen::erdos_renyi(80, 500, rng);
+  g = gen::assign_weights(g, gen::WeightDist::kUniform, 100, rng);
+  auto stream = gen::random_stream(g, rng);
+  auto result = core::rand_arr_matching(stream, 80, {}, rng);
+  EXPECT_TRUE(is_valid_matching(result.matching, g));
+  EXPECT_GT(result.matching.weight(), 0);
+}
+
+TEST(RandArrMatching, AtLeastHalfOnRandomOrder) {
+  Rng master(2);
+  for (int trial = 0; trial < 6; ++trial) {
+    Rng rng = master.split();
+    Graph g = gen::erdos_renyi(60, 350, rng);
+    g = gen::assign_weights(g, gen::WeightDist::kExponential, 1 << 10, rng);
+    auto stream = gen::random_stream(g, rng);
+    auto result = core::rand_arr_matching(stream, 60, {}, rng);
+    Matching opt = exact::blossom_max_weight(g);
+    // Theorem 3.14 guarantees (1/2+c) in expectation; each single run must
+    // be well above a slightly relaxed 0.45 floor on these instances.
+    EXPECT_GE(static_cast<double>(result.matching.weight()),
+              0.45 * static_cast<double>(opt.weight()))
+        << trial;
+  }
+}
+
+TEST(RandArrMatching, BeatsHalfOnAverage) {
+  Rng master(3);
+  Accumulator ratios;
+  for (int trial = 0; trial < 10; ++trial) {
+    Rng rng = master.split();
+    Graph g = gen::erdos_renyi(100, 700, rng);
+    g = gen::assign_weights(g, gen::WeightDist::kUniform, 256, rng);
+    auto stream = gen::random_stream(g, rng);
+    auto result = core::rand_arr_matching(stream, 100, {}, rng);
+    Matching opt = exact::blossom_max_weight(g);
+    ratios.add(static_cast<double>(result.matching.weight()) /
+               static_cast<double>(opt.weight()));
+  }
+  EXPECT_GT(ratios.mean(), 0.5);
+}
+
+TEST(RandArrMatching, HandlesGreedyTrapBetterThanGreedy) {
+  Rng master(4);
+  Accumulator ours, greedy_acc;
+  for (int trial = 0; trial < 10; ++trial) {
+    Rng rng = master.split();
+    auto inst = gen::greedy_trap_paths(40, 10, 6);
+    auto stream = gen::random_stream(inst.graph, rng);
+    auto result =
+        core::rand_arr_matching(stream, inst.graph.num_vertices(), {}, rng);
+    Matching greedy = baselines::greedy_stream_matching(
+        stream, inst.graph.num_vertices());
+    ours.add(static_cast<double>(result.matching.weight()));
+    greedy_acc.add(static_cast<double>(greedy.weight()));
+  }
+  EXPECT_GT(ours.mean(), greedy_acc.mean());
+}
+
+TEST(RandArrMatching, MemoryDiagnosticsPopulated) {
+  Rng rng(5);
+  Graph g = gen::erdos_renyi(100, 2000, rng);
+  g = gen::assign_weights(g, gen::WeightDist::kUniform, 1000, rng);
+  auto stream = gen::random_stream(g, rng);
+  auto result = core::rand_arr_matching(stream, 100, {}, rng);
+  EXPECT_GT(result.stack_size, 0u);
+  EXPECT_GE(result.stored_peak, result.stack_size + result.t_size);
+  // Semi-streaming: far below storing the whole graph.
+  EXPECT_LT(result.stored_peak, 2 * g.num_edges());
+}
+
+TEST(RandArrMatching, ExplicitPrefixFraction) {
+  Rng rng(6);
+  Graph g = gen::erdos_renyi(40, 200, rng);
+  g = gen::assign_weights(g, gen::WeightDist::kUniform, 50, rng);
+  auto stream = gen::random_stream(g, rng);
+  core::RandArrConfig cfg;
+  cfg.p = 0.3;
+  auto result = core::rand_arr_matching(stream, 40, cfg, rng);
+  EXPECT_TRUE(is_valid_matching(result.matching, g));
+  cfg.p = 1.5;
+  EXPECT_THROW(core::rand_arr_matching(stream, 40, cfg, rng),
+               std::invalid_argument);
+}
+
+TEST(RandArrMatching, TinyStreams) {
+  Rng rng(7);
+  std::vector<Edge> stream{{0, 1, 5}};
+  auto result = core::rand_arr_matching(stream, 2, {}, rng);
+  EXPECT_EQ(result.matching.weight(), 5);
+  std::vector<Edge> empty;
+  auto result2 = core::rand_arr_matching(empty, 2, {}, rng);
+  EXPECT_EQ(result2.matching.weight(), 0);
+}
+
+}  // namespace
+}  // namespace wmatch

@@ -1,0 +1,156 @@
+// Cross-cutting properties of the Section 4 reduction, swept over seeds
+// and graph families (TEST_P): soundness invariants that must hold for
+// every configuration, plus the Lemma 4.12 constructive link between
+// witnesses and tau pairs.
+#include <gtest/gtest.h>
+
+#include "baselines/greedy.h"
+#include "core/main_alg.h"
+#include "core/short_augmentations.h"
+#include "core/tau.h"
+#include "exact/blossom.h"
+#include "gen/generators.h"
+#include "gen/weights.h"
+#include "util/rng.h"
+
+namespace wmatch {
+namespace {
+
+struct Param {
+  std::uint64_t seed;
+  gen::WeightDist dist;
+};
+
+class ReductionSweep : public ::testing::TestWithParam<Param> {};
+
+TEST_P(ReductionSweep, MonotoneImprovementAndValidity) {
+  auto [seed, dist] = GetParam();
+  Rng rng(seed);
+  Graph g = gen::assign_weights(gen::erdos_renyi(40, 160, rng), dist, 256,
+                                rng);
+  core::ReductionConfig cfg;
+  cfg.epsilon = 0.2;
+  core::ExactMatcher matcher;
+  Matching m(g.num_vertices());
+  Weight prev = 0;
+  for (int round = 0; round < 5; ++round) {
+    Weight gain = core::improve_matching_once(g, m, cfg, matcher, rng);
+    // Every round's realized gain is exactly the weight delta and never
+    // negative (soundness of the filtering).
+    EXPECT_EQ(m.weight(), prev + gain);
+    EXPECT_GE(gain, 0);
+    EXPECT_TRUE(is_valid_matching(m, g));
+    prev = m.weight();
+  }
+}
+
+TEST_P(ReductionSweep, ReachesRelaxedTarget) {
+  auto [seed, dist] = GetParam();
+  Rng rng(seed + 1000);
+  Graph g = gen::assign_weights(gen::erdos_renyi(36, 150, rng), dist, 128,
+                                rng);
+  Matching opt = exact::blossom_max_weight(g);
+  core::ReductionConfig cfg;
+  cfg.epsilon = 0.25;
+  cfg.max_iterations = 10;
+  core::ExactMatcher matcher;
+  auto r = core::maximum_weight_matching(g, cfg, matcher, rng);
+  EXPECT_GE(static_cast<double>(r.matching.weight()),
+            (1.0 - cfg.epsilon) * static_cast<double>(opt.weight()));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsAndDists, ReductionSweep,
+    ::testing::Values(Param{1, gen::WeightDist::kUniform},
+                      Param{2, gen::WeightDist::kUniform},
+                      Param{3, gen::WeightDist::kExponential},
+                      Param{4, gen::WeightDist::kExponential},
+                      Param{5, gen::WeightDist::kPolynomial},
+                      Param{6, gen::WeightDist::kClasses},
+                      Param{7, gen::WeightDist::kClasses},
+                      Param{8, gen::WeightDist::kPolynomial}));
+
+TEST(ReductionProperties, InducedPairsOfWitnessesAreGood) {
+  // Lemma 4.12's constructive recipe: every augmentation of the Lemma 4.9
+  // witness collection, quantized at the unit of its own weight class,
+  // induces a *good* tau pair — i.e. the layered-graph family can express
+  // it. (Profiles of paths; cycles use the repeated blow-up.)
+  Rng rng(42);
+  Graph g = gen::assign_weights(gen::erdos_renyi(60, 300, rng),
+                                gen::WeightDist::kUniform, 200, rng);
+  auto stream = gen::random_stream(g, rng);
+  Matching m = baselines::greedy_stream_matching(stream, g.num_vertices());
+  Matching opt = exact::blossom_max_weight(g);
+  const double eps = 0.2;
+  if (static_cast<double>(m.weight()) * (1.0 + eps) >=
+      static_cast<double>(opt.weight())) {
+    GTEST_SKIP() << "greedy already near optimal on this seed";
+  }
+  auto witness = core::short_augmentations(m, opt, eps);
+  ASSERT_FALSE(witness.collection.empty());
+
+  int checked = 0;
+  for (const auto& aug : witness.collection) {
+    if (aug.is_cycle) continue;
+    // Profile of the path plus its matching neighborhood: matched weights
+    // (on-path and off-path alike — the latter are the endpoint thresholds
+    // of the layered graph) vs unmatched weights.
+    std::vector<Weight> a_w, b_w;
+    for (const Edge& e : aug.matching_neighborhood(m)) a_w.push_back(e.w);
+    for (const Edge& e : aug.edges) {
+      if (!m.contains(e)) b_w.push_back(e.w);
+    }
+    while (a_w.size() + 1 < b_w.size() + 2) a_w.push_back(0);  // pad ends
+    if (a_w.size() > b_w.size() + 1) a_w.resize(b_w.size() + 1);
+    Weight gain = aug.gain(m);
+    ASSERT_GT(gain, 0);
+    // Lemma 4.12's recipe: quantize at a unit small enough that the total
+    // rounding error (one unit per edge) cannot swamp the gain. Then the
+    // induced pair must satisfy the soundness inequality (Table 1 (F)):
+    // sum(b) - sum(a) >= 1 unit.
+    std::size_t len = a_w.size() + b_w.size();
+    Weight unit =
+        std::max<Weight>(1, gain / static_cast<Weight>(len + 1));
+    core::TauPair pair = core::induced_pair(a_w, b_w, unit);
+    int sum_a = 0, sum_b = 0;
+    for (int a : pair.tau_a) sum_a += a;
+    for (int b : pair.tau_b) sum_b += b;
+    EXPECT_GE(sum_b - sum_a, 1)
+        << "gain " << gain << " destroyed by quantization at unit " << unit;
+    ++checked;
+  }
+  EXPECT_GT(checked, 0);
+}
+
+TEST(ReductionProperties, ClassLadderCoversAllAugmentationWeights) {
+  // Every edge weight (and hence every short augmentation's weight) falls
+  // inside [unit, 2W] of some ladder class used by maximum_weight_matching.
+  Rng rng(43);
+  Graph g = gen::assign_weights(gen::erdos_renyi(30, 100, rng),
+                                gen::WeightDist::kExponential, 1 << 14, rng);
+  core::ReductionConfig cfg;
+  // Reconstruct the ladder the way main_alg does: from max_w * (layers+1)
+  // halving down to min edge weight.
+  Weight max_w = g.max_weight();
+  std::vector<Weight> ladder;
+  double top = static_cast<double>(max_w) *
+               static_cast<double>(cfg.tau.max_layers + 1);
+  Weight min_w = max_w;
+  for (const Edge& e : g.edges()) min_w = std::min(min_w, e.w);
+  for (double w = top; w >= static_cast<double>(min_w) &&
+                       ladder.size() < cfg.max_classes;
+       w /= cfg.class_base) {
+    ladder.push_back(static_cast<Weight>(w));
+  }
+  for (const Edge& e : g.edges()) {
+    bool covered = false;
+    for (Weight w_class : ladder) {
+      Weight unit = core::quantum(w_class, cfg.tau);
+      if (e.w >= unit && e.w <= 2 * w_class) covered = true;
+    }
+    EXPECT_TRUE(covered) << "edge weight " << e.w << " uncovered";
+  }
+}
+
+}  // namespace
+}  // namespace wmatch

@@ -1,0 +1,142 @@
+#include <gtest/gtest.h>
+
+#include "core/single_class.h"
+#include "gen/generators.h"
+#include "gen/hard_instances.h"
+#include "gen/weights.h"
+#include "util/rng.h"
+
+namespace wmatch {
+namespace {
+
+using core::SingleClassOptions;
+
+// Bipartitions are random inside find_class_augmentations; retry a few
+// times — the paper's guarantee is in expectation (each short augmentation
+// survives a random partition with probability >= 2^-|C|).
+template <typename Pred>
+bool eventually(int tries, Pred pred) {
+  for (int i = 0; i < tries; ++i) {
+    if (pred(i)) return true;
+  }
+  return false;
+}
+
+TEST(SingleClass, FindsPlantedThreeAugmentation) {
+  // a(0) - u(1) = v(2) - b(3): matched (1,2) w=10, wings w=9.
+  Graph g(4);
+  g.add_edge(0, 1, 9);
+  g.add_edge(1, 2, 10);
+  g.add_edge(2, 3, 9);
+  Matching m(4);
+  m.add(1, 2, 10);
+
+  core::TauConfig tcfg;
+  core::ExactMatcher matcher;
+
+  bool found = eventually(20, [&](int seed) {
+    Rng rng(static_cast<std::uint64_t>(seed) + 100);
+    auto result =
+        core::find_class_augmentations(g, m, 16, tcfg, {}, matcher, rng);
+    return result.total_gain >= 8;  // 18 - 10
+  });
+  EXPECT_TRUE(found);
+}
+
+TEST(SingleClass, FindsAugmentingCycle) {
+  // The 4-cycle (3,4,3,4): only a cycle augmentation (gain 2) improves.
+  auto inst = gen::four_cycle_family(1, 3, 1);
+  core::TauConfig tcfg;
+  tcfg.granularity = 0.125;  // unit 1 at W=8: profile a=3, b=4 is exact
+  core::ExactMatcher matcher;
+
+  bool found = eventually(60, [&](int seed) {
+    Rng rng(static_cast<std::uint64_t>(seed) + 500);
+    auto result = core::find_class_augmentations(inst.graph, inst.matching, 8,
+                                                 tcfg, {}, matcher, rng);
+    for (const auto& aug : result.augmentations) {
+      if (aug.is_cycle) return true;
+    }
+    return false;
+  });
+  EXPECT_TRUE(found);
+}
+
+TEST(SingleClass, CycleAblationSuppressesCycles) {
+  auto inst = gen::four_cycle_family(4, 3, 1);
+  core::TauConfig tcfg;
+  tcfg.granularity = 0.125;
+  core::ExactMatcher matcher;
+  SingleClassOptions opts;
+  opts.enable_cycles = false;
+  for (int seed = 0; seed < 10; ++seed) {
+    Rng rng(static_cast<std::uint64_t>(seed));
+    auto result = core::find_class_augmentations(inst.graph, inst.matching, 8,
+                                                 tcfg, opts, matcher, rng);
+    for (const auto& aug : result.augmentations) {
+      EXPECT_FALSE(aug.is_cycle);
+    }
+    // A perfect matching has no augmenting paths: nothing may be found.
+    EXPECT_EQ(result.total_gain, 0);
+  }
+}
+
+TEST(SingleClass, AllReturnedAugmentationsSoundAndDisjoint) {
+  Rng rng(3);
+  Graph g = gen::erdos_renyi(50, 250, rng);
+  g = gen::assign_weights(g, gen::WeightDist::kUniform, 64, rng);
+  Matching m(50);
+  for (const Edge& e : g.edges()) {
+    if (!m.is_matched(e.u) && !m.is_matched(e.v)) m.add(e);
+  }
+  core::TauConfig tcfg;
+  core::HkStreamingMatcher matcher;
+  for (Weight w_class : {16, 64, 128}) {
+    auto result =
+        core::find_class_augmentations(g, m, w_class, tcfg, {}, matcher, rng);
+    Matching work = m;
+    Weight realized = 0;
+    for (const auto& aug : result.augmentations) {
+      ASSERT_TRUE(aug.is_valid_alternating(work));
+      Weight gain = aug.gain(work);
+      ASSERT_GT(gain, 0);
+      realized += aug.apply(work);
+    }
+    EXPECT_EQ(realized, result.total_gain);
+    EXPECT_TRUE(is_valid_matching(work, g));
+  }
+}
+
+TEST(SingleClass, EmptyMatchingStillFindsSingletons) {
+  // With M empty, 2-layer graphs find single heavy edges as augmentations.
+  Graph g(4);
+  g.add_edge(0, 1, 50);
+  g.add_edge(2, 3, 50);
+  Matching m(4);
+  core::TauConfig tcfg;
+  core::ExactMatcher matcher;
+  bool found = eventually(20, [&](int seed) {
+    Rng rng(static_cast<std::uint64_t>(seed) + 900);
+    auto result =
+        core::find_class_augmentations(g, m, 64, tcfg, {}, matcher, rng);
+    return result.total_gain >= 50;
+  });
+  EXPECT_TRUE(found);
+}
+
+TEST(SingleClass, NoUnmatchedCrossingEdgesMeansNoWork) {
+  Graph g(4);
+  g.add_edge(0, 1, 10);
+  Matching m(4);
+  m.add(0, 1, 10);  // every edge matched -> no Y candidates
+  core::TauConfig tcfg;
+  Rng rng(5);
+  core::ExactMatcher matcher;
+  auto result =
+      core::find_class_augmentations(g, m, 16, tcfg, {}, matcher, rng);
+  EXPECT_TRUE(result.augmentations.empty());
+  EXPECT_EQ(result.layered_graphs, 0u);
+}
+
+}  // namespace
+}  // namespace wmatch

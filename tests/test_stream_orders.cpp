@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "core/rand_arr_matching.h"
+#include "gen/generators.h"
+#include "gen/weights.h"
+#include "util/rng.h"
+
+namespace wmatch {
+namespace {
+
+Graph test_graph(std::uint64_t seed) {
+  Rng rng(seed);
+  return gen::assign_weights(gen::erdos_renyi(60, 400, rng),
+                             gen::WeightDist::kUniform, 1000, rng);
+}
+
+bool same_edge_multiset(const std::vector<Edge>& a,
+                        const std::vector<Edge>& b) {
+  std::multiset<std::uint64_t> ka, kb;
+  for (const Edge& e : a) ka.insert(e.key());
+  for (const Edge& e : b) kb.insert(e.key());
+  return ka == kb;
+}
+
+TEST(StreamOrders, DecreasingIsSortedAndComplete) {
+  Graph g = test_graph(1);
+  auto s = gen::decreasing_weight_stream(g);
+  EXPECT_TRUE(std::is_sorted(s.begin(), s.end(), [](const Edge& a,
+                                                    const Edge& b) {
+    return a.w > b.w;
+  }));
+  EXPECT_TRUE(same_edge_multiset(
+      s, {g.edges().begin(), g.edges().end()}));
+}
+
+TEST(StreamOrders, ClusteredGroupsByMinEndpoint) {
+  Graph g = test_graph(2);
+  auto s = gen::clustered_stream(g);
+  EXPECT_TRUE(std::is_sorted(s.begin(), s.end(), [](const Edge& a,
+                                                    const Edge& b) {
+    return std::min(a.u, a.v) < std::min(b.u, b.v);
+  }));
+  EXPECT_EQ(s.size(), g.num_edges());
+}
+
+TEST(StreamOrders, LocallyShuffledIsPermutation) {
+  Graph g = test_graph(3);
+  Rng rng(3);
+  for (std::size_t window : {0u, 1u, 8u, 64u, 100000u}) {
+    Rng local = rng.split();
+    auto s = gen::locally_shuffled_stream(g, window, local);
+    EXPECT_TRUE(same_edge_multiset(s, {g.edges().begin(), g.edges().end()}))
+        << window;
+  }
+}
+
+TEST(StreamOrders, WindowZeroIsAdversarial) {
+  Graph g = test_graph(4);
+  Rng rng(4);
+  auto s0 = gen::locally_shuffled_stream(g, 0, rng);
+  auto adv = gen::increasing_weight_stream(g);
+  ASSERT_EQ(s0.size(), adv.size());
+  for (std::size_t i = 0; i < s0.size(); ++i) EXPECT_EQ(s0[i], adv[i]);
+}
+
+TEST(StreamOrders, LargerWindowsIncreaseDisplacement) {
+  Graph g = test_graph(5);
+  auto adv = gen::increasing_weight_stream(g);
+  auto displacement = [&](const std::vector<Edge>& s) {
+    // Sum of |position - sorted position| as a disorder measure.
+    std::size_t total = 0;
+    for (std::size_t i = 0; i < s.size(); ++i) {
+      for (std::size_t j = 0; j < adv.size(); ++j) {
+        if (s[i] == adv[j]) {
+          total += i > j ? i - j : j - i;
+          break;
+        }
+      }
+    }
+    return total;
+  };
+  Rng r1(6), r2(6);
+  auto small = gen::locally_shuffled_stream(g, 2, r1);
+  auto large = gen::locally_shuffled_stream(g, 200, r2);
+  EXPECT_LT(displacement(small), displacement(large));
+}
+
+TEST(StreamOrders, RandArrMatchingDegradesGracefullyOffRandomOrder) {
+  // The algorithm's guarantee needs random arrivals; on other orders it
+  // must still emit a valid matching (robustness, not a ratio claim).
+  Graph g = test_graph(7);
+  Rng rng(7);
+  for (auto order : {gen::increasing_weight_stream(g),
+                     gen::decreasing_weight_stream(g),
+                     gen::clustered_stream(g)}) {
+    Rng local = rng.split();
+    auto result =
+        core::rand_arr_matching(order, g.num_vertices(), {}, local);
+    EXPECT_TRUE(is_valid_matching(result.matching, g));
+    EXPECT_GT(result.matching.weight(), 0);
+  }
+}
+
+}  // namespace
+}  // namespace wmatch

@@ -1,0 +1,63 @@
+#include <gtest/gtest.h>
+
+#include "streaming/memory_meter.h"
+#include "streaming/stream.h"
+
+namespace wmatch {
+namespace {
+
+TEST(MemoryMeter, TracksPeakAndCurrent) {
+  MemoryMeter m;
+  m.add(10);
+  m.add(5);
+  EXPECT_EQ(m.current(), 15u);
+  EXPECT_EQ(m.peak(), 15u);
+  m.sub(12);
+  EXPECT_EQ(m.current(), 3u);
+  EXPECT_EQ(m.peak(), 15u);
+  m.add(20);
+  EXPECT_EQ(m.peak(), 23u);
+}
+
+TEST(MemoryMeter, SubBelowZeroClamps) {
+  MemoryMeter m;
+  m.add(3);
+  m.sub(10);
+  EXPECT_EQ(m.current(), 0u);
+}
+
+TEST(MemoryMeter, ResetClearsEverything) {
+  MemoryMeter m;
+  m.add(42);
+  m.reset();
+  EXPECT_EQ(m.current(), 0u);
+  EXPECT_EQ(m.peak(), 0u);
+}
+
+TEST(EdgeStream, CountsPassesAndVisitsAllEdges) {
+  EdgeStream s({{0, 1, 2}, {1, 2, 3}, {2, 3, 4}});
+  EXPECT_EQ(s.num_edges(), 3u);
+  EXPECT_EQ(s.passes(), 0u);
+  Weight total = 0;
+  s.for_each_pass([&](const Edge& e) { total += e.w; });
+  EXPECT_EQ(total, 9);
+  EXPECT_EQ(s.passes(), 1u);
+  s.for_each_pass([&](const Edge&) {});
+  EXPECT_EQ(s.passes(), 2u);
+}
+
+TEST(EdgeStream, ChargePassesForBlackBoxes) {
+  EdgeStream s({{0, 1, 1}});
+  s.charge_passes(7);
+  EXPECT_EQ(s.passes(), 7u);
+}
+
+TEST(EdgeStream, PreservesStreamOrder) {
+  EdgeStream s({{0, 1, 10}, {2, 3, 20}, {4, 5, 30}});
+  std::vector<Weight> seen;
+  s.for_each_pass([&](const Edge& e) { seen.push_back(e.w); });
+  EXPECT_EQ(seen, (std::vector<Weight>{10, 20, 30}));
+}
+
+}  // namespace
+}  // namespace wmatch

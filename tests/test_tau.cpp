@@ -1,0 +1,165 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "core/tau.h"
+#include "util/rng.h"
+
+namespace wmatch {
+namespace {
+
+using core::TauConfig;
+using core::TauPair;
+
+TEST(Tau, QuantumFloorsAndClampsToOne) {
+  TauConfig cfg;
+  cfg.granularity = 0.125;
+  EXPECT_EQ(core::quantum(1000, cfg), 125);
+  EXPECT_EQ(core::quantum(2, cfg), 1);  // floor would be 0 -> clamp
+  EXPECT_THROW(core::quantum(0, cfg), std::invalid_argument);
+}
+
+TEST(Tau, GoodPairAcceptsCanonicalExample) {
+  TauConfig cfg;
+  // 3 layers: a = (1,1,1), b = (2,2): sum b - sum a = 1 >= 1.
+  EXPECT_TRUE(core::is_good_pair({{1, 1, 1}, {2, 2}}, cfg));
+}
+
+TEST(Tau, GoodPairRejectsArityMismatch) {
+  TauConfig cfg;
+  EXPECT_FALSE(core::is_good_pair({{1, 1}, {2, 2}}, cfg));          // (B)
+  EXPECT_FALSE(core::is_good_pair({{1}, {}}, cfg));                 // (A)
+}
+
+TEST(Tau, GoodPairRejectsNegativeGainProfile) {
+  TauConfig cfg;
+  EXPECT_FALSE(core::is_good_pair({{2, 2, 2}, {3, 3}}, cfg));       // (F)
+  EXPECT_TRUE(core::is_good_pair({{0, 3, 0}, {2, 2}}, cfg));        // 4-3=1 ok
+}
+
+TEST(Tau, GoodPairInteriorZeroRejected) {
+  TauConfig cfg;
+  cfg.max_layers = 5;
+  EXPECT_FALSE(core::is_good_pair({{1, 0, 1}, {2, 2}}, cfg));       // (D)
+}
+
+TEST(Tau, GoodPairBudgetEnforced) {
+  TauConfig cfg;
+  cfg.granularity = 0.5;
+  cfg.slack = 0.0;  // sum b <= 2 units
+  EXPECT_TRUE(core::is_good_pair({{0, 0}, {1}}, cfg));
+  EXPECT_FALSE(core::is_good_pair({{0, 0}, {3}}, cfg));             // (E)
+}
+
+TEST(Tau, GeneratedPairsAllGoodAndUnique) {
+  TauConfig cfg;
+  cfg.max_pairs = 800;
+  Rng rng(1);
+  auto pairs = core::generate_good_pairs(cfg, rng);
+  EXPECT_GT(pairs.size(), 20u);
+  EXPECT_LE(pairs.size(), cfg.max_pairs);
+  for (const auto& p : pairs) {
+    EXPECT_TRUE(core::is_good_pair(p, cfg));
+  }
+  for (std::size_t i = 0; i < pairs.size(); ++i) {
+    for (std::size_t j = i + 1; j < pairs.size(); ++j) {
+      ASSERT_FALSE(pairs[i] == pairs[j]);
+    }
+  }
+}
+
+TEST(Tau, GenerationCoversDeepLayers) {
+  TauConfig cfg;
+  cfg.max_layers = 8;
+  Rng rng(2);
+  auto pairs = core::generate_good_pairs(cfg, rng);
+  ASSERT_FALSE(pairs.empty());
+  std::size_t deepest = 0;
+  for (const auto& p : pairs) deepest = std::max(deepest, p.num_layers());
+  EXPECT_GE(deepest, 6u);
+}
+
+TEST(Tau, BudgetCapRespected) {
+  TauConfig cfg;
+  cfg.max_pairs = 50;
+  Rng rng(3);
+  auto pairs = core::generate_good_pairs(cfg, rng);
+  EXPECT_LE(pairs.size(), 50u);
+}
+
+TEST(Tau, InducedPairRoundsCorrectly) {
+  // Matched weights round UP, unmatched round DOWN (soundness direction).
+  TauPair p = core::induced_pair({5, 9}, {12}, 4);
+  EXPECT_EQ(p.tau_a, (std::vector<int>{2, 3}));  // ceil(5/4), ceil(9/4)
+  EXPECT_EQ(p.tau_b, (std::vector<int>{3}));     // floor(12/4)
+}
+
+TEST(Tau, InducedPairOfProfitableAugmentationIsGood) {
+  TauConfig cfg;
+  cfg.granularity = 0.1;
+  Weight W = 100;
+  Weight unit = core::quantum(W, cfg);  // 10
+  // Augmentation: remove matched 30, 20; add unmatched 90.
+  TauPair p = core::induced_pair({30, 20}, {90}, unit);
+  EXPECT_TRUE(core::is_good_pair(p, cfg));
+}
+
+TEST(Tau, InducedPairArityChecked) {
+  EXPECT_THROW(core::induced_pair({1, 2, 3}, {1}, 1), std::invalid_argument);
+  EXPECT_THROW(core::induced_pair({1, 2}, {1}, 0), std::invalid_argument);
+}
+
+TEST(Tau, SoundnessInequalityInWeights) {
+  // For any good pair, an alternating path respecting the thresholds has
+  // positive gain: sum(b)*U - sum(a)*U >= U > 0.
+  TauConfig cfg;
+  cfg.max_pairs = 600;
+  Rng rng(4);
+  auto pairs = core::generate_good_pairs(cfg, rng);
+  const Weight unit = 7;
+  for (const auto& p : pairs) {
+    Weight min_gain =
+        unit * (std::accumulate(p.tau_b.begin(), p.tau_b.end(), Weight{0}) -
+                std::accumulate(p.tau_a.begin(), p.tau_a.end(), Weight{0}));
+    EXPECT_GE(min_gain, unit);
+  }
+}
+
+TEST(Tau, PairsForValuesRestrictedToPresentWeights) {
+  TauConfig cfg;
+  Rng rng(5);
+  // Only matched value 5 and unmatched value 3 exist.
+  auto pairs = core::pairs_for_values({5}, {3}, cfg, rng);
+  ASSERT_FALSE(pairs.empty());
+  for (const auto& p : pairs) {
+    EXPECT_TRUE(core::is_good_pair(p, cfg));
+    for (int a : p.tau_a) EXPECT_TRUE(a == 0 || a == 5);
+    for (int b : p.tau_b) EXPECT_EQ(b, 3);
+  }
+}
+
+TEST(Tau, PairsForValuesEmptyWhenNoUnmatched) {
+  TauConfig cfg;
+  Rng rng(6);
+  EXPECT_TRUE(core::pairs_for_values({1, 2}, {}, cfg, rng).empty());
+}
+
+TEST(Tau, PairsForValuesFindsRepeatedCycleProfile) {
+  // The 4-cycle (3,4,3,4) with unit 1: a=3, b=4; the gainful profile needs
+  // 5 uniform layers (Section 1.1.2's blow-up). It must be generated.
+  TauConfig cfg;
+  cfg.max_layers = 6;
+  Rng rng(7);
+  auto pairs = core::pairs_for_values({3}, {4}, cfg, rng);
+  bool found = false;
+  for (const auto& p : pairs) {
+    if (p.num_layers() == 5 && p.tau_a == std::vector<int>{3, 3, 3, 3, 3} &&
+        p.tau_b == std::vector<int>{4, 4, 4, 4}) {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+}  // namespace
+}  // namespace wmatch

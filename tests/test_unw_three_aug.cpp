@@ -1,0 +1,121 @@
+#include <gtest/gtest.h>
+
+#include "core/unw_three_aug.h"
+#include "gen/hard_instances.h"
+#include "graph/augmentation.h"
+#include "util/rng.h"
+
+namespace wmatch {
+namespace {
+
+using core::UnwThreeAugPaths;
+
+TEST(UnwThreeAug, FindsASimplePlantedPath) {
+  Matching m(4);
+  m.add(1, 2, 1);
+  UnwThreeAugPaths alg(m, 0.5);
+  alg.feed({0, 1, 1});
+  alg.feed({2, 3, 1});
+  auto paths = alg.extract();
+  ASSERT_EQ(paths.size(), 1u);
+  EXPECT_TRUE(paths[0].mid.has_endpoint(1));
+  EXPECT_TRUE(paths[0].mid.has_endpoint(2));
+}
+
+TEST(UnwThreeAug, IgnoresFreeFreeAndMatchedMatchedEdges) {
+  Matching m(6);
+  m.add(0, 1, 1);
+  m.add(2, 3, 1);
+  UnwThreeAugPaths alg(m, 0.5);
+  alg.feed({4, 5, 1});  // both free
+  alg.feed({1, 2, 1});  // both matched
+  EXPECT_EQ(alg.support_size(), 0u);
+}
+
+TEST(UnwThreeAug, RejectsTriangleWings) {
+  // Wings meeting at the same free vertex do not form a 3-augmentation.
+  Matching m(3);
+  m.add(0, 1, 1);
+  UnwThreeAugPaths alg(m, 0.5);
+  alg.feed({2, 0, 1});
+  alg.feed({2, 1, 1});
+  EXPECT_TRUE(alg.extract().empty());
+}
+
+TEST(UnwThreeAug, MatchedVertexDegreeCapIsTwo) {
+  Matching m(8);
+  m.add(0, 1, 1);
+  UnwThreeAugPaths alg(m, 0.5);
+  alg.feed({2, 0, 1});
+  alg.feed({3, 0, 1});
+  alg.feed({4, 0, 1});  // third wing at matched vertex 0 dropped
+  EXPECT_EQ(alg.support_size(), 2u);
+}
+
+TEST(UnwThreeAug, FreeVertexDegreeCapIsLambda) {
+  Matching m(12);
+  for (Vertex v = 0; v < 10; v += 2) m.add(v, v + 1, 1);
+  UnwThreeAugPaths alg(m, 1.0);  // lambda = 8
+  ASSERT_EQ(alg.lambda(), 8u);
+  for (Vertex v = 0; v < 10; v += 2) {
+    alg.feed({10, v, 1});
+    alg.feed({10, v + 1, 1});
+  }
+  EXPECT_LE(alg.support_size(), 8u);
+}
+
+TEST(UnwThreeAug, RejectsBadBeta) {
+  Matching m(2);
+  EXPECT_THROW(UnwThreeAugPaths(m, 0.0), std::invalid_argument);
+  EXPECT_THROW(UnwThreeAugPaths(m, 1.5), std::invalid_argument);
+}
+
+TEST(UnwThreeAug, ExtractedPathsAreVertexDisjointAndApplicable) {
+  Rng rng(42);
+  auto inst = gen::planted_three_augs(100, 0.6, rng);
+  UnwThreeAugPaths alg(inst.matching, 0.5);
+  auto stream = inst.graph.edges();
+  for (const Edge& e : stream) {
+    if (!inst.matching.contains(e)) alg.feed(e);
+  }
+  auto paths = alg.extract();
+  EXPECT_GT(paths.size(), 0u);
+  std::vector<char> used(inst.graph.num_vertices(), 0);
+  Matching work = inst.matching;
+  for (const auto& p : paths) {
+    Augmentation aug;
+    aug.edges = {p.left, p.mid, p.right};
+    for (Vertex v : aug.vertices()) {
+      EXPECT_FALSE(used[v]);
+      used[v] = 1;
+    }
+    EXPECT_TRUE(aug.is_valid_alternating(work));
+    aug.apply(work);  // cardinality +1 each
+  }
+  EXPECT_EQ(work.size(), inst.matching.size() + paths.size());
+}
+
+class ThreeAugRecovery : public ::testing::TestWithParam<double> {};
+
+TEST_P(ThreeAugRecovery, MeetsLemmaGuarantee) {
+  const double beta = GetParam();
+  Rng rng(7);
+  auto inst = gen::planted_three_augs(400, beta, rng);
+  UnwThreeAugPaths alg(inst.matching, beta);
+  for (const Edge& e : inst.graph.edges()) {
+    if (!inst.matching.contains(e)) alg.feed(e);
+  }
+  auto paths = alg.extract();
+  // Lemma 3.1: at least (beta^2/32)|M| recovered (in expectation over the
+  // planted count; our instance plants ~beta*|M| exactly).
+  double bound = beta * beta / 32.0 * 400.0;
+  EXPECT_GE(static_cast<double>(paths.size()), bound);
+  // Space bound: O(|M|) support.
+  EXPECT_LE(alg.support_size(), 4u * 400u + alg.lambda() * 400u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Betas, ThreeAugRecovery,
+                         ::testing::Values(0.1, 0.25, 0.5, 0.75, 1.0));
+
+}  // namespace
+}  // namespace wmatch

@@ -1,0 +1,89 @@
+#include <gtest/gtest.h>
+
+#include "core/unweighted_random_arrival.h"
+#include "exact/blossom.h"
+#include "gen/generators.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace wmatch {
+namespace {
+
+TEST(UnweightedRandomArrival, ValidMatchingOnRandomGraph) {
+  Rng rng(1);
+  Graph g = gen::erdos_renyi(100, 600, rng);
+  auto stream = gen::random_stream(g, rng);
+  auto result = core::unweighted_random_arrival(stream, 100);
+  EXPECT_TRUE(is_valid_matching(result.matching, g));
+  EXPECT_GT(result.matching.size(), 0u);
+  EXPECT_GT(result.m0_size, 0u);
+}
+
+TEST(UnweightedRandomArrival, RejectsBadPrefixFraction) {
+  std::vector<Edge> stream{{0, 1, 1}};
+  core::UnweightedRandomArrivalConfig cfg;
+  cfg.p = 0.0;
+  EXPECT_THROW(core::unweighted_random_arrival(stream, 2, cfg),
+               std::invalid_argument);
+}
+
+TEST(UnweightedRandomArrival, AtLeastGreedyQuality) {
+  // The result is the max of three branches, one of which is plain greedy,
+  // so it can never be worse than greedy on the same stream.
+  Rng rng(2);
+  for (int trial = 0; trial < 5; ++trial) {
+    Graph g = gen::erdos_renyi(80, 400, rng);
+    auto stream = gen::random_stream(g, rng);
+    auto result = core::unweighted_random_arrival(stream, 80);
+    // Greedy over the whole stream:
+    Matching greedy(80);
+    for (const Edge& e : stream) {
+      if (!greedy.is_matched(e.u) && !greedy.is_matched(e.v)) greedy.add(e);
+    }
+    EXPECT_GE(result.matching.size(), greedy.size());
+  }
+}
+
+TEST(UnweightedRandomArrival, BeatsHalfOnAverage) {
+  // Theorem 3.4: 0.506-approximation in expectation on random streams.
+  // We check the mean ratio across seeds clears 1/2 with margin.
+  Rng master(3);
+  Accumulator ratios;
+  for (int trial = 0; trial < 8; ++trial) {
+    Rng rng = master.split();
+    Graph g = gen::erdos_renyi(150, 450, rng);
+    auto stream = gen::random_stream(g, rng);
+    auto result = core::unweighted_random_arrival(stream, 150);
+    Matching opt = exact::blossom_max_weight(g, true);
+    ratios.add(static_cast<double>(result.matching.size()) /
+               static_cast<double>(opt.size()));
+  }
+  EXPECT_GT(ratios.mean(), 0.5);
+}
+
+TEST(UnweightedRandomArrival, S1BranchWinsWhenPrefixIsTiny) {
+  // With a near-empty prefix, M0 is small and branch 1 (max matching on
+  // free-free edges) carries the result.
+  Rng rng(4);
+  Graph g = gen::erdos_renyi(60, 200, rng);
+  auto stream = gen::random_stream(g, rng);
+  core::UnweightedRandomArrivalConfig cfg;
+  cfg.p = 0.01;
+  auto result = core::unweighted_random_arrival(stream, 60, cfg);
+  Matching opt = exact::blossom_max_weight(g, true);
+  EXPECT_GE(2 * result.matching.size() + 1, opt.size());
+  EXPECT_GT(result.s1_stored, 0u);
+}
+
+TEST(UnweightedRandomArrival, DiagnosticsAreConsistent) {
+  Rng rng(5);
+  Graph g = gen::erdos_renyi(50, 300, rng);
+  auto stream = gen::random_stream(g, rng);
+  auto result = core::unweighted_random_arrival(stream, 50);
+  EXPECT_LE(result.m0_size, 25u);
+  EXPECT_LE(result.augmentations, result.m0_size);
+  EXPECT_LE(result.s1_stored, g.num_edges());
+}
+
+}  // namespace
+}  // namespace wmatch
