@@ -3,6 +3,8 @@
 // EXPERIMENTS.md for the index.
 #pragma once
 
+#include <chrono>
+#include <fstream>
 #include <iostream>
 #include <string>
 
@@ -13,6 +15,71 @@
 #include "util/table.h"
 
 namespace wmatch::bench {
+
+/// Common bench flags:
+///   --threads=N   host threads for the runtime pool (default 1)
+///   --json[=path] additionally dump the table as BENCH_<id>.json
+struct Args {
+  std::size_t threads = 1;
+  bool json = false;
+  std::string json_path;
+};
+
+inline Args parse_args(int argc, char** argv) {
+  Args args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string s = argv[i];
+    if (s.rfind("--threads=", 0) == 0) {
+      const std::string value = s.substr(10);
+      try {
+        if (value.empty() ||
+            value.find_first_not_of("0123456789") != std::string::npos) {
+          throw std::invalid_argument(value);
+        }
+        args.threads = static_cast<std::size_t>(std::stoul(value));
+      } catch (const std::exception&) {  // non-numeric or out of range
+        std::cerr << "error: --threads expects a non-negative integer, got '"
+                  << value << "'\n";
+        std::exit(2);
+      }
+    } else if (s == "--json") {
+      args.json = true;
+    } else if (s.rfind("--json=", 0) == 0) {
+      args.json = true;
+      args.json_path = s.substr(7);
+    } else {
+      std::cerr << "error: unknown flag '" << s
+                << "' (supported: --threads=N, --json[=path])\n";
+      std::exit(2);
+    }
+  }
+  return args;
+}
+
+/// Writes BENCH_<id>.json (or args.json_path) when --json was passed.
+inline void maybe_write_json(const Args& args, const std::string& id,
+                             const Table& t) {
+  if (!args.json) return;
+  const std::string path =
+      args.json_path.empty() ? "BENCH_" + id + ".json" : args.json_path;
+  std::ofstream os(path);
+  t.print_json(os, id);
+  os.flush();
+  if (os.good()) {
+    std::cout << "wrote " << path << "\n";
+  } else {
+    std::cerr << "error: could not write " << path << "\n";
+  }
+}
+
+/// Wall-clock milliseconds of one call.
+template <typename F>
+double time_ms(F&& f) {
+  const auto t0 = std::chrono::steady_clock::now();
+  f();
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::milli>(t1 - t0).count();
+}
 
 inline double ratio(Weight achieved, Weight optimal) {
   return optimal == 0 ? 1.0

@@ -10,8 +10,10 @@
 #include "gen/generators.h"
 #include "gen/weights.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace wmatch;
+  const bench::Args args = bench::parse_args(argc, argv);
+  const runtime::RuntimeConfig rt{args.threads};
   bench::header("E7 / Lemma 4.9, Theorem 4.7",
                 "Structural witness: short-augmentation collections "
                 "extracted from greedy matchings vs the lemma's gain "
@@ -35,7 +37,7 @@ int main() {
           static_cast<double>(opt.weight())) {
         continue;  // precondition w(M) <= w(M*)/(1+eps) not met
       }
-      auto witness = core::short_augmentations(m, opt, eps);
+      auto witness = core::short_augmentations(m, opt, eps, rt);
       double w_star = static_cast<double>(opt.weight());
       double bound = eps * eps / 200.0;
       gain_frac.add(static_cast<double>(witness.total_gain) / w_star);
@@ -57,6 +59,7 @@ int main() {
                Table::fmt(std::ceil(4.0 / eps), 0)});
   }
   t.print(std::cout);
+  bench::maybe_write_json(args, "E7", t);
   bench::footer(
       "witness/bound >= 1 on every row (typically 10-100x: the constant "
       "200 is worst-case), and pieces stay short (within ~2 * 4/eps "

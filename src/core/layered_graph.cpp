@@ -5,6 +5,8 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "runtime/parallel.h"
+#include "runtime/thread_pool.h"
 #include "util/require.h"
 
 namespace wmatch::core {
@@ -73,7 +75,8 @@ std::vector<int> BucketedEdges::unmatched_values() const {
 
 LayeredGraph build_layered_graph(const BucketedEdges& edges,
                                  const Matching& m, const Parametrization& par,
-                                 const TauPair& tau, std::size_t n) {
+                                 const TauPair& tau, std::size_t n,
+                                 const runtime::RuntimeConfig& rt) {
   const std::size_t layers = tau.num_layers();
   WMATCH_REQUIRE(layers >= 2, "layered graph needs >= 2 layers");
   const std::size_t k = layers - 1;
@@ -139,16 +142,44 @@ LayeredGraph build_layered_graph(const BucketedEdges& edges,
     }
   }
 
-  // Y edges between consecutive layers (u in R at t, v in L at t+1).
-  std::size_t between = 0;
-  for (std::size_t t = 0; t < k; ++t) {
-    int b = tau.tau_b[t];
-    for (const Edge& e : edges.unmatched[static_cast<std::size_t>(b)]) {
-      if (!present(t, e.u) || !present(t + 1, e.v)) continue;
-      raw.push_back({t, t + 1, e.u, e.v, e.w, true});
-      ++between;
-    }
+  // Y edges between consecutive layers (u in R at t, v in L at t+1). The
+  // gaps are independent and read-only over x_present/m/par, so they are
+  // filtered on the thread pool; per-gap results are concatenated in gap
+  // order, which keeps the construction schedule-independent. Small builds
+  // run inline — the output never depends on the pool, only the wall
+  // clock does.
+  std::size_t gap_work = 0;
+  for (int b : tau.tau_b) {
+    gap_work += edges.unmatched[static_cast<std::size_t>(b)].size();
   }
+  runtime::ThreadPool& pool = runtime::pool_for(
+      gap_work >= 4096 ? rt : runtime::RuntimeConfig{1});
+  std::vector<RawEdge> yedges = runtime::parallel_reduce(
+      pool, k, 1, std::vector<RawEdge>{},
+      [&](std::size_t lo, std::size_t hi) {
+        std::vector<RawEdge> part;
+        for (std::size_t t = lo; t < hi; ++t) {
+          int b = tau.tau_b[t];
+          for (const Edge& e : edges.unmatched[static_cast<std::size_t>(b)]) {
+            if (!present(t, e.u) || !present(t + 1, e.v)) continue;
+            part.push_back({t, t + 1, e.u, e.v, e.w, true});
+          }
+        }
+        return part;
+      },
+      [](std::vector<RawEdge> acc, std::vector<RawEdge> part) {
+        if (acc.empty()) return part;  // move, don't copy (single chunk)
+        acc.insert(acc.end(), part.begin(), part.end());
+        return acc;
+      });
+  const std::size_t between = yedges.size();
+  // raw (intermediate X edges) and yedges stay separate vectors — the Y
+  // set dominates and appending it to raw would copy it once more per
+  // tau-pair build.
+  auto for_each_raw = [&](auto&& f) {
+    for (const RawEdge& e : raw) f(e);
+    for (const RawEdge& e : yedges) f(e);
+  };
 
   out.num_between_edges = between;
   if (between == 0) {
@@ -158,7 +189,7 @@ LayeredGraph build_layered_graph(const BucketedEdges& edges,
 
   // Compress the (layer, vertex) pairs that occur on at least one edge.
   std::unordered_map<std::uint64_t, std::uint32_t> id;
-  id.reserve(raw.size() * 2);
+  id.reserve((raw.size() + yedges.size()) * 2);
   auto intern = [&](std::size_t t, Vertex v) -> std::uint32_t {
     auto [it, inserted] = id.try_emplace(
         static_cast<std::uint64_t>(t) * n + v,
@@ -170,19 +201,19 @@ LayeredGraph build_layered_graph(const BucketedEdges& edges,
     }
     return it->second;
   };
-  for (const RawEdge& e : raw) {
+  for_each_raw([&](const RawEdge& e) {
     intern(e.tu, e.u);
     intern(e.tv, e.v);
-  }
+  });
 
   Graph lp(out.original.size());
   Matching ml(out.original.size());
-  for (const RawEdge& e : raw) {
+  for_each_raw([&](const RawEdge& e) {
     std::uint32_t cu = id[static_cast<std::uint64_t>(e.tu) * n + e.u];
     std::uint32_t cv = id[static_cast<std::uint64_t>(e.tv) * n + e.v];
     lp.add_edge(cu, cv, e.w);
     if (!e.between) ml.add(cu, cv, e.w);
-  }
+  });
   out.lprime = std::move(lp);
   out.ml = std::move(ml);
   return out;

@@ -26,6 +26,7 @@
 #include "core/tau.h"
 #include "graph/graph.h"
 #include "graph/matching.h"
+#include "runtime/runtime.h"
 #include "util/rng.h"
 
 namespace wmatch::core {
@@ -74,8 +75,12 @@ struct BucketedEdges {
 BucketedEdges bucket_edges(const CrossingEdges& edges, Weight unit, int umax);
 
 /// Builds the layered graph L' for one good pair over pre-bucketed edges.
+/// The per-gap candidate filtering (the dominant cost) runs on the runtime
+/// thread pool selected by `rt`; the output is identical for any thread
+/// count.
 LayeredGraph build_layered_graph(const BucketedEdges& edges,
                                  const Matching& m, const Parametrization& par,
-                                 const TauPair& tau, std::size_t n);
+                                 const TauPair& tau, std::size_t n,
+                                 const runtime::RuntimeConfig& rt = {});
 
 }  // namespace wmatch::core

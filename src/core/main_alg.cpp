@@ -40,6 +40,7 @@ Weight improve_matching_once(const Graph& g, Matching& m,
   opts.delta = cfg.effective_delta();
   opts.enable_cycles = cfg.enable_cycles;
   opts.parametrizations = cfg.parametrizations;
+  opts.runtime = cfg.runtime;
 
   std::vector<Weight> ladder = class_ladder(g, cfg);
   std::size_t cost_before_max = matcher.max_invocation_cost();

@@ -18,6 +18,7 @@
 #include "core/tau.h"
 #include "graph/graph.h"
 #include "graph/matching.h"
+#include "runtime/runtime.h"
 #include "util/rng.h"
 
 namespace wmatch::core {
@@ -36,6 +37,11 @@ struct ReductionConfig {
   /// Stop after this many consecutive zero-gain rounds (rounds are
   /// randomized, so one empty round is weak evidence of convergence).
   std::size_t stall_patience = 3;
+  /// Host-parallelism knob, forwarded to every parallel region under this
+  /// entry point (layered-graph builds; an MPC black box additionally
+  /// reads the knob in its own MpcConfig). Results are seed-deterministic
+  /// for any thread count.
+  runtime::RuntimeConfig runtime;
 
   double effective_delta() const {
     return delta > 0.0 ? delta : epsilon / 2.0;

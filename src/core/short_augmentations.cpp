@@ -4,6 +4,8 @@
 #include <cmath>
 #include <functional>
 
+#include "runtime/parallel.h"
+#include "runtime/thread_pool.h"
 #include "util/require.h"
 
 namespace wmatch::core {
@@ -39,7 +41,8 @@ std::vector<std::vector<Edge>> split_where(
 
 ShortAugmentationsResult short_augmentations(const Matching& m,
                                              const Matching& m_star,
-                                             double epsilon) {
+                                             double epsilon,
+                                             const runtime::RuntimeConfig& rt) {
   WMATCH_REQUIRE(epsilon > 0.0 && epsilon < 1.0, "epsilon in (0,1)");
   const std::size_t max_len =
       static_cast<std::size_t>(std::ceil(4.0 / epsilon));
@@ -66,8 +69,11 @@ ShortAugmentationsResult short_augmentations(const Matching& m,
   }
   if (global_star == 0) return {};
 
-  ShortAugmentationsResult best;
-  for (std::size_t offset = 0; offset < max_len; ++offset) {
+  // One trial per deletion offset; trials only read comps2 / m / m_star,
+  // so they run concurrently. The fold keeps the lowest offset among
+  // maximum gains — exactly what the sequential strict-> scan selected —
+  // so the result is identical for any thread count.
+  auto trial_for_offset = [&](std::size_t offset) {
     ShortAugmentationsResult trial;
     for (const Comp& c : comps2) {
       // Pieces after deleting the offset-marked M*-edges.
@@ -166,9 +172,30 @@ ShortAugmentationsResult short_augmentations(const Matching& m,
         trial.collection.push_back(std::move(aug));
       }
     }
-    if (trial.total_gain > best.total_gain) best = std::move(trial);
-  }
-  return best;
+    return trial;
+  };
+
+  std::size_t comp_edges = 0;
+  for (const Comp& c : comps2) comp_edges += c.edges.size();
+  // Small witnesses are extracted inline (same result, less overhead).
+  runtime::ThreadPool& pool = runtime::pool_for(
+      comp_edges * max_len >= 4096 ? rt : runtime::RuntimeConfig{1});
+  return runtime::parallel_reduce(
+      pool, max_len, 1, ShortAugmentationsResult{},
+      [&](std::size_t lo, std::size_t hi) {
+        ShortAugmentationsResult chunk_best;
+        for (std::size_t offset = lo; offset < hi; ++offset) {
+          ShortAugmentationsResult trial = trial_for_offset(offset);
+          if (trial.total_gain > chunk_best.total_gain) {
+            chunk_best = std::move(trial);
+          }
+        }
+        return chunk_best;
+      },
+      [](ShortAugmentationsResult acc, ShortAugmentationsResult next) {
+        return next.total_gain > acc.total_gain ? std::move(next)
+                                                : std::move(acc);
+      });
 }
 
 }  // namespace wmatch::core

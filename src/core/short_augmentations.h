@@ -16,6 +16,7 @@
 #include "graph/augmentation.h"
 #include "graph/graph.h"
 #include "graph/matching.h"
+#include "runtime/runtime.h"
 
 namespace wmatch::core {
 
@@ -25,8 +26,11 @@ struct ShortAugmentationsResult {
   std::size_t max_piece_edges = 0;       ///< longest piece (edges)
 };
 
-ShortAugmentationsResult short_augmentations(const Matching& m,
-                                             const Matching& m_star,
-                                             double epsilon);
+/// The L offset trials are independent and run on the runtime thread pool
+/// selected by `rt`; the winner (lowest offset among maximum gains, same
+/// as the sequential scan) is identical for any thread count.
+ShortAugmentationsResult short_augmentations(
+    const Matching& m, const Matching& m_star, double epsilon,
+    const runtime::RuntimeConfig& rt = {});
 
 }  // namespace wmatch::core

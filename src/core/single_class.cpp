@@ -49,8 +49,8 @@ SingleClassResult find_class_augmentations(const Graph& g, const Matching& m,
       buckets.matched_values(), buckets.unmatched_values(), tau_cfg, rng);
 
   for (const TauPair& pair : pairs) {
-    LayeredGraph lg =
-        build_layered_graph(buckets, m, par, pair, g.num_vertices());
+    LayeredGraph lg = build_layered_graph(buckets, m, par, pair,
+                                          g.num_vertices(), opts.runtime);
     if (lg.num_between_edges == 0) continue;
     ++result.layered_graphs;
 

@@ -21,6 +21,7 @@
 #include "graph/augmentation.h"
 #include "graph/graph.h"
 #include "graph/matching.h"
+#include "runtime/runtime.h"
 #include "util/rng.h"
 
 namespace wmatch::core {
@@ -44,6 +45,8 @@ struct SingleClassOptions {
   /// they can improve a perfect matching, which is exactly the capability
   /// the ablation is meant to remove).
   bool enable_cycles = true;
+  /// Host-parallelism knob for the layered-graph builds.
+  runtime::RuntimeConfig runtime;
 };
 
 /// The tau pairs are generated internally per class via pairs_for_values,

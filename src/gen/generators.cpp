@@ -4,6 +4,8 @@
 #include <cmath>
 #include <unordered_set>
 
+#include "runtime/parallel.h"
+#include "runtime/thread_pool.h"
 #include "util/require.h"
 
 namespace wmatch::gen {
@@ -72,28 +74,47 @@ Graph barabasi_albert(std::size_t n, std::size_t attach, Rng& rng) {
   return g;
 }
 
-Graph random_geometric(std::size_t n, double radius, Weight scale, Rng& rng) {
+Graph random_geometric(std::size_t n, double radius, Weight scale, Rng& rng,
+                       const runtime::RuntimeConfig& rt) {
   WMATCH_REQUIRE(radius > 0 && scale > 0, "bad geometric parameters");
   std::vector<double> x(n), y(n);
   for (std::size_t i = 0; i < n; ++i) {
     x[i] = rng.next_double();
     y[i] = rng.next_double();
   }
+  // The pair scan is pure in the (sequentially drawn) coordinates, so rows
+  // are scanned on the thread pool and concatenated in row order — the
+  // edge list comes out in the same order as the sequential double loop.
+  // Small instances run inline (identical output, no pool overhead).
+  runtime::ThreadPool& pool = runtime::pool_for(
+      n >= 256 ? rt : runtime::RuntimeConfig{1});
+  std::vector<Edge> found = runtime::parallel_reduce(
+      pool, n, 16, std::vector<Edge>{},
+      [&](std::size_t lo, std::size_t hi) {
+        std::vector<Edge> part;
+        for (std::size_t u = lo; u < hi; ++u) {
+          for (std::size_t v = u + 1; v < n; ++v) {
+            double dx = x[u] - x[v];
+            double dy = y[u] - y[v];
+            double dist = std::sqrt(dx * dx + dy * dy);
+            if (dist <= radius) {
+              Weight w = static_cast<Weight>(std::llround(
+                             static_cast<double>(scale) *
+                             (1.0 - dist / radius))) +
+                         1;
+              part.push_back({static_cast<Vertex>(u),
+                              static_cast<Vertex>(v), w});
+            }
+          }
+        }
+        return part;
+      },
+      [](std::vector<Edge> acc, std::vector<Edge> part) {
+        acc.insert(acc.end(), part.begin(), part.end());
+        return acc;
+      });
   Graph g(n);
-  for (Vertex u = 0; u < n; ++u) {
-    for (Vertex v = u + 1; v < n; ++v) {
-      double dx = x[u] - x[v];
-      double dy = y[u] - y[v];
-      double dist = std::sqrt(dx * dx + dy * dy);
-      if (dist <= radius) {
-        Weight w =
-            static_cast<Weight>(std::llround(static_cast<double>(scale) *
-                                             (1.0 - dist / radius))) +
-            1;
-        g.add_edge(u, v, w);
-      }
-    }
-  }
+  for (const Edge& e : found) g.add_edge(e.u, e.v, e.w);
   return g;
 }
 

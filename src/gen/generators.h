@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "graph/graph.h"
+#include "runtime/runtime.h"
 #include "util/rng.h"
 
 namespace wmatch::gen {
@@ -26,8 +27,14 @@ Graph barabasi_albert(std::size_t n, std::size_t attach, Rng& rng);
 
 /// Random geometric graph: n points in the unit square, edge when distance
 /// <= radius. Weight = round(scale * (1 - dist/radius)) + 1, so close pairs
-/// are heavy (models e.g. affinity matching).
-Graph random_geometric(std::size_t n, double radius, Weight scale, Rng& rng);
+/// are heavy (models e.g. affinity matching). The O(n^2) pair scan runs on
+/// the runtime thread pool selected by `rt` (coordinates are drawn
+/// sequentially first, so the graph is bit-identical for any thread
+/// count). Generators that consume the Rng per candidate edge
+/// (erdos_renyi, random_bipartite, barabasi_albert) stay sequential: their
+/// output is defined by a single rejection-sampling stream.
+Graph random_geometric(std::size_t n, double radius, Weight scale, Rng& rng,
+                       const runtime::RuntimeConfig& rt = {});
 
 /// Simple path v0 - v1 - ... - v_{n-1} with the given edge weights
 /// (weights.size() == n-1).

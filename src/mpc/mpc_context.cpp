@@ -1,32 +1,46 @@
 #include "mpc/mpc_context.h"
 
-#include <algorithm>
-
 namespace wmatch::mpc {
 
 MpcContext::MpcContext(const MpcConfig& config) : config_(config) {
   WMATCH_REQUIRE(config.num_machines >= 1, "need at least one machine");
-  WMATCH_REQUIRE(config.machine_memory_words >= 1, "machine memory must be positive");
-  machine_load_.assign(config.num_machines, 0);
+  WMATCH_REQUIRE(config.machine_memory_words >= 1,
+                 "machine memory must be positive");
+  machine_load_ =
+      std::make_unique<std::atomic<std::size_t>[]>(config.num_machines);
+  for (std::size_t i = 0; i < config.num_machines; ++i) {
+    machine_load_[i].store(0, std::memory_order_relaxed);
+  }
 }
 
 void MpcContext::begin_round() { ++rounds_; }
 
 void MpcContext::charge_memory(std::size_t machine, std::size_t words) {
-  WMATCH_REQUIRE(machine < machine_load_.size(), "machine index out of range");
-  machine_load_[machine] += words;
-  peak_machine_memory_ = std::max(peak_machine_memory_, machine_load_[machine]);
-  if (machine_load_[machine] > config_.machine_memory_words) violated_ = true;
+  WMATCH_REQUIRE(machine < config_.num_machines, "machine index out of range");
+  const std::size_t now =
+      machine_load_[machine].fetch_add(words, std::memory_order_relaxed) +
+      words;
+  std::size_t peak = peak_machine_memory_.load(std::memory_order_relaxed);
+  while (now > peak && !peak_machine_memory_.compare_exchange_weak(
+                           peak, now, std::memory_order_relaxed)) {
+  }
+  if (now > config_.machine_memory_words) {
+    violated_.store(true, std::memory_order_relaxed);
+  }
 }
 
 void MpcContext::charge_communication(std::size_t words) {
-  total_comm_ += words;
+  total_comm_.fetch_add(words, std::memory_order_relaxed);
 }
 
 void MpcContext::release_memory(std::size_t machine, std::size_t words) {
-  WMATCH_REQUIRE(machine < machine_load_.size(), "machine index out of range");
-  machine_load_[machine] =
-      words > machine_load_[machine] ? 0 : machine_load_[machine] - words;
+  WMATCH_REQUIRE(machine < config_.num_machines, "machine index out of range");
+  std::size_t cur = machine_load_[machine].load(std::memory_order_relaxed);
+  std::size_t next;
+  do {
+    next = words > cur ? 0 : cur - words;
+  } while (!machine_load_[machine].compare_exchange_weak(
+      cur, next, std::memory_order_relaxed));
 }
 
 }  // namespace wmatch::mpc

@@ -2,16 +2,25 @@
 //
 // The MPC model (Section 2 of the paper): Γ machines with S words of
 // memory each; computation proceeds in synchronous rounds; between rounds
-// each machine sends/receives at most S words. We simulate the computation
-// sequentially but account for the model's resources exactly: the round
-// counter, the peak per-machine memory, and the per-round communication
-// volume. An algorithm that exceeds a machine's memory budget trips a
-// violation flag that tests assert on.
+// each machine sends/receives at most S words. We simulate the machines'
+// round-local computation concurrently on the runtime's thread pool
+// (config.runtime selects the thread count) while accounting for the
+// model's resources exactly: the round counter, the peak per-machine
+// memory, and the per-round communication volume. An algorithm that
+// exceeds a machine's memory budget trips a violation flag that tests
+// assert on.
+//
+// Thread safety: charge_memory / release_memory / charge_communication are
+// lock-free (atomic counters) and may be called concurrently by simulated
+// machines within a round. begin_round is the round barrier and must be
+// called by the coordinator only, with no machine computation in flight.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
-#include <vector>
+#include <memory>
 
+#include "runtime/runtime.h"
 #include "util/require.h"
 
 namespace wmatch::mpc {
@@ -21,13 +30,16 @@ struct MpcConfig {
   /// Per-machine memory budget in words (one edge = one word). The paper's
   /// regime is S = Θ~(n).
   std::size_t machine_memory_words = 0;
+  /// Execution knob for the simulator: how many host threads run the
+  /// simulated machines (1 = sequential; results are identical either way).
+  runtime::RuntimeConfig runtime;
 };
 
 class MpcContext {
  public:
   explicit MpcContext(const MpcConfig& config);
 
-  /// Starts a new communication round; resets per-round communication.
+  /// Starts a new communication round; coordinator-only (round barrier).
   void begin_round();
 
   /// Charges `words` of storage on `machine` in the current round.
@@ -36,22 +48,28 @@ class MpcContext {
   /// Charges `words` of traffic sent in the current round.
   void charge_communication(std::size_t words);
 
-  /// Releases storage (end of round / data dropped).
+  /// Releases storage (end of round / data dropped). Clamps at zero.
   void release_memory(std::size_t machine, std::size_t words);
 
   std::size_t rounds() const { return rounds_; }
-  std::size_t peak_machine_memory() const { return peak_machine_memory_; }
-  std::size_t total_communication() const { return total_comm_; }
-  bool memory_violated() const { return violated_; }
+  std::size_t peak_machine_memory() const {
+    return peak_machine_memory_.load(std::memory_order_relaxed);
+  }
+  std::size_t total_communication() const {
+    return total_comm_.load(std::memory_order_relaxed);
+  }
+  bool memory_violated() const {
+    return violated_.load(std::memory_order_relaxed);
+  }
   const MpcConfig& config() const { return config_; }
 
  private:
   MpcConfig config_;
-  std::size_t rounds_ = 0;
-  std::vector<std::size_t> machine_load_;
-  std::size_t peak_machine_memory_ = 0;
-  std::size_t total_comm_ = 0;
-  bool violated_ = false;
+  std::size_t rounds_ = 0;  // coordinator-only, see begin_round
+  std::unique_ptr<std::atomic<std::size_t>[]> machine_load_;
+  std::atomic<std::size_t> peak_machine_memory_{0};
+  std::atomic<std::size_t> total_comm_{0};
+  std::atomic<bool> violated_{false};
 };
 
 }  // namespace wmatch::mpc

@@ -11,9 +11,12 @@
 //      phase of path length 2i+1 is charged 2i+1 rounds (one round per BFS
 //      layer), the standard cost of path exploration with Θ~(n) memory.
 //
-// The round/memory accounting flows through MpcContext; the matching
-// computation itself is exact and sequential (see DESIGN.md, substitution
-// list).
+// The round/memory accounting flows through MpcContext. Within each round
+// the simulated machines' local work (sampling, dead-edge filtering) runs
+// concurrently on the runtime thread pool selected by the context's
+// MpcConfig::runtime; machine randomness is seeded per (round, machine),
+// so the result is bit-identical for any thread count (see DESIGN.md,
+// substitution list).
 #pragma once
 
 #include "graph/graph.h"

@@ -1,0 +1,78 @@
+// Deterministic data-parallel primitives on top of ThreadPool.
+//
+// Both primitives split [0, n) into contiguous chunks and hand each chunk
+// to the pool. parallel_reduce combines the per-chunk results strictly in
+// chunk order on the calling thread, so for an associative combine the
+// result is independent of thread count and schedule. Randomized chunk
+// bodies must derive their generators from task_seed (runtime/runtime.h)
+// keyed by loop index — never share an Rng stream across chunks.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "runtime/thread_pool.h"
+
+namespace wmatch::runtime {
+
+namespace detail {
+
+/// Chunk granularity: at least `grain` iterations per chunk, and no more
+/// chunks than a few per thread (keeps scheduling overhead bounded).
+inline std::size_t chunk_size(std::size_t n, std::size_t grain,
+                              std::size_t threads) {
+  const std::size_t slots = threads * 4;
+  const std::size_t balanced = (n + slots - 1) / slots;
+  return std::max<std::size_t>({std::size_t{1}, grain, balanced});
+}
+
+}  // namespace detail
+
+/// Invokes body(begin, end) on disjoint contiguous subranges covering
+/// [0, n), possibly concurrently. Blocks until every subrange finished;
+/// the first exception thrown by any body is rethrown.
+template <typename Body>
+void parallel_for(ThreadPool& pool, std::size_t n, std::size_t grain,
+                  Body&& body) {
+  if (n == 0) return;
+  const std::size_t threads = pool.num_threads();
+  const std::size_t chunk = detail::chunk_size(n, grain, threads);
+  const std::size_t num_chunks = (n + chunk - 1) / chunk;
+  if (threads <= 1 || num_chunks <= 1) {
+    body(std::size_t{0}, n);
+    return;
+  }
+  pool.run_batch(num_chunks, [&](std::size_t c) {
+    const std::size_t lo = c * chunk;
+    body(lo, std::min(n, lo + chunk));
+  });
+}
+
+/// Maps disjoint subranges of [0, n) with map(begin, end) -> T and folds
+/// the per-chunk values left-to-right in chunk order:
+///   combine(...combine(combine(init, t0), t1)..., t_last).
+/// T must be default-constructible (chunk slots are pre-allocated). For an
+/// associative combine the result is bit-identical for any thread count.
+template <typename T, typename Map, typename Combine>
+T parallel_reduce(ThreadPool& pool, std::size_t n, std::size_t grain, T init,
+                  Map&& map, Combine&& combine) {
+  if (n == 0) return init;
+  const std::size_t threads = pool.num_threads();
+  const std::size_t chunk = detail::chunk_size(n, grain, threads);
+  const std::size_t num_chunks = (n + chunk - 1) / chunk;
+  if (threads <= 1 || num_chunks <= 1) {
+    return combine(std::move(init), map(std::size_t{0}, n));
+  }
+  std::vector<T> partial(num_chunks);
+  pool.run_batch(num_chunks, [&](std::size_t c) {
+    const std::size_t lo = c * chunk;
+    partial[c] = map(lo, std::min(n, lo + chunk));
+  });
+  T acc = std::move(init);
+  for (T& p : partial) acc = combine(std::move(acc), std::move(p));
+  return acc;
+}
+
+}  // namespace wmatch::runtime

@@ -1,0 +1,35 @@
+// Execution-runtime configuration shared by every parallel entry point.
+//
+// RuntimeConfig is deliberately tiny so that model-level headers (mpc, gen,
+// core) can embed the knob without pulling in <thread>; the pool itself
+// lives in runtime/thread_pool.h. num_threads == 1 (the default) takes the
+// exact sequential path with zero threading overhead.
+//
+// Determinism contract: every parallel region in the library (a) derives
+// its randomness from task_seed(base, task_index) rather than sharing a
+// generator stream, and (b) combines per-chunk results in index order, so
+// the output of any entry point is a function of the seed only —
+// bit-identical across num_threads values and schedules.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace wmatch::runtime {
+
+struct RuntimeConfig {
+  /// Software threads to use: 1 = sequential (default), 0 = one per
+  /// hardware thread, otherwise the exact count requested.
+  std::size_t num_threads = 1;
+};
+
+/// Maps a RuntimeConfig thread request to a concrete positive count
+/// (0 resolves to the hardware concurrency, falling back to 1).
+std::size_t resolve_num_threads(std::size_t requested);
+
+/// Statistically independent, schedule-independent seed for task
+/// `task_index` of a parallel region whose master seed is `base`.
+/// Feed the result to Rng's constructor.
+std::uint64_t task_seed(std::uint64_t base, std::uint64_t task_index);
+
+}  // namespace wmatch::runtime

@@ -5,8 +5,15 @@
 // charge it one unit per stored edge / per stored word of auxiliary state;
 // benchmarks read the peak to validate the paper's O(n polylog n) bounds
 // (Lemmas 3.3 and 3.15).
+//
+// The counters are atomic so components that run on the runtime thread
+// pool can charge a shared meter concurrently. add/sub are lock-free;
+// peak() is exact as long as charges are monotone between reads (the peak
+// is folded in at every add). reset() is not safe against concurrent
+// charges — call it only at quiescent points.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 
 namespace wmatch {
@@ -14,20 +21,34 @@ namespace wmatch {
 class MemoryMeter {
  public:
   void add(std::size_t words) {
-    current_ += words;
-    if (current_ > peak_) peak_ = current_;
+    const std::size_t now =
+        current_.fetch_add(words, std::memory_order_relaxed) + words;
+    std::size_t peak = peak_.load(std::memory_order_relaxed);
+    while (now > peak && !peak_.compare_exchange_weak(
+                             peak, now, std::memory_order_relaxed)) {
+    }
   }
   void sub(std::size_t words) {
-    current_ = words > current_ ? 0 : current_ - words;
+    std::size_t cur = current_.load(std::memory_order_relaxed);
+    std::size_t next;
+    do {
+      next = words > cur ? 0 : cur - words;
+    } while (!current_.compare_exchange_weak(cur, next,
+                                             std::memory_order_relaxed));
   }
-  void reset() { current_ = peak_ = 0; }
+  void reset() {
+    current_.store(0, std::memory_order_relaxed);
+    peak_.store(0, std::memory_order_relaxed);
+  }
 
-  std::size_t current() const { return current_; }
-  std::size_t peak() const { return peak_; }
+  std::size_t current() const {
+    return current_.load(std::memory_order_relaxed);
+  }
+  std::size_t peak() const { return peak_.load(std::memory_order_relaxed); }
 
  private:
-  std::size_t current_ = 0;
-  std::size_t peak_ = 0;
+  std::atomic<std::size_t> current_{0};
+  std::atomic<std::size_t> peak_{0};
 };
 
 }  // namespace wmatch

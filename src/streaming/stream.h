@@ -29,9 +29,12 @@ class EdgeStream {
   std::size_t passes() const { return passes_; }
   std::size_t num_edges() const { return edges_.size(); }
 
-  /// Charges `k` extra passes (for sub-algorithms that conceptually run in
-  /// parallel over the same pass, charge 0; for black boxes that report
-  /// their own pass count, charge it here).
+  /// Unconditionally adds `k` to the pass counter. Use this for a black
+  /// box that consumed `k` passes of its own over (a projection of) this
+  /// stream without going through for_each_pass. Sub-algorithms that share
+  /// one physical scan — running "in parallel" over a single
+  /// for_each_pass — must not call this: that scan was already counted
+  /// once, and charging here would double-count it.
   void charge_passes(std::size_t k) { passes_ += k; }
 
  private:

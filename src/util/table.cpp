@@ -47,6 +47,42 @@ void Table::print(std::ostream& os) const {
   for (const auto& row : rows_) line(row);
 }
 
+namespace {
+
+void json_string(std::ostream& os, const std::string& s) {
+  os << '"';
+  for (char c : s) {
+    if (c == '"' || c == '\\') os << '\\' << c;
+    else if (c == '\n') os << "\\n";
+    else os << c;
+  }
+  os << '"';
+}
+
+void json_string_row(std::ostream& os, const std::vector<std::string>& cells) {
+  os << '[';
+  for (std::size_t c = 0; c < cells.size(); ++c) {
+    if (c) os << ',';
+    json_string(os, cells[c]);
+  }
+  os << ']';
+}
+
+}  // namespace
+
+void Table::print_json(std::ostream& os, const std::string& id) const {
+  os << "{\"bench\":";
+  json_string(os, id);
+  os << ",\"columns\":";
+  json_string_row(os, header_);
+  os << ",\"rows\":[";
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    if (r) os << ',';
+    json_string_row(os, rows_[r]);
+  }
+  os << "]}\n";
+}
+
 void Table::print_csv(std::ostream& os) const {
   auto line = [&](const std::vector<std::string>& cells) {
     for (std::size_t c = 0; c < cells.size(); ++c) {

@@ -23,6 +23,11 @@ class Table {
   void print(std::ostream& os) const;
   void print_csv(std::ostream& os) const;
 
+  /// Machine-readable dump: {"bench": id, "columns": [...], "rows":
+  /// [[...], ...]} with all cells as strings. Used by the bench harness's
+  /// --json flag so perf trajectories can be tracked across PRs.
+  void print_json(std::ostream& os, const std::string& id) const;
+
   std::size_t rows() const { return rows_.size(); }
 
  private:

@@ -1,9 +1,14 @@
 #include <gtest/gtest.h>
 
+#include "core/main_alg.h"
+#include "core/matcher.h"
 #include "exact/hopcroft_karp.h"
 #include "gen/generators.h"
+#include "gen/weights.h"
 #include "mpc/mpc_context.h"
 #include "mpc/mpc_matching.h"
+#include "runtime/parallel.h"
+#include "runtime/thread_pool.h"
 #include "util/rng.h"
 
 namespace wmatch {
@@ -89,6 +94,75 @@ TEST(MpcMatching, RejectsBadDelta) {
   EXPECT_THROW(
       mpc::mpc_bipartite_matching(g, sides_by_cut(4, 8), 1.0, ctx, rng),
       std::invalid_argument);
+}
+
+TEST(MpcContext, CountersAreThreadSafe) {
+  mpc::MpcConfig config{4, 1u << 20};
+  config.runtime.num_threads = 4;
+  mpc::MpcContext ctx(config);
+  runtime::ThreadPool& pool = runtime::pool_for(config.runtime);
+  ctx.begin_round();
+  runtime::parallel_for(pool, 4000, 1, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      ctx.charge_memory(i % 4, 1);
+      ctx.charge_communication(1);
+    }
+  });
+  EXPECT_EQ(ctx.total_communication(), 4000u);
+  // Each machine received exactly 1000 monotone one-word charges.
+  EXPECT_EQ(ctx.peak_machine_memory(), 1000u);
+  EXPECT_FALSE(ctx.memory_violated());
+  runtime::parallel_for(pool, 4000, 1, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) ctx.release_memory(i % 4, 1);
+  });
+  ctx.release_memory(0, 5);  // clamps at zero under the hood
+  ctx.charge_memory(0, 7);
+  EXPECT_EQ(ctx.peak_machine_memory(), 1000u);
+}
+
+TEST(MpcMatching, ParallelMatchesSequentialBitForBit) {
+  Rng grng(11);
+  Graph g = gen::random_bipartite(120, 120, 1500, grng);
+  auto side = sides_by_cut(120, 240);
+
+  auto run = [&](std::size_t threads) {
+    mpc::MpcConfig config{8, 4 * 240};
+    config.runtime.num_threads = threads;
+    mpc::MpcContext ctx(config);
+    Rng rng(99);
+    auto r = mpc::mpc_bipartite_matching(g, side, 0.1, ctx, rng);
+    return std::tuple{r.matching.size(), r.matching.weight(), r.rounds_used,
+                      ctx.rounds(), ctx.total_communication(),
+                      ctx.peak_machine_memory()};
+  };
+  const auto seq = run(1);
+  EXPECT_EQ(run(2), seq);
+  EXPECT_EQ(run(8), seq);
+}
+
+TEST(MpcMatching, WeightedAlgorithmParallelMatchesSequential) {
+  // Mirrors the bench E5 acceptance check: the full weighted reduction on
+  // the MPC simulator yields the same matching weight and round count at a
+  // fixed seed for any thread count.
+  Rng grng(21);
+  Graph g = gen::assign_weights(gen::erdos_renyi(96, 480, grng),
+                                gen::WeightDist::kUniform, 1 << 8, grng);
+
+  auto run = [&](std::size_t threads) {
+    mpc::MpcConfig config{4, 24 * 96};
+    config.runtime.num_threads = threads;
+    mpc::MpcContext ctx(config);
+    Rng rng(77);
+    core::MpcMatcher matcher(ctx, rng);
+    core::ReductionConfig cfg;
+    cfg.epsilon = 0.25;
+    cfg.runtime.num_threads = threads;
+    auto r = core::maximum_weight_matching(g, cfg, matcher, rng);
+    return std::tuple{r.matching.weight(), r.matching.size(), r.iterations,
+                      ctx.rounds(), r.parallel_model_cost};
+  };
+  const auto seq = run(1);
+  EXPECT_EQ(run(4), seq);
 }
 
 TEST(MpcMatching, EmptyGraphTerminates) {

@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <set>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "runtime/parallel.h"
+#include "runtime/thread_pool.h"
+#include "util/rng.h"
+
+namespace wmatch {
+namespace {
+
+TEST(ThreadPool, RunsEveryTaskExactlyOnce) {
+  runtime::ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(512);
+  runtime::parallel_for(pool, hits.size(), 1,
+                        [&](std::size_t lo, std::size_t hi) {
+                          for (std::size_t i = lo; i < hi; ++i) {
+                            hits[i].fetch_add(1);
+                          }
+                        });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, SingleThreadRunsInline) {
+  runtime::ThreadPool pool(1);
+  EXPECT_EQ(pool.num_threads(), 1u);
+  const std::thread::id caller = std::this_thread::get_id();
+  bool same_thread = true;
+  runtime::parallel_for(pool, 100, 1, [&](std::size_t, std::size_t) {
+    if (std::this_thread::get_id() != caller) same_thread = false;
+  });
+  EXPECT_TRUE(same_thread);
+}
+
+TEST(ThreadPool, ReduceIsDeterministicAcrossThreadCounts) {
+  auto run = [](runtime::ThreadPool& pool) {
+    // Concatenation of per-index seeded draws: schedule-independent iff
+    // chunks are combined in index order.
+    return runtime::parallel_reduce(
+        pool, 1000, 1, std::vector<std::uint64_t>{},
+        [&](std::size_t lo, std::size_t hi) {
+          std::vector<std::uint64_t> part;
+          for (std::size_t i = lo; i < hi; ++i) {
+            Rng r(runtime::task_seed(42, i));
+            part.push_back(r.next());
+          }
+          return part;
+        },
+        [](std::vector<std::uint64_t> a, std::vector<std::uint64_t> b) {
+          a.insert(a.end(), b.begin(), b.end());
+          return a;
+        });
+  };
+  runtime::ThreadPool seq(1), par4(4), par8(8);
+  const auto expected = run(seq);
+  EXPECT_EQ(run(par4), expected);
+  EXPECT_EQ(run(par8), expected);
+}
+
+TEST(ThreadPool, ReduceCombinesInChunkOrder) {
+  runtime::ThreadPool pool(4);
+  auto out = runtime::parallel_reduce(
+      pool, 257, 1, std::vector<std::size_t>{},
+      [](std::size_t lo, std::size_t hi) {
+        std::vector<std::size_t> part(hi - lo);
+        std::iota(part.begin(), part.end(), lo);
+        return part;
+      },
+      [](std::vector<std::size_t> a, std::vector<std::size_t> b) {
+        a.insert(a.end(), b.begin(), b.end());
+        return a;
+      });
+  ASSERT_EQ(out.size(), 257u);
+  for (std::size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i], i);
+}
+
+TEST(ThreadPool, PropagatesExceptionsAndStaysUsable) {
+  runtime::ThreadPool pool(4);
+  EXPECT_THROW(
+      runtime::parallel_for(pool, 100, 1,
+                            [&](std::size_t lo, std::size_t) {
+                              if (lo >= 40) throw std::runtime_error("boom");
+                            }),
+      std::runtime_error);
+  // The pool survives a failed batch.
+  std::atomic<int> ran{0};
+  runtime::parallel_for(pool, 64, 1, [&](std::size_t lo, std::size_t hi) {
+    ran.fetch_add(static_cast<int>(hi - lo));
+  });
+  EXPECT_EQ(ran.load(), 64);
+}
+
+TEST(ThreadPool, NestedParallelForDoesNotDeadlock) {
+  runtime::ThreadPool pool(4);
+  std::vector<std::atomic<std::size_t>> sums(8);
+  runtime::parallel_for(pool, sums.size(), 1,
+                        [&](std::size_t lo, std::size_t hi) {
+                          for (std::size_t outer = lo; outer < hi; ++outer) {
+                            runtime::parallel_for(
+                                pool, 64, 1,
+                                [&](std::size_t ilo, std::size_t ihi) {
+                                  for (std::size_t i = ilo; i < ihi; ++i) {
+                                    sums[outer].fetch_add(i);
+                                  }
+                                });
+                          }
+                        });
+  for (const auto& s : sums) EXPECT_EQ(s.load(), 64u * 63u / 2u);
+}
+
+TEST(Runtime, TaskSeedsAreStableAndDistinct) {
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t i = 0; i < 4096; ++i) {
+    std::uint64_t s = runtime::task_seed(7, i);
+    EXPECT_EQ(s, runtime::task_seed(7, i));
+    seen.insert(s);
+  }
+  EXPECT_EQ(seen.size(), 4096u);
+  EXPECT_NE(runtime::task_seed(7, 0), runtime::task_seed(8, 0));
+}
+
+TEST(Runtime, PoolForCachesByResolvedThreadCount) {
+  runtime::RuntimeConfig two{2};
+  EXPECT_EQ(&runtime::pool_for(two), &runtime::pool_for(two));
+  EXPECT_EQ(runtime::pool_for(two).num_threads(), 2u);
+  runtime::RuntimeConfig hw{0};
+  EXPECT_GE(runtime::pool_for(hw).num_threads(), 1u);
+}
+
+TEST(Runtime, ResolveNumThreads) {
+  EXPECT_EQ(runtime::resolve_num_threads(3), 3u);
+  EXPECT_GE(runtime::resolve_num_threads(0), 1u);
+}
+
+}  // namespace
+}  // namespace wmatch
