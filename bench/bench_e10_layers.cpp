@@ -6,8 +6,9 @@
 #include "core/main_alg.h"
 #include "gen/hard_instances.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace wmatch;
+  const bench::Args args = bench::parse_args(argc, argv);
   bench::header(
       "E10 / Section 4.3 (layer depth)",
       "long_path_family(8 units, L, light=2, heavy=9): single-round gain "
@@ -25,6 +26,7 @@ int main() {
       for (int s = 0; s < kSeeds; ++s) {
         auto inst = gen::long_path_family(kUnits, L, 2, 9);
         core::ReductionConfig cfg;
+        cfg.runtime.num_threads = args.threads;
         cfg.epsilon = 0.2;
         cfg.tau.max_layers = layers;
         cfg.max_iterations = 1;
@@ -55,6 +57,7 @@ int main() {
     }
   }
   t.print(std::cout);
+  bench::maybe_write_json(args, "E10", t);
   bench::footer(
       "gain/round grows with max_layers and full flips appear only once "
       "the layer count reaches the augmentation length (L+1 layers for "

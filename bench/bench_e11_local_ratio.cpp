@@ -11,8 +11,9 @@
 #include "gen/generators.h"
 #include "gen/weights.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace wmatch;
+  const bench::Args args = bench::parse_args(argc, argv);
   bench::header(
       "E11 / Section 3.2 (local-ratio stack growth)",
       "Paz-Schwartzman local-ratio on random vs adversarial "
@@ -49,6 +50,7 @@ int main() {
                           3)});
   }
   t.print(std::cout);
+  bench::maybe_write_json(args, "E11", t);
   bench::footer(
       "both orders give ratio >= 1/2; |S| on random order tracks n log n "
       "(flat normalized column) while the adversarial order stores a "

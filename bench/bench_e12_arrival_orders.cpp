@@ -12,8 +12,9 @@
 #include "gen/generators.h"
 #include "gen/weights.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace wmatch;
+  const bench::Args args = bench::parse_args(argc, argv);
   bench::header(
       "E12 / random-arrival sensitivity (supplementary)",
       "Rand-Arr-Matching ratio vs stream disorder: increasing-weight "
@@ -42,6 +43,7 @@ int main() {
                Table::fmt(stored_acc.mean(), 0)});
   }
   t.print(std::cout);
+  bench::maybe_write_json(args, "E12", t);
   bench::footer(
       "the ratio stays high across all orders (the algorithm is robust; "
       "the adversarial order even helps because the blow-up of T lets the "

@@ -10,8 +10,9 @@
 #include "gen/generators.h"
 #include "gen/weights.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace wmatch;
+  const bench::Args args = bench::parse_args(argc, argv);
   bench::header(
       "E13 / granularity & budget ablation (supplementary)",
       "Multipass (1-eps) with eps = 0.15 on n = 400, m = 2400, "
@@ -31,6 +32,7 @@ int main() {
                                       1 << 12, rng);
         Matching opt = exact::blossom_max_weight(g);
         core::ReductionConfig cfg;
+        cfg.runtime.num_threads = args.threads;
         cfg.epsilon = 0.15;
         cfg.tau.granularity = gran;
         cfg.tau.max_pairs = budget;
@@ -48,6 +50,7 @@ int main() {
     }
   }
   t.print(std::cout);
+  bench::maybe_write_json(args, "E13", t);
   bench::footer(
       "finer granularity / larger budgets buy ratio at the cost of more "
       "black-box invocations; even the coarsest setting clears 1 - eps on "

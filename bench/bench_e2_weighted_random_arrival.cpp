@@ -1,16 +1,18 @@
 // E2 — Theorems 1.1 / 3.14: (1/2 + c)-approximate weighted matching in one
 // pass over a random-order stream, vs greedy and local-ratio [PS17].
+//
+// All three contenders are registry solvers run against the identical
+// Instance through the unified API. Flags: --threads=N, --json[=path].
 #include "bench_common.h"
 
-#include "baselines/greedy.h"
-#include "baselines/local_ratio.h"
-#include "core/rand_arr_matching.h"
+#include "api/api.h"
 #include "exact/blossom.h"
 #include "gen/generators.h"
 #include "gen/weights.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace wmatch;
+  const bench::Args args = bench::parse_args(argc, argv);
   bench::header("E2 / Theorems 1.1, 3.14",
                 "One-pass weighted matching, random edge arrivals: "
                 "Rand-Arr-Matching vs greedy and local-ratio [PS17].");
@@ -41,23 +43,27 @@ int main() {
       } else {
         g = gen::random_geometric(700, 0.08, 1000, rng);
       }
-      auto stream = gen::random_stream(g, rng);
-      Matching opt = exact::blossom_max_weight(g);
-      Matching greedy =
-          baselines::greedy_stream_matching(stream, g.num_vertices());
-      baselines::LocalRatio lr(g.num_vertices());
-      for (const Edge& e : stream) lr.feed(e);
-      Matching local_ratio = lr.unwind();
-      auto ours = core::rand_arr_matching(stream, g.num_vertices(), {}, rng);
+      api::Instance inst = api::make_instance(
+          std::move(g), api::ArrivalOrder::kRandom,
+          api::stream_seed_for(2000u + s), c.family);
+      Matching opt = exact::blossom_max_weight(inst.graph);
 
-      greedy_r.add(bench::ratio(greedy.weight(), opt.weight()));
-      lr_r.add(bench::ratio(local_ratio.weight(), opt.weight()));
+      api::SolverSpec spec;
+      spec.seed = 2000 + s;
+      spec.runtime.num_threads = args.threads;
+      auto greedy = api::Solver("greedy").solve(inst, spec);
+      auto local_ratio = api::Solver("local-ratio").solve(inst, spec);
+      auto ours = api::Solver("rand-arrival").solve(inst, spec);
+
+      greedy_r.add(bench::ratio(greedy.matching.weight(), opt.weight()));
+      lr_r.add(bench::ratio(local_ratio.matching.weight(), opt.weight()));
       ours_r.add(bench::ratio(ours.matching.weight(), opt.weight()));
     }
     t.add_row({c.family, c.dist_name, bench::fmt_ratio(greedy_r),
                bench::fmt_ratio(lr_r), bench::fmt_ratio(ours_r)});
   }
   t.print(std::cout);
+  bench::maybe_write_json(args, "E2", t);
   bench::footer(
       "'ours' > 1/2 on every row and >= both baselines; the paper "
       "guarantees 1/2 + c in expectation where the baselines only give "

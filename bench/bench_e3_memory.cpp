@@ -8,8 +8,9 @@
 #include "gen/generators.h"
 #include "gen/weights.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace wmatch;
+  const bench::Args args = bench::parse_args(argc, argv);
   bench::header("E3 / Lemmas 3.3, 3.15",
                 "Semi-streaming memory on random-order streams: stored "
                 "edges vs n (m = n^1.5), normalized by n*log2(n).");
@@ -37,6 +38,7 @@ int main() {
                Table::fmt(stored_acc.mean() / static_cast<double>(m), 4)});
   }
   t.print(std::cout);
+  bench::maybe_write_json(args, "E3", t);
   bench::footer(
       "stored/(n log n) stays bounded (roughly flat) while stored/m "
       "shrinks as m = n^1.5 grows — the O(n polylog n) semi-streaming "

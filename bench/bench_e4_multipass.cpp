@@ -11,8 +11,9 @@
 #include "gen/generators.h"
 #include "gen/weights.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace wmatch;
+  const bench::Args args = bench::parse_args(argc, argv);
   bench::header("E4 / Theorem 1.2 (multipass streaming)",
                 "(1-eps) weighted matching via unweighted augmentations; "
                 "passes charged until the target ratio is reached "
@@ -34,6 +35,7 @@ int main() {
         double target = (1.0 - eps) * static_cast<double>(opt.weight());
 
         core::ReductionConfig cfg;
+        cfg.runtime.num_threads = args.threads;
         cfg.epsilon = eps;
         core::HkStreamingMatcher matcher;
         Matching m(g.num_vertices());
@@ -66,6 +68,7 @@ int main() {
     }
   }
   t.print(std::cout);
+  bench::maybe_write_json(args, "E4", t);
   bench::footer(
       "'passes to 1-eps' depends on eps, not on n (columns stay flat down "
       "each n-block) — the paper's Oe(1)-pass claim; prior work needed "

@@ -2,12 +2,15 @@
 // simulated cluster; rounds track the unweighted black box times a
 // constant, per-machine memory stays near-linear in n.
 //
-// Flags: --threads=N runs the simulated machines on N host threads
-// (matching weight / rounds are bit-identical for any N — only the wall
-// clock changes); --json dumps BENCH_E5.json for trend tracking.
+// The weighted run goes through the unified API ("reduction-mpc" with
+// MpcKnobs); the probe stays a direct mpc_bipartite_matching call because
+// a lone black-box invocation is not a registered solver. Flags:
+// --threads=N runs the simulated machines on N host threads (matching
+// weight / rounds are bit-identical for any N — only the wall clock
+// changes); --json dumps BENCH_E5.json for trend tracking.
 #include "bench_common.h"
 
-#include "core/main_alg.h"
+#include "api/api.h"
 #include "exact/blossom.h"
 #include "gen/generators.h"
 #include "gen/weights.h"
@@ -32,12 +35,13 @@ int main(int argc, char** argv) {
                                   gen::WeightDist::kUniform, 1 << 10, rng);
     Matching opt = exact::blossom_max_weight(g);
 
-    mpc::MpcConfig config{std::max<std::size_t>(2, m / n), 24 * n};
-    config.runtime.num_threads = args.threads;
+    api::MpcKnobs cluster{std::max<std::size_t>(2, m / n), 24 * n};
 
     // Baseline: one unweighted black-box invocation on the bipartite
     // double cover of g (vertex v -> (v, v+n); edge {u,v} -> {u, v+n},
     // {v, u+n}) — a standard bipartite instance of comparable size.
+    mpc::MpcConfig config{cluster.num_machines, cluster.machine_memory_words};
+    config.runtime.num_threads = args.threads;
     mpc::MpcContext probe_ctx(config);
     Rng probe_rng(1);
     Graph cover(2 * n);
@@ -50,27 +54,32 @@ int main(int argc, char** argv) {
     auto probe = mpc::mpc_bipartite_matching(cover, cover_side, 0.1,
                                              probe_ctx, probe_rng);
 
-    mpc::MpcContext ctx(config);
-    core::MpcMatcher matcher(ctx, rng);
-    core::ReductionConfig cfg;
-    cfg.epsilon = 0.2;
-    cfg.runtime.num_threads = args.threads;
-    core::MainAlgResult result;
+    api::Instance inst =
+        api::make_instance(std::move(g), api::ArrivalOrder::kAsGenerated,
+                           5000 + n, "erdos_renyi");
+    api::SolverSpec spec;
+    spec.epsilon = 0.2;
+    spec.seed = 5000 + n;
+    spec.runtime.num_threads = args.threads;
+    spec.knobs = cluster;
+
+    api::SolveResult result;
     const double ms = bench::time_ms(
-        [&] { result = core::maximum_weight_matching(g, cfg, matcher, rng); });
+        [&] { result = api::Solver("reduction-mpc").solve(inst, spec); });
 
     t.add_row(
-        {Table::fmt(n), Table::fmt(m), Table::fmt(config.num_machines),
+        {Table::fmt(n), Table::fmt(m), Table::fmt(cluster.num_machines),
          Table::fmt(args.threads),
          Table::fmt(bench::ratio(result.matching.weight(), opt.weight()), 4),
          Table::fmt(probe.rounds_used),
-         Table::fmt(static_cast<double>(result.parallel_model_cost) /
-                        static_cast<double>(result.iterations),
+         Table::fmt(static_cast<double>(result.cost.rounds) /
+                        result.stat("iterations", 1.0),
                     1),
-         Table::fmt(static_cast<double>(ctx.peak_machine_memory()) /
+         Table::fmt(static_cast<double>(result.cost.memory_peak_words) /
                         static_cast<double>(n),
                     2),
-         ctx.memory_violated() ? "VIOLATED" : "yes", Table::fmt(ms, 1)});
+         result.stat("memory_ok") > 0.0 ? "yes" : "VIOLATED",
+         Table::fmt(ms, 1)});
   }
   t.print(std::cout);
   bench::maybe_write_json(args, "E5", t);

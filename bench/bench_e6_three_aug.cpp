@@ -5,8 +5,9 @@
 #include "core/unw_three_aug.h"
 #include "gen/hard_instances.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace wmatch;
+  const bench::Args args = bench::parse_args(argc, argv);
   bench::header("E6 / Lemma 3.1",
                 "Unw-3-Aug-Paths on planted instances (|M| = 2000): "
                 "recovered paths vs the lemma's (beta^2/32)|M| bound.");
@@ -38,6 +39,7 @@ int main() {
                Table::fmt(support.mean(), 2)});
   }
   t.print(std::cout);
+  bench::maybe_write_json(args, "E6", t);
   bench::footer(
       "recovered >> the worst-case bound at every beta (planted instances "
       "are benign: recovery is near-perfect), and support stays O(|M|).");

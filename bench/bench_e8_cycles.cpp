@@ -6,8 +6,9 @@
 #include "core/main_alg.h"
 #include "gen/hard_instances.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace wmatch;
+  const bench::Args args = bench::parse_args(argc, argv);
   bench::header("E8 / Section 1.1.2 (augmenting cycles)",
                 "4-cycle family (weights base, base+gap): the initial "
                 "matching is perfect; only cycles improve it.");
@@ -19,6 +20,7 @@ int main() {
     for (int s = 0; s < kSeeds; ++s) {
       auto inst = gen::four_cycle_family(k, 3, 1);
       core::ReductionConfig cfg;
+      cfg.runtime.num_threads = args.threads;
       cfg.epsilon = 0.1;
       cfg.tau.granularity = 0.125;
       cfg.tau.max_layers = 6;
@@ -45,6 +47,7 @@ int main() {
                bench::fmt_ratio(full_r), bench::fmt_ratio(pathonly_r)});
   }
   t.print(std::cout);
+  bench::maybe_write_json(args, "E8", t);
   bench::footer(
       "path-only stays frozen at the start ratio 6/8 = 0.75 (no augmenting "
       "path exists in a perfect matching); the full algorithm climbs "

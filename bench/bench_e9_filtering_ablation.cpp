@@ -8,8 +8,9 @@
 #include "gen/generators.h"
 #include "gen/weights.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace wmatch;
+  const bench::Args args = bench::parse_args(argc, argv);
   bench::header(
       "E9 / Figures 1-2 (filtering ablation)",
       "Wgt-Aug-Paths' augmentation branch (M2) with and without the "
@@ -61,6 +62,7 @@ int main() {
                std::to_string(losses) + "/" + std::to_string(kSeeds)});
   }
   t.print(std::cout);
+  bench::maybe_write_json(args, "E9", t);
   bench::footer(
       "filtered M2 never drops below M0 and typically gains; the "
       "unfiltered branch records losses (applies augmenting paths that "

@@ -4,6 +4,9 @@
 // claims.
 #include <benchmark/benchmark.h>
 
+#include <string>
+#include <vector>
+
 #include "baselines/local_ratio.h"
 #include "core/layered_graph.h"
 #include "core/rand_arr_matching.h"
@@ -95,4 +98,42 @@ BENCHMARK(BM_RandArrMatchingPipeline)->Range(256, 2048);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main so the harness's common flags work here too: --json[=path]
+// maps onto google-benchmark's JSON file reporter (BENCH_micro_kernels.json
+// by default); --threads=N is accepted for CLI uniformity but ignored —
+// these kernels measure single-threaded implementation speed.
+int main(int argc, char** argv) {
+  std::vector<std::string> storage;
+  storage.reserve(static_cast<std::size_t>(argc) + 2);
+  std::string json_path;
+  bool json = false;
+  storage.emplace_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    const std::string s = argv[i];
+    if (s == "--json") {
+      json = true;
+    } else if (s.rfind("--json=", 0) == 0) {
+      json = true;
+      json_path = s.substr(7);
+    } else if (s.rfind("--threads=", 0) == 0) {
+      // accepted, no effect (see above)
+    } else {
+      storage.push_back(s);
+    }
+  }
+  if (json) {
+    storage.push_back("--benchmark_out=" +
+                      (json_path.empty() ? std::string("BENCH_micro_kernels.json")
+                                         : json_path));
+    storage.push_back("--benchmark_out_format=json");
+  }
+  std::vector<char*> args;
+  args.reserve(storage.size());
+  for (std::string& s : storage) args.push_back(s.data());
+  int bench_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&bench_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(bench_argc, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

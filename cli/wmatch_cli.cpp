@@ -1,0 +1,302 @@
+// wmatch_cli — command-line driver over the unified solver API.
+//
+//   wmatch_cli list [--json]
+//       Print every registered solver (name, model, objective, guarantee).
+//
+//   wmatch_cli solve --algo=NAME[,NAME...] [instance flags] [solver flags]
+//       Build one instance, run each named solver on it, print a
+//       comparison table — or, with --json, one JSON object per solver
+//       (each carrying the normalized CostReport).
+//
+// Instance flags:
+//   --gen=erdos_renyi|bipartite|barabasi_albert|geometric|path|cycle
+//   --n=N --m=M --attach=K --radius=R
+//   --weights=uniform|exponential|polynomial|classes  --max-weight=W
+//   --order=random|as-generated|increasing-weight|decreasing-weight|clustered
+//   --input=FILE   load a DIMACS-flavoured graph instead of generating
+//   --seed=S       generation + solver seed
+// Solver flags:
+//   --epsilon=E --delta=D --threads=T
+//   --machines=G --mem-words=S     (MPC cluster sizing; 0 = paper regime)
+//   --p=P --beta=B                 (random-arrival knobs)
+// Output flags:
+//   --json          machine-readable output
+//   --with-optimum  also run Blossom and report ratios
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "api/api.h"
+#include "exact/blossom.h"
+#include "graph/io.h"
+#include "util/json.h"
+
+namespace {
+
+using namespace wmatch;
+
+struct CliOptions {
+  std::vector<std::string> algos;
+  api::GenSpec gen;
+  std::string input_path;
+  api::SolverSpec spec;
+  api::MpcKnobs mpc;
+  api::RandomArrivalKnobs arrival;
+  bool mpc_knobs_set = false;
+  bool arrival_knobs_set = false;
+  bool json = false;
+  bool with_optimum = false;
+};
+
+[[noreturn]] void usage_error(const std::string& msg) {
+  std::cerr << "error: " << msg
+            << "\nrun `wmatch_cli help` for the flag reference\n";
+  std::exit(2);
+}
+
+void print_help() {
+  std::cout <<
+      "usage: wmatch_cli <command> [flags]\n"
+      "\n"
+      "commands:\n"
+      "  list                     print registered solvers\n"
+      "  solve --algo=A[,B,...]   run solvers on one instance\n"
+      "  help                     this text\n"
+      "\n"
+      "instance flags (solve):\n"
+      "  --gen=NAME       erdos_renyi (default) | bipartite |\n"
+      "                   barabasi_albert | geometric | path | cycle\n"
+      "  --n=N --m=M      size (defaults 1000 / 4000)\n"
+      "  --attach=K       barabasi_albert attachment degree\n"
+      "  --radius=R       geometric connection radius\n"
+      "  --weights=NAME   uniform | exponential | polynomial | classes\n"
+      "  --max-weight=W   weight scale (default 4096)\n"
+      "  --order=NAME     random | as-generated | increasing-weight |\n"
+      "                   decreasing-weight | clustered\n"
+      "  --input=FILE     load a graph (overrides --gen)\n"
+      "  --seed=S         generation + solver seed (default 1)\n"
+      "\n"
+      "solver flags:\n"
+      "  --epsilon=E --delta=D --threads=T\n"
+      "  --machines=G --mem-words=S   MPC sizing (0 = paper regime)\n"
+      "  --p=P --beta=B               random-arrival knobs\n"
+      "\n"
+      "output flags:\n"
+      "  --json           one JSON object per solver on stdout\n"
+      "  --with-optimum   also run exact Blossom, report ratios\n";
+}
+
+bool consume(const std::string& arg, const char* flag, std::string* value) {
+  const std::string prefix = std::string(flag) + "=";
+  if (arg.rfind(prefix, 0) != 0) return false;
+  *value = arg.substr(prefix.size());
+  return true;
+}
+
+std::size_t parse_size(const std::string& flag, const std::string& value) {
+  try {
+    if (value.empty() ||
+        value.find_first_not_of("0123456789") != std::string::npos) {
+      throw std::invalid_argument(value);
+    }
+    return static_cast<std::size_t>(std::stoull(value));
+  } catch (const std::exception&) {  // non-numeric or out of range
+    usage_error(flag + " expects a non-negative integer, got '" + value + "'");
+  }
+}
+
+double parse_double(const std::string& flag, const std::string& value) {
+  std::istringstream ss(value);
+  double x;
+  if (!(ss >> x) || !ss.eof()) {
+    usage_error(flag + " expects a number, got '" + value + "'");
+  }
+  return x;
+}
+
+CliOptions parse_solve_flags(int argc, char** argv) {
+  CliOptions opt;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    std::string v;
+    if (consume(arg, "--algo", &v)) {
+      std::stringstream ss(v);
+      std::string name;
+      while (std::getline(ss, name, ',')) {
+        if (!name.empty()) opt.algos.push_back(name);
+      }
+    } else if (consume(arg, "--gen", &v)) {
+      opt.gen.generator = v;
+    } else if (consume(arg, "--n", &v)) {
+      opt.gen.n = parse_size("--n", v);
+    } else if (consume(arg, "--m", &v)) {
+      opt.gen.m = parse_size("--m", v);
+    } else if (consume(arg, "--attach", &v)) {
+      opt.gen.attach = parse_size("--attach", v);
+    } else if (consume(arg, "--radius", &v)) {
+      opt.gen.radius = parse_double("--radius", v);
+    } else if (consume(arg, "--weights", &v)) {
+      opt.gen.weights = api::parse_weight_dist(v);
+    } else if (consume(arg, "--max-weight", &v)) {
+      opt.gen.max_weight = static_cast<Weight>(parse_size("--max-weight", v));
+    } else if (consume(arg, "--order", &v)) {
+      opt.gen.order = api::parse_arrival_order(v);
+    } else if (consume(arg, "--input", &v)) {
+      opt.input_path = v;
+    } else if (consume(arg, "--seed", &v)) {
+      opt.gen.seed = parse_size("--seed", v);
+      opt.spec.seed = opt.gen.seed;
+    } else if (consume(arg, "--epsilon", &v)) {
+      opt.spec.epsilon = parse_double("--epsilon", v);
+    } else if (consume(arg, "--delta", &v)) {
+      opt.spec.delta = parse_double("--delta", v);
+    } else if (consume(arg, "--threads", &v)) {
+      opt.spec.runtime.num_threads = parse_size("--threads", v);
+    } else if (consume(arg, "--machines", &v)) {
+      opt.mpc.num_machines = parse_size("--machines", v);
+      opt.mpc_knobs_set = true;
+    } else if (consume(arg, "--mem-words", &v)) {
+      opt.mpc.machine_memory_words = parse_size("--mem-words", v);
+      opt.mpc_knobs_set = true;
+    } else if (consume(arg, "--p", &v)) {
+      opt.arrival.p = parse_double("--p", v);
+      opt.arrival_knobs_set = true;
+    } else if (consume(arg, "--beta", &v)) {
+      opt.arrival.beta = parse_double("--beta", v);
+      opt.arrival_knobs_set = true;
+    } else if (arg == "--json") {
+      opt.json = true;
+    } else if (arg == "--with-optimum") {
+      opt.with_optimum = true;
+    } else {
+      usage_error("unknown flag '" + arg + "'");
+    }
+  }
+  if (opt.algos.empty()) usage_error("solve requires --algo=NAME[,NAME...]");
+  if (opt.mpc_knobs_set && opt.arrival_knobs_set) {
+    usage_error("--machines/--mem-words and --p/--beta are mutually "
+                "exclusive (one typed knob set per spec)");
+  }
+  return opt;
+}
+
+int cmd_list(bool json) {
+  const auto solvers = api::Registry::instance().list();
+  if (json) {
+    std::cout << "[";
+    for (std::size_t i = 0; i < solvers.size(); ++i) {
+      const auto& s = solvers[i];
+      if (i) std::cout << ',';
+      std::cout << "{\"name\":";
+      util::write_json_string(std::cout, s.name);
+      std::cout << ",\"model\":";
+      util::write_json_string(std::cout, s.model);
+      std::cout << ",\"objective\":";
+      util::write_json_string(std::cout, s.objective);
+      std::cout << ",\"guarantee\":" << s.guarantee
+                << ",\"bipartite_only\":" << (s.bipartite_only ? "true" : "false")
+                << ",\"description\":";
+      util::write_json_string(std::cout, s.description);
+      std::cout << '}';
+    }
+    std::cout << "]\n";
+    return 0;
+  }
+  Table t({"name", "model", "objective", "guarantee", "description"});
+  for (const auto& s : solvers) {
+    t.add_row({s.name, s.model, s.objective,
+               s.guarantee > 0.0 ? Table::fmt(s.guarantee, 2) : "1-eps/heur",
+               s.description});
+  }
+  t.print(std::cout);
+  return 0;
+}
+
+int cmd_solve(int argc, char** argv) {
+  CliOptions opt = parse_solve_flags(argc, argv);
+  if (opt.mpc_knobs_set) opt.spec.knobs = opt.mpc;
+  if (opt.arrival_knobs_set) opt.spec.knobs = opt.arrival;
+
+  api::Instance inst;
+  if (!opt.input_path.empty()) {
+    inst = api::make_instance(io::load_graph(opt.input_path), opt.gen.order,
+                              api::stream_seed_for(opt.gen.seed),
+                              opt.input_path);
+  } else {
+    inst = api::generate_instance(opt.gen);
+  }
+
+  // Each solver is compared against the optimum of its registered
+  // objective: weight solvers against Blossom's max weight, cardinality
+  // solvers against Blossom's max cardinality. Blossom dominates the wall
+  // clock on large instances, so each optimum is computed only if some
+  // requested solver has that objective.
+  double opt_weight = -1.0, opt_size = -1.0;
+  if (opt.with_optimum) {
+    for (const std::string& algo : opt.algos) {
+      const bool cardinality =
+          api::Registry::instance().info(algo).objective == "cardinality";
+      if (cardinality && opt_size < 0.0) {
+        opt_size = static_cast<double>(
+            exact::blossom_max_weight(inst.graph, true).size());
+      } else if (!cardinality && opt_weight < 0.0) {
+        opt_weight = static_cast<double>(
+            exact::blossom_max_weight(inst.graph).weight());
+      }
+    }
+  }
+
+  std::vector<api::SolveResult> results;
+  for (const std::string& algo : opt.algos) {
+    api::SolveResult r = api::Solver(algo).solve(inst, opt.spec);
+    if (opt.json) {
+      const bool cardinality =
+          api::Registry::instance().info(algo).objective == "cardinality";
+      api::print_json(std::cout, r, inst, opt.spec,
+                      cardinality ? opt_size : opt_weight);
+    }
+    results.push_back(std::move(r));
+  }
+  if (!opt.json) {
+    std::cout << "instance: " << inst.name << "  n=" << inst.num_vertices()
+              << " m=" << inst.num_edges()
+              << (inst.is_bipartite() ? " (bipartite)" : "") << "  seed="
+              << opt.gen.seed << "\n\n";
+    api::result_table(results, opt_weight, opt_size).print(std::cout);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    print_help();
+    return 2;
+  }
+  const std::string cmd = argv[1];
+  try {
+    if (cmd == "help" || cmd == "--help" || cmd == "-h") {
+      print_help();
+      return 0;
+    }
+    if (cmd == "list") {
+      bool json = false;
+      for (int i = 2; i < argc; ++i) {
+        if (std::string(argv[i]) == "--json") {
+          json = true;
+        } else {
+          usage_error("unknown flag '" + std::string(argv[i]) +
+                      "' (list supports --json)");
+        }
+      }
+      return cmd_list(json);
+    }
+    if (cmd == "solve") return cmd_solve(argc, argv);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+  usage_error("unknown command '" + cmd + "'");
+}

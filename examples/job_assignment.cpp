@@ -2,69 +2,40 @@
 // the paper's introduction: large bipartite matching where edges — worker
 // bids — arrive online in random order and memory is limited).
 //
-// Workers bid on jobs; the bid value is the edge weight. We compare:
-//   * greedy-by-arrival (the folklore baseline),
-//   * Paz-Schwartzman local-ratio (the previous best single-pass),
-//   * Rand-Arr-Matching (this paper, single pass, random arrivals),
-//   * the (1-eps) multipass reduction (this paper),
-// against the Hungarian exact optimum.
+// With the unified API the whole comparison is a loop over registry names:
+// the exact optimum, both folklore baselines, and the paper's two
+// algorithms run against the identical instance and report through the
+// same CostReport.
 #include <iostream>
 
-#include "baselines/greedy.h"
-#include "baselines/local_ratio.h"
-#include "core/main_alg.h"
-#include "core/rand_arr_matching.h"
-#include "exact/hungarian.h"
-#include "gen/generators.h"
-#include "gen/weights.h"
-#include "util/rng.h"
-#include "util/table.h"
+#include "api/api.h"
 
 int main() {
   using namespace wmatch;
-  Rng rng(7);
 
-  const std::size_t workers = 300, jobs = 300;
-  Graph g = gen::assign_weights(
-      gen::random_bipartite(workers, jobs, 4000, rng),
-      gen::WeightDist::kPolynomial, 1000, rng);
-  std::vector<char> side(workers + jobs, 1);
-  for (std::size_t v = 0; v < workers; ++v) side[v] = 0;
+  api::GenSpec gen;
+  gen.generator = "bipartite";
+  gen.n = 600;  // 300 workers + 300 jobs
+  gen.m = 4000;
+  gen.weights = gen::WeightDist::kPolynomial;
+  gen.max_weight = 1000;
+  gen.seed = 7;
+  api::Instance inst = api::generate_instance(gen);
 
-  Matching opt = exact::hungarian_max_weight(g, side);
-  auto stream = gen::random_stream(g, rng);
+  api::SolverSpec spec;
+  spec.epsilon = 0.15;
+  spec.seed = gen.seed;
 
-  Matching greedy = baselines::greedy_stream_matching(stream, g.num_vertices());
+  std::vector<api::SolveResult> results;
+  for (const char* algo : {"exact-hungarian", "greedy", "local-ratio",
+                           "rand-arrival", "reduction-hk"}) {
+    results.push_back(api::Solver(algo).solve(inst, spec));
+  }
 
-  baselines::LocalRatio lr(g.num_vertices());
-  for (const Edge& e : stream) lr.feed(e);
-  Matching local_ratio = lr.unwind();
-
-  auto ours1 = core::rand_arr_matching(stream, g.num_vertices(), {}, rng);
-
-  core::ReductionConfig cfg;
-  cfg.epsilon = 0.15;
-  core::HkStreamingMatcher matcher;
-  auto ours2 = core::maximum_weight_matching(g, cfg, matcher, rng);
-
-  auto ratio = [&](Weight w) {
-    return Table::fmt(static_cast<double>(w) /
-                          static_cast<double>(opt.weight()),
-                      4);
-  };
-  Table t({"algorithm", "value", "ratio", "passes"});
-  t.add_row({"exact (Hungarian)", Table::fmt(opt.weight()), "1.0000", "-"});
-  t.add_row({"greedy by arrival", Table::fmt(greedy.weight()),
-             ratio(greedy.weight()), "1"});
-  t.add_row({"local-ratio [PS17]", Table::fmt(local_ratio.weight()),
-             ratio(local_ratio.weight()), "1"});
-  t.add_row({"Rand-Arr-Matching (this paper)",
-             Table::fmt(ours1.matching.weight()),
-             ratio(ours1.matching.weight()), "1"});
-  t.add_row({"multipass (1-eps) (this paper)",
-             Table::fmt(ours2.matching.weight()),
-             ratio(ours2.matching.weight()),
-             Table::fmt(ours2.parallel_model_cost)});
-  t.print(std::cout);
+  const double optimum = static_cast<double>(results[0].matching.weight());
+  api::result_table(results, optimum).print(std::cout);
+  std::cout << "\ngreedy's ratio collapses under adversarial bid orders "
+               "(try api::ArrivalOrder::kIncreasingWeight); the paper's "
+               "single-pass solver holds 1/2 + c on random arrivals.\n";
   return 0;
 }

@@ -1,55 +1,56 @@
 // Simulated MPC cluster computing a (1-eps)-approximate maximum weight
-// matching (Theorem 1.2, MPC instantiation).
+// matching (Theorem 1.2, MPC instantiation) through the unified API.
 //
-// The simulator accounts for the model's resources exactly: machines,
-// rounds, per-machine memory, communication volume. This example sizes the
-// cluster like the paper does — Gamma = O(m/n) machines with S = Theta~(n)
-// words each — and prints the accounting alongside the achieved ratio.
+// The MPC-specific cluster sizing travels as the typed MpcKnobs variant on
+// the SolverSpec; the simulator's exact accounting (rounds, per-machine
+// memory, communication) comes back normalized in the CostReport, so this
+// example prints the same fields a streaming run would — only the model
+// changes.
 #include <iostream>
 
-#include "core/main_alg.h"
-#include "exact/blossom.h"
-#include "gen/generators.h"
-#include "gen/weights.h"
-#include "mpc/mpc_context.h"
-#include "util/rng.h"
+#include "api/api.h"
 
 int main() {
   using namespace wmatch;
-  Rng rng(99);
 
-  const std::size_t n = 1000;
-  const std::size_t m = 12000;
-  Graph g = gen::assign_weights(gen::barabasi_albert(n, 12, rng),
-                                gen::WeightDist::kExponential, 1 << 16, rng);
-  (void)m;
+  api::GenSpec gen;
+  gen.generator = "barabasi_albert";
+  gen.n = 1000;
+  gen.attach = 12;
+  gen.weights = gen::WeightDist::kExponential;
+  gen.max_weight = 1 << 16;
+  gen.seed = 99;
+  api::Instance inst = api::generate_instance(gen);
 
-  // Gamma = m/n machines, S = 16n words per machine.
-  mpc::MpcConfig config{std::max<std::size_t>(2, g.num_edges() / n), 16 * n};
-  mpc::MpcContext ctx(config);
-  core::MpcMatcher matcher(ctx, rng);
+  // Gamma = m/n machines, S = 16n words per machine (the paper's regime).
+  api::MpcKnobs cluster;
+  cluster.num_machines = std::max<std::size_t>(2, inst.num_edges() / gen.n);
+  cluster.machine_memory_words = 16 * gen.n;
 
-  core::ReductionConfig cfg;
-  cfg.epsilon = 0.15;
-  auto result = core::maximum_weight_matching(g, cfg, matcher, rng);
-  Matching opt = exact::blossom_max_weight(g);
+  api::SolverSpec spec;
+  spec.epsilon = 0.15;
+  spec.seed = gen.seed;
+  spec.knobs = cluster;
 
-  std::cout << "graph: n=" << g.num_vertices() << " m=" << g.num_edges()
+  api::SolveResult r = api::Solver("reduction-mpc").solve(inst, spec);
+  api::SolveResult opt = api::Solver("exact-blossom").solve(inst, spec);
+
+  auto stat = [&](const char* name) { return r.stat(name); };
+  std::cout << "graph: n=" << inst.num_vertices() << " m=" << inst.num_edges()
             << "\n"
-            << "cluster: " << config.num_machines << " machines x "
-            << config.machine_memory_words << " words\n"
-            << "matching weight: " << result.matching.weight() << " / "
-            << opt.weight() << " (ratio "
-            << static_cast<double>(result.matching.weight()) /
-                   static_cast<double>(opt.weight())
+            << "cluster: " << cluster.num_machines << " machines x "
+            << cluster.machine_memory_words << " words\n"
+            << "matching weight: " << r.matching.weight() << " / "
+            << opt.matching.weight() << " (ratio "
+            << static_cast<double>(r.matching.weight()) /
+                   static_cast<double>(opt.matching.weight())
             << ")\n"
-            << "improvement rounds: " << result.iterations << "\n"
-            << "MPC rounds charged (parallel model): "
-            << result.parallel_model_cost << "\n"
-            << "peak machine memory: " << ctx.peak_machine_memory()
-            << " words (budget " << config.machine_memory_words << ", "
-            << (ctx.memory_violated() ? "VIOLATED" : "ok") << ")\n"
-            << "total communication: " << ctx.total_communication()
+            << "improvement rounds: " << stat("iterations") << "\n"
+            << "MPC rounds charged (parallel model): " << r.cost.rounds << "\n"
+            << "peak machine memory: " << r.cost.memory_peak_words
+            << " words (budget " << cluster.machine_memory_words << ", "
+            << (stat("memory_ok") > 0.0 ? "ok" : "VIOLATED") << ")\n"
+            << "total communication: " << r.cost.communication_words
             << " words\n";
   return 0;
 }

@@ -1,51 +1,45 @@
-// Quickstart: build a small weighted graph, run the paper's two headline
-// algorithms, and compare with the exact optimum.
+// Quickstart: one instance, the paper's two headline algorithms, and the
+// exact optimum — all through the unified solver facade.
 //
-//   $ ./quickstart
+//   $ ./example_quickstart
 //
-// Demonstrates: Graph/Matching construction, Rand-Arr-Matching (Theorem
-// 1.1, single pass over a random-order stream), the (1-eps) multipass
-// reduction (Theorem 1.2), and the Blossom exact solver.
+// Demonstrates: api::generate_instance (graph + random-order stream in one
+// object), api::Solver (registry lookup by name), and the normalized
+// CostReport (the "passes" column is the streaming model cost, identical
+// in meaning across every backend).
 #include <iostream>
 
-#include "core/main_alg.h"
-#include "core/rand_arr_matching.h"
-#include "exact/blossom.h"
-#include "gen/generators.h"
-#include "gen/weights.h"
-#include "util/rng.h"
+#include "api/api.h"
 
 int main() {
   using namespace wmatch;
-  Rng rng(2026);
 
-  // A 200-vertex random graph with exponential weights.
-  Graph g = gen::assign_weights(gen::erdos_renyi(200, 1200, rng),
-                                gen::WeightDist::kExponential, 1 << 12, rng);
+  // A 200-vertex random graph with exponential weights; the instance also
+  // carries a random-order stream view for the single-pass solver.
+  api::GenSpec gen;
+  gen.n = 200;
+  gen.m = 1200;
+  gen.weights = gen::WeightDist::kExponential;
+  gen.seed = 2026;
+  api::Instance inst = api::generate_instance(gen);
 
-  // Ground truth.
-  Matching opt = exact::blossom_max_weight(g);
-  std::cout << "optimal matching weight  : " << opt.weight() << "\n";
+  api::SolverSpec spec;
+  spec.epsilon = 0.1;
+  spec.seed = gen.seed;
 
-  // 1. Single pass over a random-order stream (Theorem 1.1: 1/2 + c).
-  auto stream = gen::random_stream(g, rng);
-  auto single_pass = core::rand_arr_matching(stream, g.num_vertices(), {}, rng);
-  std::cout << "single-pass (rand order) : " << single_pass.matching.weight()
-            << "  (ratio "
-            << static_cast<double>(single_pass.matching.weight()) /
-                   static_cast<double>(opt.weight())
-            << ", stored " << single_pass.stored_peak << " edges)\n";
+  // Ground truth, single pass (Theorem 1.1), multipass (Theorem 1.2) —
+  // the same call for each.
+  std::vector<api::SolveResult> results;
+  for (const char* algo : {"exact-blossom", "rand-arrival", "reduction-hk"}) {
+    results.push_back(api::Solver(algo).solve(inst, spec));
+  }
 
-  // 2. Multipass (1 - eps) via unweighted augmentations (Theorem 1.2).
-  core::ReductionConfig cfg;
-  cfg.epsilon = 0.1;
-  core::HkStreamingMatcher matcher;
-  auto multipass = core::maximum_weight_matching(g, cfg, matcher, rng);
-  std::cout << "multipass (1-eps)        : " << multipass.matching.weight()
-            << "  (ratio "
-            << static_cast<double>(multipass.matching.weight()) /
-                   static_cast<double>(opt.weight())
-            << ", " << multipass.iterations << " rounds, model cost "
-            << multipass.parallel_model_cost << " passes)\n";
+  const double optimum = static_cast<double>(results[0].matching.weight());
+  api::result_table(results, optimum).print(std::cout);
+  std::cout << "\nrand-arrival stored "
+            << results[1].cost.memory_peak_words
+            << " words in its single pass; reduction-hk consumed "
+            << results[2].cost.passes << " streaming passes ("
+            << results[2].cost.bb_invocations << " black-box calls).\n";
   return 0;
 }

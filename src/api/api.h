@@ -1,0 +1,9 @@
+// Umbrella header for the unified solver API: instance construction, the
+// Solver facade + registry, and report rendering. `#include "api/api.h"`
+// is all an application needs.
+#pragma once
+
+#include "api/instance.h"   // IWYU pragma: export
+#include "api/registry.h"   // IWYU pragma: export
+#include "api/report.h"     // IWYU pragma: export
+#include "api/solver.h"     // IWYU pragma: export

@@ -1,0 +1,120 @@
+#include "api/instance.h"
+
+#include <utility>
+
+#include "exact/hopcroft_karp.h"
+#include "gen/generators.h"
+#include "util/require.h"
+#include "util/rng.h"
+
+namespace wmatch::api {
+
+const char* to_string(ArrivalOrder order) {
+  switch (order) {
+    case ArrivalOrder::kRandom: return "random";
+    case ArrivalOrder::kAsGenerated: return "as-generated";
+    case ArrivalOrder::kIncreasingWeight: return "increasing-weight";
+    case ArrivalOrder::kDecreasingWeight: return "decreasing-weight";
+    case ArrivalOrder::kClustered: return "clustered";
+  }
+  return "?";
+}
+
+ArrivalOrder parse_arrival_order(const std::string& name) {
+  if (name == "random") return ArrivalOrder::kRandom;
+  if (name == "as-generated") return ArrivalOrder::kAsGenerated;
+  if (name == "increasing-weight") return ArrivalOrder::kIncreasingWeight;
+  if (name == "decreasing-weight") return ArrivalOrder::kDecreasingWeight;
+  if (name == "clustered") return ArrivalOrder::kClustered;
+  WMATCH_REQUIRE(false, "unknown arrival order '" + name + "'");
+  return ArrivalOrder::kRandom;  // unreachable
+}
+
+const char* to_string(gen::WeightDist dist) {
+  switch (dist) {
+    case gen::WeightDist::kUniform: return "uniform";
+    case gen::WeightDist::kExponential: return "exponential";
+    case gen::WeightDist::kPolynomial: return "polynomial";
+    case gen::WeightDist::kClasses: return "classes";
+  }
+  return "?";
+}
+
+gen::WeightDist parse_weight_dist(const std::string& name) {
+  if (name == "uniform") return gen::WeightDist::kUniform;
+  if (name == "exponential") return gen::WeightDist::kExponential;
+  if (name == "polynomial") return gen::WeightDist::kPolynomial;
+  if (name == "classes") return gen::WeightDist::kClasses;
+  WMATCH_REQUIRE(false, "unknown weight distribution '" + name + "'");
+  return gen::WeightDist::kUniform;  // unreachable
+}
+
+namespace {
+
+std::vector<Edge> make_stream(const Graph& g, ArrivalOrder order,
+                              std::uint64_t order_seed) {
+  switch (order) {
+    case ArrivalOrder::kRandom: {
+      Rng rng(order_seed);
+      return gen::random_stream(g, rng);
+    }
+    case ArrivalOrder::kAsGenerated:
+      return {g.edges().begin(), g.edges().end()};
+    case ArrivalOrder::kIncreasingWeight:
+      return gen::increasing_weight_stream(g);
+    case ArrivalOrder::kDecreasingWeight:
+      return gen::decreasing_weight_stream(g);
+    case ArrivalOrder::kClustered:
+      return gen::clustered_stream(g);
+  }
+  return {};
+}
+
+}  // namespace
+
+Instance make_instance(Graph graph, ArrivalOrder order,
+                       std::uint64_t order_seed, std::string name) {
+  Instance inst;
+  inst.name = name.empty() ? "graph" : std::move(name);
+  inst.side = exact::bipartition_of(graph);
+  inst.stream = make_stream(graph, order, order_seed);
+  inst.graph = std::move(graph);
+  return inst;
+}
+
+Instance generate_instance(const GenSpec& spec) {
+  Rng rng(spec.seed);
+  Graph g;
+  if (spec.generator == "erdos_renyi") {
+    g = gen::erdos_renyi(spec.n, spec.m, rng);
+  } else if (spec.generator == "bipartite") {
+    g = gen::random_bipartite(spec.n / 2, spec.n - spec.n / 2, spec.m, rng);
+  } else if (spec.generator == "barabasi_albert") {
+    g = gen::barabasi_albert(spec.n, spec.attach, rng);
+  } else if (spec.generator == "geometric") {
+    // Inherently weighted (weight = closeness); skip assign_weights below.
+    g = gen::random_geometric(spec.n, spec.radius,
+                              std::max<Weight>(1, spec.max_weight), rng);
+  } else if (spec.generator == "path" || spec.generator == "cycle") {
+    WMATCH_REQUIRE(spec.n >= (spec.generator == "path" ? 2u : 3u),
+                   "path needs n >= 2, cycle needs n >= 3");
+    const std::size_t k = spec.generator == "path" ? spec.n - 1 : spec.n;
+    std::vector<Weight> w(k);
+    for (auto& x : w) x = gen::draw_weight(spec.weights, spec.max_weight, rng);
+    g = spec.generator == "path" ? gen::path_graph(w) : gen::cycle_graph(w);
+  } else {
+    WMATCH_REQUIRE(false, "unknown generator '" + spec.generator + "'");
+  }
+  // geometric is inherently weighted; path/cycle drew their per-edge
+  // weights from spec.weights above.
+  if (spec.generator != "geometric" && spec.generator != "path" &&
+      spec.generator != "cycle") {
+    g = gen::assign_weights(g, spec.weights, spec.max_weight, rng);
+  }
+  // A distinct stream seed so reordering the stream never aliases the
+  // generator's (or the solver's) own randomness.
+  return make_instance(std::move(g), spec.order, stream_seed_for(spec.seed),
+                       spec.generator);
+}
+
+}  // namespace wmatch::api

@@ -1,0 +1,87 @@
+// Problem instances for the unified solver API.
+//
+// An Instance bundles everything any model needs: the offline graph (for
+// exact / offline algorithms and for reduction passes), the same edges in
+// a concrete arrival order (for single-pass streaming algorithms), and the
+// bipartition when one exists (for bipartite-only solvers). All solvers in
+// a comparison therefore see exactly the same input — the instance is
+// built once and the registry runs every algorithm × model against it.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "gen/weights.h"
+#include "graph/graph.h"
+#include "graph/types.h"
+
+namespace wmatch::api {
+
+/// Arrival orders for the stream view (see gen/generators.h for the
+/// adversarial-order semantics).
+enum class ArrivalOrder {
+  kRandom,            ///< uniform random permutation (the paper's model)
+  kAsGenerated,       ///< generator emission order
+  kIncreasingWeight,  ///< adversarial for greedy / local-ratio
+  kDecreasingWeight,  ///< heaviest first
+  kClustered,         ///< grouped by min endpoint
+};
+
+const char* to_string(ArrivalOrder order);
+/// Parses the lowercase names ("random", "as-generated",
+/// "increasing-weight", "decreasing-weight", "clustered"); throws
+/// std::invalid_argument on anything else.
+ArrivalOrder parse_arrival_order(const std::string& name);
+
+struct Instance {
+  std::string name;          ///< human-readable label for reports
+  Graph graph;               ///< the offline view
+  std::vector<Edge> stream;  ///< the same edges in arrival order
+  std::vector<char> side;    ///< bipartition (empty if not bipartite)
+
+  std::size_t num_vertices() const { return graph.num_vertices(); }
+  std::size_t num_edges() const { return graph.num_edges(); }
+  bool is_bipartite() const { return !side.empty(); }
+};
+
+/// Wraps an existing graph: materializes the stream in the requested order
+/// (the random order is drawn from `order_seed`) and computes the
+/// bipartition if one exists.
+Instance make_instance(Graph graph, ArrivalOrder order,
+                       std::uint64_t order_seed, std::string name = "");
+
+/// Decorrelated stream-order seed for a master seed: callers that reuse
+/// one seed for generation/solving must not feed the same value to
+/// make_instance, or the solver's coin flips replay the exact sequence
+/// that shuffled the arrival order (the random-arrival analysis assumes
+/// the two are independent).
+inline std::uint64_t stream_seed_for(std::uint64_t seed) {
+  return seed * 0x9e3779b9ULL + 1;
+}
+
+/// Declarative instance generation — the CLI's `--gen=...` flags map 1:1
+/// onto this struct, and tests/benches can build the identical instance
+/// programmatically.
+struct GenSpec {
+  /// "erdos_renyi" | "bipartite" | "barabasi_albert" | "geometric" |
+  /// "path" | "cycle"
+  std::string generator = "erdos_renyi";
+  std::size_t n = 1000;
+  std::size_t m = 4000;       ///< edge target (erdos_renyi / bipartite)
+  std::size_t attach = 4;     ///< barabasi_albert attachment degree
+  double radius = 0.08;       ///< geometric connection radius
+  gen::WeightDist weights = gen::WeightDist::kUniform;
+  Weight max_weight = 1 << 12;
+  ArrivalOrder order = ArrivalOrder::kRandom;
+  std::uint64_t seed = 1;     ///< drives generation AND the stream order
+};
+
+/// Builds the graph, assigns weights, and materializes the stream; the
+/// whole instance is a deterministic function of the GenSpec.
+Instance generate_instance(const GenSpec& spec);
+
+gen::WeightDist parse_weight_dist(const std::string& name);
+const char* to_string(gen::WeightDist dist);
+
+}  // namespace wmatch::api

@@ -1,0 +1,80 @@
+#include "api/registry.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "util/require.h"
+
+namespace wmatch::api {
+
+// Defined in api/solvers.cpp; called exactly once from instance(). Explicit
+// registration (rather than pure static-init registrars) keeps the built-ins
+// alive through static-library linking, where a TU nothing references would
+// be dropped along with its initializers.
+void register_builtin_solvers(Registry& registry);
+
+Registry& Registry::instance() {
+  static Registry* registry = [] {
+    auto* r = new Registry();
+    register_builtin_solvers(*r);
+    return r;
+  }();
+  return *registry;
+}
+
+void Registry::add(SolverInfo info, SolveFn fn) {
+  WMATCH_REQUIRE(!info.name.empty(), "solver name must be non-empty");
+  WMATCH_REQUIRE(!contains(info.name),
+                 "duplicate solver registration '" + info.name + "'");
+  entries_.push_back({std::move(info), std::move(fn)});
+}
+
+bool Registry::contains(const std::string& name) const {
+  return std::any_of(entries_.begin(), entries_.end(),
+                     [&](const Entry& e) { return e.info.name == name; });
+}
+
+const Registry::Entry& Registry::entry(const std::string& name) const {
+  for (const Entry& e : entries_) {
+    if (e.info.name == name) return e;
+  }
+  WMATCH_REQUIRE(false, "unknown solver '" + name +
+                            "' (see api::Registry::list or `wmatch_cli list`)");
+  return entries_.front();  // unreachable
+}
+
+const SolverInfo& Registry::info(const std::string& name) const {
+  return entry(name).info;
+}
+
+const SolveFn& Registry::fn(const std::string& name) const {
+  return entry(name).fn;
+}
+
+std::vector<SolverInfo> Registry::list() const {
+  std::vector<SolverInfo> out;
+  out.reserve(entries_.size());
+  for (const Entry& e : entries_) out.push_back(e.info);
+  std::sort(out.begin(), out.end(),
+            [](const SolverInfo& a, const SolverInfo& b) {
+              return a.name < b.name;
+            });
+  return out;
+}
+
+Solver::Solver(const std::string& algorithm) : name_(algorithm) {
+  (void)Registry::instance().info(algorithm);  // validate eagerly
+}
+
+SolveResult Solver::solve(const Instance& inst, const SolverSpec& spec) const {
+  const SolveFn& fn = Registry::instance().fn(name_);
+  const auto t0 = std::chrono::steady_clock::now();
+  SolveResult result = fn(inst, spec);
+  const auto t1 = std::chrono::steady_clock::now();
+  result.algorithm = name_;
+  result.cost.wall_ms =
+      std::chrono::duration<double, std::milli>(t1 - t0).count();
+  return result;
+}
+
+}  // namespace wmatch::api

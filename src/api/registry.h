@@ -1,0 +1,71 @@
+// String-keyed solver registry behind the api::Solver facade.
+//
+// Every algorithm in the library registers a SolveFn under a stable name
+// ("reduction-hk", "exact-blossom", ...) together with metadata the CLI
+// and tests consume: which model it runs in, which objective it optimizes,
+// and its worst-case guarantee. The built-ins live in api/solvers.cpp and
+// are registered on first Registry access; external code can add backends
+// with Registry::add or a static SolverRegistrar.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "api/solver.h"
+
+namespace wmatch::api {
+
+struct SolverInfo {
+  std::string name;
+  std::string model;      ///< "streaming" | "mpc" | "offline"
+  std::string objective;  ///< "weight" | "cardinality"
+  /// Worst-case approximation guarantee as a fraction of the optimum
+  /// (1.0 = exact, 0.5 = greedy, 0.0 = parametric, e.g. 1-eps).
+  double guarantee = 0.0;
+  bool bipartite_only = false;
+  std::string description;
+};
+
+/// A backend: consumes the instance + spec, returns matching, cost
+/// counters, and stats. The facade fills SolveResult::algorithm and
+/// cost.wall_ms; backends must populate everything else and derive all
+/// randomness from spec.seed (so a registry run reproduces the
+/// pre-existing per-model entry point called with Rng(spec.seed)).
+using SolveFn = std::function<SolveResult(const Instance&, const SolverSpec&)>;
+
+class Registry {
+ public:
+  /// The process-wide registry, with built-ins already registered.
+  static Registry& instance();
+
+  /// Registers a solver; throws std::invalid_argument on duplicate names.
+  void add(SolverInfo info, SolveFn fn);
+
+  bool contains(const std::string& name) const;
+  /// Metadata for `name`; throws std::invalid_argument if unknown.
+  const SolverInfo& info(const std::string& name) const;
+  /// Backend for `name`; throws std::invalid_argument if unknown.
+  const SolveFn& fn(const std::string& name) const;
+
+  /// All registered solvers, sorted by name.
+  std::vector<SolverInfo> list() const;
+
+ private:
+  struct Entry {
+    SolverInfo info;
+    SolveFn fn;
+  };
+  const Entry& entry(const std::string& name) const;
+  std::vector<Entry> entries_;
+};
+
+/// Static-initialization helper for out-of-library backends:
+///   static api::SolverRegistrar reg{{.name = "my-solver", ...}, my_fn};
+struct SolverRegistrar {
+  SolverRegistrar(SolverInfo info, SolveFn fn) {
+    Registry::instance().add(std::move(info), std::move(fn));
+  }
+};
+
+}  // namespace wmatch::api

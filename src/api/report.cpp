@@ -1,0 +1,171 @@
+#include "api/report.h"
+
+#include <ostream>
+#include <sstream>
+
+#include "api/registry.h"
+#include "util/json.h"
+
+namespace wmatch::api {
+
+namespace {
+
+void key(std::ostream& os, const char* name, bool& first) {
+  if (!first) os << ',';
+  first = false;
+  util::write_json_string(os, name);
+  os << ':';
+}
+
+std::string fmt_double(double x) {
+  std::ostringstream ss;
+  ss << x;
+  return ss.str();
+}
+
+/// The solver's registered objective; unregistered algorithms (external
+/// SolveResults) default to weight.
+bool is_cardinality(const std::string& algorithm) {
+  const Registry& reg = Registry::instance();
+  return reg.contains(algorithm) &&
+         reg.info(algorithm).objective == "cardinality";
+}
+
+double achieved_value(const SolveResult& r) {
+  return is_cardinality(r.algorithm)
+             ? static_cast<double>(r.matching.size())
+             : static_cast<double>(r.matching.weight());
+}
+
+}  // namespace
+
+void print_json(std::ostream& os, const SolveResult& result,
+                const Instance& inst, const SolverSpec& spec,
+                double optimum) {
+  bool first = true;
+  os << '{';
+  key(os, "algorithm", first);
+  util::write_json_string(os, result.algorithm);
+
+  key(os, "instance", first);
+  {
+    os << '{';
+    bool f = true;
+    key(os, "name", f);
+    util::write_json_string(os, inst.name);
+    key(os, "n", f);
+    os << inst.num_vertices();
+    key(os, "m", f);
+    os << inst.num_edges();
+    key(os, "bipartite", f);
+    os << (inst.is_bipartite() ? "true" : "false");
+    os << '}';
+  }
+
+  key(os, "spec", first);
+  {
+    os << '{';
+    bool f = true;
+    key(os, "epsilon", f);
+    os << fmt_double(spec.epsilon);
+    key(os, "delta", f);
+    os << fmt_double(spec.delta);
+    key(os, "seed", f);
+    os << spec.seed;
+    key(os, "threads", f);
+    os << spec.runtime.num_threads;
+    os << '}';
+  }
+
+  key(os, "matching", first);
+  {
+    os << '{';
+    bool f = true;
+    key(os, "size", f);
+    os << result.matching.size();
+    key(os, "weight", f);
+    os << result.matching.weight();
+    if (optimum >= 0.0) {
+      key(os, "ratio", f);
+      os << fmt_double(optimum == 0.0 ? 1.0
+                                      : achieved_value(result) / optimum);
+    }
+    os << '}';
+  }
+
+  key(os, "cost", first);
+  {
+    const CostReport& c = result.cost;
+    os << '{';
+    bool f = true;
+    key(os, "model", f);
+    util::write_json_string(os, c.model);
+    key(os, "passes", f);
+    os << c.passes;
+    key(os, "rounds", f);
+    os << c.rounds;
+    key(os, "memory_peak_words", f);
+    os << c.memory_peak_words;
+    key(os, "communication_words", f);
+    os << c.communication_words;
+    key(os, "bb_invocations", f);
+    os << c.bb_invocations;
+    key(os, "bb_max_invocation_cost", f);
+    os << c.bb_max_invocation_cost;
+    key(os, "wall_ms", f);
+    os << fmt_double(c.wall_ms);
+    os << '}';
+  }
+
+  key(os, "stats", first);
+  {
+    os << '{';
+    bool f = true;
+    for (const auto& [name, value] : result.stats) {
+      key(os, name.c_str(), f);
+      os << fmt_double(value);
+    }
+    os << '}';
+  }
+  os << "}\n";
+}
+
+Table result_table(const std::vector<SolveResult>& results,
+                   double optimum_weight, double optimum_cardinality) {
+  const bool with_ratio = optimum_weight >= 0.0 || optimum_cardinality >= 0.0;
+  std::vector<std::string> header = {"algorithm", "model",  "size",
+                                     "weight",    "passes", "rounds",
+                                     "mem words", "wall ms"};
+  if (with_ratio) header.insert(header.begin() + 4, "ratio");
+  Table t(header);
+  for (const SolveResult& r : results) {
+    const std::string model =
+        Registry::instance().contains(r.algorithm)
+            ? Registry::instance().info(r.algorithm).model
+            : r.cost.model;
+    std::vector<std::string> row = {
+        r.algorithm,
+        model,
+        Table::fmt(r.matching.size()),
+        Table::fmt(r.matching.weight()),
+        Table::fmt(r.cost.passes),
+        Table::fmt(r.cost.rounds),
+        Table::fmt(r.cost.memory_peak_words),
+        Table::fmt(r.cost.wall_ms, 1)};
+    if (with_ratio) {
+      const double optimum =
+          is_cardinality(r.algorithm) ? optimum_cardinality : optimum_weight;
+      row.insert(row.begin() + 4,
+                 optimum < 0.0
+                     ? "-"
+                     : Table::fmt(optimum == 0.0
+                                      ? 1.0
+                                      : achieved_value(r) / optimum,
+                                  4));
+    }
+    t.add_row(std::move(row));
+  }
+  return t;
+}
+
+}  // namespace wmatch::api

@@ -1,0 +1,33 @@
+// Uniform rendering of SolveResults: one JSON object per solve (the CLI's
+// --json contract, consumed by CI and trend tooling) and a shared table
+// layout for human-readable comparisons.
+#pragma once
+
+#include <iosfwd>
+
+#include "api/solver.h"
+#include "util/table.h"
+
+namespace wmatch::api {
+
+/// Writes one self-contained JSON object (single line, '\n'-terminated):
+/// {"algorithm":..., "instance":{...}, "spec":{...}, "matching":{...},
+///  "cost":{...}, "stats":{...}}. `optimum` < 0 omits the ratio field;
+/// when >= 0 it must be the optimum of the solver's registered objective
+/// (weight for weight solvers, cardinality for cardinality solvers) —
+/// the ratio is computed against that objective.
+void print_json(std::ostream& os, const SolveResult& result,
+                const Instance& inst, const SolverSpec& spec,
+                double optimum = -1.0);
+
+/// Table with one row per result: algorithm, model, size, weight, cost
+/// summary (passes / rounds / memory), wall ms. A ratio column appears
+/// when an optimum is given: each row is compared against the optimum of
+/// its registered objective (`optimum_weight` for weight solvers,
+/// `optimum_cardinality` for cardinality solvers; "-" when the relevant
+/// optimum was not provided).
+Table result_table(const std::vector<SolveResult>& results,
+                   double optimum_weight = -1.0,
+                   double optimum_cardinality = -1.0);
+
+}  // namespace wmatch::api

@@ -1,0 +1,39 @@
+// Minimal JSON emission helpers shared by Table::print_json and the api
+// layer's SolveResult reports. Only writing is supported — the library
+// never parses JSON.
+#pragma once
+
+#include <cstdio>
+#include <ostream>
+#include <string_view>
+
+namespace wmatch::util {
+
+/// Writes `s` as a JSON string literal, escaping quotes, backslashes, and
+/// every control character (RFC 8259 requires \u00XX for bytes < 0x20).
+inline void write_json_string(std::ostream& os, std::string_view s) {
+  os << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\r': os << "\\r"; break;
+      case '\t': os << "\\t"; break;
+      case '\b': os << "\\b"; break;
+      case '\f': os << "\\f"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+}  // namespace wmatch::util

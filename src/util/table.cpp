@@ -5,6 +5,7 @@
 #include <ostream>
 #include <sstream>
 
+#include "util/json.h"
 #include "util/require.h"
 
 namespace wmatch {
@@ -50,13 +51,7 @@ void Table::print(std::ostream& os) const {
 namespace {
 
 void json_string(std::ostream& os, const std::string& s) {
-  os << '"';
-  for (char c : s) {
-    if (c == '"' || c == '\\') os << '\\' << c;
-    else if (c == '\n') os << "\\n";
-    else os << c;
-  }
-  os << '"';
+  util::write_json_string(os, s);
 }
 
 void json_string_row(std::ostream& os, const std::vector<std::string>& cells) {

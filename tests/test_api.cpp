@@ -1,0 +1,255 @@
+// Tests for the unified solver API (ISSUE 2): registry coverage, uniform
+// guarantees against the exact optimum, per-model CostReport population,
+// and — the load-bearing contract — counter parity between a registry
+// solve and the pre-existing per-model entry point run with the same seed.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <stdexcept>
+
+#include "api/api.h"
+#include "core/main_alg.h"
+#include "core/rand_arr_matching.h"
+#include "exact/blossom.h"
+#include "mpc/mpc_context.h"
+#include "util/rng.h"
+
+namespace wmatch {
+namespace {
+
+api::Instance small_bipartite() {
+  api::GenSpec gen;
+  gen.generator = "bipartite";
+  gen.n = 40;
+  gen.m = 160;
+  gen.max_weight = 100;
+  gen.seed = 11;
+  return api::generate_instance(gen);
+}
+
+api::Instance small_general() {
+  api::GenSpec gen;
+  gen.n = 50;
+  gen.m = 200;
+  gen.max_weight = 100;
+  gen.seed = 13;
+  return api::generate_instance(gen);
+}
+
+TEST(Registry, ListsEveryBuiltinSolver) {
+  std::set<std::string> names;
+  for (const auto& info : api::Registry::instance().list()) {
+    names.insert(info.name);
+  }
+  for (const char* expected :
+       {"greedy", "greedy-weight", "local-ratio", "rand-arrival",
+        "unw-rand-arrival", "reduction-hk", "reduction-mpc",
+        "reduction-exact", "exact-blossom", "exact-hungarian", "exact-hk"}) {
+    EXPECT_TRUE(names.count(expected)) << expected;
+  }
+  EXPECT_GE(names.size(), 11u);
+}
+
+TEST(Registry, UnknownSolverThrows) {
+  EXPECT_THROW(api::Solver("no-such-algorithm"), std::invalid_argument);
+}
+
+TEST(Registry, DuplicateRegistrationThrows) {
+  EXPECT_THROW(api::Registry::instance().add(
+                   {"exact-blossom", "offline", "weight", 1.0, false, "dup"},
+                   [](const api::Instance&, const api::SolverSpec&) {
+                     return api::SolveResult{};
+                   }),
+               std::invalid_argument);
+}
+
+TEST(Api, EverySolverProducesValidMatchingAndMeetsGuarantee) {
+  const api::Instance inst = small_bipartite();  // bipartite: all solvers run
+  const Weight opt_weight = exact::blossom_max_weight(inst.graph).weight();
+  const std::size_t opt_size =
+      exact::blossom_max_weight(inst.graph, true).size();
+
+  api::SolverSpec spec;
+  spec.epsilon = 0.15;
+  spec.seed = 17;
+
+  for (const auto& info : api::Registry::instance().list()) {
+    const api::SolveResult r = api::Solver(info.name).solve(inst, spec);
+    EXPECT_TRUE(is_valid_matching(r.matching, inst.graph)) << info.name;
+    if (info.objective == "cardinality") {
+      if (info.guarantee == 1.0) {
+        EXPECT_EQ(r.matching.size(), opt_size) << info.name;
+      } else {
+        EXPECT_GE(static_cast<double>(r.matching.size()),
+                  info.guarantee * static_cast<double>(opt_size))
+            << info.name;
+      }
+    } else {
+      if (info.guarantee == 1.0) {
+        EXPECT_EQ(r.matching.weight(), opt_weight) << info.name;
+      } else if (info.guarantee > 0.0) {
+        EXPECT_GE(static_cast<double>(r.matching.weight()),
+                  info.guarantee * static_cast<double>(opt_weight))
+            << info.name;
+      } else {
+        // Parametric (1-eps) reductions and heuristics: loose sanity floor.
+        EXPECT_GE(static_cast<double>(r.matching.weight()),
+                  0.3 * static_cast<double>(opt_weight))
+            << info.name;
+      }
+    }
+  }
+}
+
+TEST(Api, CostReportFieldsArePopulatedPerModel) {
+  const api::Instance inst = small_bipartite();
+  api::SolverSpec spec;
+  spec.epsilon = 0.2;
+  spec.seed = 23;
+
+  for (const auto& info : api::Registry::instance().list()) {
+    const api::SolveResult r = api::Solver(info.name).solve(inst, spec);
+    EXPECT_EQ(r.cost.model, info.model) << info.name;
+    EXPECT_EQ(r.algorithm, info.name);
+    EXPECT_GE(r.cost.wall_ms, 0.0);
+    if (info.model == "streaming") {
+      EXPECT_GE(r.cost.passes, 1u) << info.name;
+      EXPECT_EQ(r.cost.rounds, 0u) << info.name;
+    } else if (info.model == "mpc") {
+      EXPECT_GE(r.cost.rounds, 1u) << info.name;
+      EXPECT_EQ(r.cost.passes, 0u) << info.name;
+      EXPECT_GT(r.cost.memory_peak_words, 0u) << info.name;
+      EXPECT_GT(r.cost.communication_words, 0u) << info.name;
+    } else {
+      EXPECT_EQ(info.model, "offline") << info.name;
+      EXPECT_EQ(r.cost.passes, 0u) << info.name;
+      EXPECT_EQ(r.cost.rounds, 0u) << info.name;
+    }
+    if (info.name.rfind("reduction-", 0) == 0) {
+      EXPECT_GT(r.cost.bb_invocations, 0u) << info.name;
+      EXPECT_GT(r.cost.bb_max_invocation_cost, 0u) << info.name;
+    }
+  }
+}
+
+// ---- Counter parity with the pre-existing entry points ----
+
+TEST(Api, ReductionHkMatchesDirectEntryPoint) {
+  const api::Instance inst = small_general();
+  api::SolverSpec spec;
+  spec.epsilon = 0.2;
+  spec.seed = 31;
+  const api::SolveResult via_api =
+      api::Solver("reduction-hk").solve(inst, spec);
+
+  Rng rng(spec.seed);
+  core::ReductionConfig cfg;
+  cfg.epsilon = spec.epsilon;
+  core::HkStreamingMatcher matcher;
+  const auto direct =
+      core::maximum_weight_matching(inst.graph, cfg, matcher, rng);
+
+  EXPECT_EQ(via_api.matching, direct.matching);
+  EXPECT_EQ(via_api.cost.passes, direct.parallel_model_cost);
+  EXPECT_EQ(via_api.cost.bb_invocations, direct.bb_invocations);
+  EXPECT_EQ(via_api.cost.bb_max_invocation_cost,
+            matcher.max_invocation_cost());
+}
+
+TEST(Api, ReductionMpcMatchesDirectEntryPoint) {
+  const api::Instance inst = small_general();
+  api::SolverSpec spec;
+  spec.epsilon = 0.2;
+  spec.seed = 37;
+  const api::SolveResult via_api =
+      api::Solver("reduction-mpc").solve(inst, spec);
+
+  // The adapter's auto-sizing: Gamma = max(2, m/n), S = 24 n.
+  mpc::MpcConfig config{
+      std::max<std::size_t>(2, inst.num_edges() / inst.num_vertices()),
+      24 * inst.num_vertices()};
+  Rng rng(spec.seed);
+  mpc::MpcContext ctx(config);
+  core::MpcMatcher matcher(ctx, rng);
+  core::ReductionConfig cfg;
+  cfg.epsilon = spec.epsilon;
+  const auto direct =
+      core::maximum_weight_matching(inst.graph, cfg, matcher, rng);
+
+  EXPECT_EQ(via_api.matching, direct.matching);
+  EXPECT_EQ(via_api.cost.rounds, direct.parallel_model_cost);
+  EXPECT_EQ(via_api.cost.memory_peak_words, ctx.peak_machine_memory());
+  EXPECT_EQ(via_api.cost.communication_words, ctx.total_communication());
+  EXPECT_EQ(via_api.cost.bb_invocations, direct.bb_invocations);
+}
+
+TEST(Api, RandArrivalMatchesDirectEntryPoint) {
+  const api::Instance inst = small_general();
+  api::SolverSpec spec;
+  spec.seed = 41;
+  const api::SolveResult via_api =
+      api::Solver("rand-arrival").solve(inst, spec);
+
+  Rng rng(spec.seed);
+  const auto direct =
+      core::rand_arr_matching(inst.stream, inst.num_vertices(), {}, rng);
+
+  EXPECT_EQ(via_api.matching, direct.matching);
+  EXPECT_EQ(via_api.cost.memory_peak_words, direct.stored_peak);
+  EXPECT_EQ(via_api.cost.passes, 1u);
+}
+
+// ---- Instance construction and knob routing ----
+
+TEST(Api, GenerateInstanceIsDeterministic) {
+  api::GenSpec gen;
+  gen.n = 60;
+  gen.m = 180;
+  gen.seed = 43;
+  const api::Instance a = api::generate_instance(gen);
+  const api::Instance b = api::generate_instance(gen);
+  ASSERT_EQ(a.num_edges(), b.num_edges());
+  ASSERT_EQ(a.stream.size(), b.stream.size());
+  for (std::size_t i = 0; i < a.stream.size(); ++i) {
+    EXPECT_EQ(a.stream[i], b.stream[i]);
+  }
+}
+
+TEST(Api, StreamIsPermutationOfGraphEdges) {
+  const api::Instance inst = small_general();
+  ASSERT_EQ(inst.stream.size(), inst.graph.num_edges());
+  std::multiset<std::uint64_t> graph_keys, stream_keys;
+  for (const Edge& e : inst.graph.edges()) graph_keys.insert(e.key());
+  for (const Edge& e : inst.stream) stream_keys.insert(e.key());
+  EXPECT_EQ(graph_keys, stream_keys);
+}
+
+TEST(Api, MpcKnobsRouteToClusterSizing) {
+  const api::Instance inst = small_general();
+  api::SolverSpec spec;
+  spec.epsilon = 0.25;
+  spec.seed = 47;
+  spec.knobs = api::MpcKnobs{4, 6000};
+  const api::SolveResult r = api::Solver("reduction-mpc").solve(inst, spec);
+  double machines = 0, words = 0;
+  for (const auto& [k, v] : r.stats) {
+    if (k == "machines") machines = v;
+    if (k == "machine_memory_words") words = v;
+  }
+  EXPECT_EQ(machines, 4.0);
+  EXPECT_EQ(words, 6000.0);
+}
+
+TEST(Api, BipartiteOnlySolverRejectsNonBipartiteInstance) {
+  api::GenSpec gen;
+  gen.generator = "cycle";
+  gen.n = 5;  // odd cycle: not bipartite
+  gen.seed = 3;
+  const api::Instance inst = api::generate_instance(gen);
+  EXPECT_FALSE(inst.is_bipartite());
+  api::Solver hungarian("exact-hungarian");
+  EXPECT_THROW(hungarian.solve(inst, {}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace wmatch

@@ -140,5 +140,27 @@ TEST(Table, RejectsArityMismatch) {
   EXPECT_THROW(t.add_row({"1"}), std::invalid_argument);
 }
 
+// Regression (ISSUE 2): algorithm / generator names containing quotes,
+// backslashes, or control characters must escape to valid JSON.
+TEST(Table, PrintJsonEscapesStringCells) {
+  Table t({"algorithm", "value"});
+  t.add_row({"quote \" backslash \\", "1"});
+  t.add_row({"newline \n tab \t bell \x01", "2"});
+  std::ostringstream os;
+  t.print_json(os, "id \"quoted\"");
+  const std::string s = os.str();
+
+  EXPECT_NE(s.find("\"id \\\"quoted\\\"\""), std::string::npos);
+  EXPECT_NE(s.find("quote \\\" backslash \\\\"), std::string::npos);
+  EXPECT_NE(s.find("newline \\n tab \\t bell \\u0001"), std::string::npos);
+  // No raw control characters may survive inside the document (the only
+  // one allowed is the terminating newline).
+  ASSERT_FALSE(s.empty());
+  EXPECT_EQ(s.back(), '\n');
+  for (std::size_t i = 0; i + 1 < s.size(); ++i) {
+    EXPECT_GE(static_cast<unsigned char>(s[i]), 0x20u) << "index " << i;
+  }
+}
+
 }  // namespace
 }  // namespace wmatch
