@@ -10,6 +10,7 @@
 
 #include "graph/graph.h"
 #include "graph/matching.h"
+#include "sweep/sweep.h"
 #include "util/rng.h"
 #include "util/stats.h"
 #include "util/table.h"
@@ -57,9 +58,11 @@ inline Args parse_args(int argc, char** argv) {
 }
 
 /// Writes BENCH_<id>.json (or args.json_path) when --json was passed.
-inline void maybe_write_json(const Args& args, const std::string& id,
+/// Returns false when the write failed, so main can exit non-zero and CI
+/// catches the missing artifact at the bench step.
+inline bool maybe_write_json(const Args& args, const std::string& id,
                              const Table& t) {
-  if (!args.json) return;
+  if (!args.json) return true;
   const std::string path =
       args.json_path.empty() ? "BENCH_" + id + ".json" : args.json_path;
   std::ofstream os(path);
@@ -67,9 +70,29 @@ inline void maybe_write_json(const Args& args, const std::string& id,
   os.flush();
   if (os.good()) {
     std::cout << "wrote " << path << "\n";
-  } else {
-    std::cerr << "error: could not write " << path << "\n";
+    return true;
   }
+  std::cerr << "error: could not write " << path << "\n";
+  return false;
+}
+
+/// Sweep-engine variant: writes the schema-versioned BENCH JSON document
+/// (counters + wall stats) instead of the flat table dump. Same return
+/// contract as above.
+inline bool maybe_write_json(const Args& args, const std::string& id,
+                             const sweep::SweepResult& result) {
+  if (!args.json) return true;
+  const std::string path =
+      args.json_path.empty() ? "BENCH_" + id + ".json" : args.json_path;
+  std::ofstream os(path);
+  result.print_bench_json(os);
+  os.flush();
+  if (os.good()) {
+    std::cout << "wrote " << path << "\n";
+    return true;
+  }
+  std::cerr << "error: could not write " << path << "\n";
+  return false;
 }
 
 /// Wall-clock milliseconds of one call.

@@ -1,14 +1,14 @@
 // E1 — Theorem 3.4: one-pass 0.506-approximate unweighted matching on
 // random-order streams (beats the 1/2 greedy barrier).
 //
-// Runs through the unified solver API: both algorithms are registry
-// lookups against the same Instance, and the 3-augmentation count comes
-// from the solver's stats. Flags: --threads=N, --json[=path].
+// Thin wrapper over the sweep engine: the whole experiment is the "e1"
+// preset (greedy vs unw-rand-arrival across four unit-weight families,
+// five seeds each, cardinality ratios against the exact optimum), so
+// `wmatch_cli bench --preset=e1` reproduces this table exactly.
+// Flags: --threads=N, --json[=path].
 #include "bench_common.h"
 
-#include "api/api.h"
-#include "exact/blossom.h"
-#include "gen/generators.h"
+#include "sweep/presets.h"
 
 int main(int argc, char** argv) {
   using namespace wmatch;
@@ -17,50 +17,13 @@ int main(int argc, char** argv) {
                 "One-pass unweighted matching, random edge arrivals: the "
                 "three-branch algorithm beats greedy's 1/2 barrier.");
 
-  const int kSeeds = 5;
-  Table t({"family", "n", "m", "greedy ratio", "ours ratio", "3-augs"});
-
-  struct Config {
-    const char* family;
-    std::size_t n, m;
-  };
-  for (const Config& c : {Config{"erdos_renyi", 1000, 2500},
-                          Config{"erdos_renyi", 2000, 5000},
-                          Config{"bipartite", 2000, 5000},
-                          Config{"barabasi_albert", 2000, 3994}}) {
-    Accumulator greedy_r, ours_r, augs;
-    for (int s = 0; s < kSeeds; ++s) {
-      Rng rng(1000 + s);
-      Graph g = std::string(c.family) == "bipartite"
-                    ? gen::random_bipartite(c.n / 2, c.n / 2, c.m, rng)
-                : std::string(c.family) == "barabasi_albert"
-                    ? gen::barabasi_albert(c.n, 2, rng)
-                    : gen::erdos_renyi(c.n, c.m, rng);
-      api::Instance inst = api::make_instance(
-          std::move(g), api::ArrivalOrder::kRandom,
-          api::stream_seed_for(1000u + s), c.family);
-      Matching opt = exact::blossom_max_weight(inst.graph, true);
-
-      api::SolverSpec spec;
-      spec.seed = 1000 + s;
-      spec.runtime.num_threads = args.threads;
-      auto greedy = api::Solver("greedy").solve(inst, spec);
-      auto ours = api::Solver("unw-rand-arrival").solve(inst, spec);
-
-      greedy_r.add(bench::ratio(static_cast<Weight>(greedy.matching.size()),
-                                static_cast<Weight>(opt.size())));
-      ours_r.add(bench::ratio(static_cast<Weight>(ours.matching.size()),
-                              static_cast<Weight>(opt.size())));
-      augs.add(ours.stat("augmentations"));
-    }
-    t.add_row({c.family, Table::fmt(c.n), Table::fmt(c.m),
-               bench::fmt_ratio(greedy_r), bench::fmt_ratio(ours_r),
-               Table::fmt(augs.mean(), 1)});
-  }
-  t.print(std::cout);
-  bench::maybe_write_json(args, "E1", t);
+  sweep::SweepSpec spec = sweep::preset("e1");
+  spec.threads = {args.threads};
+  const sweep::SweepResult result = sweep::run_sweep(spec);
+  result.summary_table().print(std::cout);
+  const bool wrote = bench::maybe_write_json(args, "E1", result);
   bench::footer(
-      "'ours ratio' > 1/2 with margin and >= greedy on every family "
-      "(paper: 0.506 worst-case; random graphs sit well above).");
-  return 0;
+      "unw-rand-arrival ratio > 1/2 with margin and >= greedy on every "
+      "family (paper: 0.506 worst-case; random graphs sit well above).");
+  return wrote ? 0 : 1;
 }

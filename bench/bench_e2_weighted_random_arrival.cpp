@@ -1,14 +1,13 @@
 // E2 — Theorems 1.1 / 3.14: (1/2 + c)-approximate weighted matching in one
 // pass over a random-order stream, vs greedy and local-ratio [PS17].
 //
-// All three contenders are registry solvers run against the identical
-// Instance through the unified API. Flags: --threads=N, --json[=path].
+// Thin wrapper over the sweep engine: the experiment is the "e2" preset
+// (three streaming solvers x four weighted families x five seeds, weight
+// ratios against Blossom), so `wmatch_cli bench --preset=e2` reproduces
+// this table exactly. Flags: --threads=N, --json[=path].
 #include "bench_common.h"
 
-#include "api/api.h"
-#include "exact/blossom.h"
-#include "gen/generators.h"
-#include "gen/weights.h"
+#include "sweep/presets.h"
 
 int main(int argc, char** argv) {
   using namespace wmatch;
@@ -17,56 +16,14 @@ int main(int argc, char** argv) {
                 "One-pass weighted matching, random edge arrivals: "
                 "Rand-Arr-Matching vs greedy and local-ratio [PS17].");
 
-  const int kSeeds = 5;
-  Table t({"family", "weights", "greedy", "local-ratio", "ours"});
-
-  struct Config {
-    const char* family;
-    gen::WeightDist dist;
-    const char* dist_name;
-  };
-  for (const Config& c :
-       {Config{"erdos_renyi", gen::WeightDist::kUniform, "uniform"},
-        Config{"erdos_renyi", gen::WeightDist::kExponential, "exponential"},
-        Config{"barabasi_albert", gen::WeightDist::kExponential, "exponential"},
-        Config{"geometric", gen::WeightDist::kUniform, "distance"}}) {
-    Accumulator greedy_r, lr_r, ours_r;
-    for (int s = 0; s < kSeeds; ++s) {
-      Rng rng(2000 + s);
-      Graph g(1);
-      if (std::string(c.family) == "erdos_renyi") {
-        g = gen::assign_weights(gen::erdos_renyi(1200, 7200, rng), c.dist,
-                                1 << 12, rng);
-      } else if (std::string(c.family) == "barabasi_albert") {
-        g = gen::assign_weights(gen::barabasi_albert(1200, 4, rng), c.dist,
-                                1 << 12, rng);
-      } else {
-        g = gen::random_geometric(700, 0.08, 1000, rng);
-      }
-      api::Instance inst = api::make_instance(
-          std::move(g), api::ArrivalOrder::kRandom,
-          api::stream_seed_for(2000u + s), c.family);
-      Matching opt = exact::blossom_max_weight(inst.graph);
-
-      api::SolverSpec spec;
-      spec.seed = 2000 + s;
-      spec.runtime.num_threads = args.threads;
-      auto greedy = api::Solver("greedy").solve(inst, spec);
-      auto local_ratio = api::Solver("local-ratio").solve(inst, spec);
-      auto ours = api::Solver("rand-arrival").solve(inst, spec);
-
-      greedy_r.add(bench::ratio(greedy.matching.weight(), opt.weight()));
-      lr_r.add(bench::ratio(local_ratio.matching.weight(), opt.weight()));
-      ours_r.add(bench::ratio(ours.matching.weight(), opt.weight()));
-    }
-    t.add_row({c.family, c.dist_name, bench::fmt_ratio(greedy_r),
-               bench::fmt_ratio(lr_r), bench::fmt_ratio(ours_r)});
-  }
-  t.print(std::cout);
-  bench::maybe_write_json(args, "E2", t);
+  sweep::SweepSpec spec = sweep::preset("e2");
+  spec.threads = {args.threads};
+  const sweep::SweepResult result = sweep::run_sweep(spec);
+  result.summary_table().print(std::cout);
+  const bool wrote = bench::maybe_write_json(args, "E2", result);
   bench::footer(
-      "'ours' > 1/2 on every row and >= both baselines; the paper "
+      "rand-arrival > 1/2 on every row and >= both baselines; the paper "
       "guarantees 1/2 + c in expectation where the baselines only give "
       "1/2 (greedy can dip below on adversarial instances).");
-  return 0;
+  return wrote ? 0 : 1;
 }

@@ -1,92 +1,37 @@
 // E5 — Theorem 1.2 (MPC): (1-eps)-approximate weighted matching on the
-// simulated cluster; rounds track the unweighted black box times a
-// constant, per-machine memory stays near-linear in n.
+// simulated cluster; rounds per reduction iteration stay near-constant
+// and per-machine memory stays near-linear in n.
 //
-// The weighted run goes through the unified API ("reduction-mpc" with
-// MpcKnobs); the probe stays a direct mpc_bipartite_matching call because
-// a lone black-box invocation is not a registered solver. Flags:
-// --threads=N runs the simulated machines on N host threads (matching
-// weight / rounds are bit-identical for any N — only the wall clock
+// Thin wrapper over the sweep engine: the experiment is the "e5" preset
+// (reduction-mpc across four instance sizes in the paper's cluster
+// regime), so `wmatch_cli bench --preset=e5` reproduces this table
+// exactly. Rounds-per-iteration is cost.rounds / the "iterations" stat
+// column; per-machine memory is the "mem words" column (compare against
+// 24n). Flags: --threads=N runs the simulated machines on N host threads
+// (all counters are bit-identical for any N — only the wall clock
 // changes); --json dumps BENCH_E5.json for trend tracking.
 #include "bench_common.h"
 
-#include "api/api.h"
-#include "exact/blossom.h"
-#include "gen/generators.h"
-#include "gen/weights.h"
-#include "mpc/mpc_context.h"
-#include "mpc/mpc_matching.h"
+#include "sweep/presets.h"
 
 int main(int argc, char** argv) {
   using namespace wmatch;
   const bench::Args args = bench::parse_args(argc, argv);
   bench::header("E5 / Theorem 1.2 (MPC)",
                 "(1-eps) weighted matching on the MPC simulator: Gamma = "
-                "m/n machines, S = Theta~(n) words; rounds of the weighted "
-                "algorithm vs rounds of one unweighted black-box call. "
-                "threads = " + std::to_string(args.threads) + ".");
+                "m/n machines, S = Theta~(n) words; rounds and per-machine "
+                "memory vs instance size. threads = " +
+                    std::to_string(args.threads) + ".");
 
-  Table t({"n", "m", "machines", "threads", "ratio", "rounds(1 unw call)",
-           "rounds(weighted)/iter", "peak mem/n", "mem ok", "wall ms"});
-  for (std::size_t n : {256u, 512u, 1024u, 2048u}) {
-    std::size_t m = 8 * n;
-    Rng rng(5000 + n);
-    Graph g = gen::assign_weights(gen::erdos_renyi(n, m, rng),
-                                  gen::WeightDist::kUniform, 1 << 10, rng);
-    Matching opt = exact::blossom_max_weight(g);
-
-    api::MpcKnobs cluster{std::max<std::size_t>(2, m / n), 24 * n};
-
-    // Baseline: one unweighted black-box invocation on the bipartite
-    // double cover of g (vertex v -> (v, v+n); edge {u,v} -> {u, v+n},
-    // {v, u+n}) — a standard bipartite instance of comparable size.
-    mpc::MpcConfig config{cluster.num_machines, cluster.machine_memory_words};
-    config.runtime.num_threads = args.threads;
-    mpc::MpcContext probe_ctx(config);
-    Rng probe_rng(1);
-    Graph cover(2 * n);
-    for (const Edge& e : g.edges()) {
-      cover.add_edge(e.u, static_cast<Vertex>(e.v + n), e.w);
-      cover.add_edge(e.v, static_cast<Vertex>(e.u + n), e.w);
-    }
-    std::vector<char> cover_side(2 * n, 0);
-    for (std::size_t v = n; v < 2 * n; ++v) cover_side[v] = 1;
-    auto probe = mpc::mpc_bipartite_matching(cover, cover_side, 0.1,
-                                             probe_ctx, probe_rng);
-
-    api::Instance inst =
-        api::make_instance(std::move(g), api::ArrivalOrder::kAsGenerated,
-                           5000 + n, "erdos_renyi");
-    api::SolverSpec spec;
-    spec.epsilon = 0.2;
-    spec.seed = 5000 + n;
-    spec.runtime.num_threads = args.threads;
-    spec.knobs = cluster;
-
-    api::SolveResult result;
-    const double ms = bench::time_ms(
-        [&] { result = api::Solver("reduction-mpc").solve(inst, spec); });
-
-    t.add_row(
-        {Table::fmt(n), Table::fmt(m), Table::fmt(cluster.num_machines),
-         Table::fmt(args.threads),
-         Table::fmt(bench::ratio(result.matching.weight(), opt.weight()), 4),
-         Table::fmt(probe.rounds_used),
-         Table::fmt(static_cast<double>(result.cost.rounds) /
-                        result.stat("iterations", 1.0),
-                    1),
-         Table::fmt(static_cast<double>(result.cost.memory_peak_words) /
-                        static_cast<double>(n),
-                    2),
-         result.stat("memory_ok") > 0.0 ? "yes" : "VIOLATED",
-         Table::fmt(ms, 1)});
-  }
-  t.print(std::cout);
-  bench::maybe_write_json(args, "E5", t);
+  sweep::SweepSpec spec = sweep::preset("e5");
+  spec.threads = {args.threads};
+  const sweep::SweepResult result = sweep::run_sweep(spec);
+  result.table().print(std::cout);
+  const bool wrote = bench::maybe_write_json(args, "E5", result);
   bench::footer(
-      "ratio >= 1-eps; weighted rounds per iteration stay within a "
-      "constant factor of one unweighted call and grow (at most) very "
-      "slowly with n; peak machine memory stays O(n). Matching weight and "
-      "round counts are invariant under --threads.");
-  return 0;
+      "ratio >= 1-eps; rounds / iterations stays near-constant and grows "
+      "(at most) very slowly with n; peak machine memory stays O(n) "
+      "(compare mem words against 24n). All counters are invariant under "
+      "--threads.");
+  return wrote ? 0 : 1;
 }

@@ -8,6 +8,16 @@
 //       comparison table — or, with --json, one JSON object per solver
 //       (each carrying the normalized CostReport).
 //
+//   wmatch_cli bench --preset=ci|e1|e2|e5 [axis overrides] [--json[=path]]
+//   wmatch_cli bench --algo=LIST --gen=LIST [grid flags] [--json[=path]]
+//       Run a declarative sweep (solvers x instance families x epsilon x
+//       threads x seeds) through the sweep engine and print the per-cell
+//       table (--summary aggregates the seed axis). --json writes the
+//       schema-versioned BENCH_<name>.json the CI regression gate diffs.
+//
+// Unknown --algo / --gen / --preset names, malformed flag values, and
+// unknown flags all exit 2 with a one-line error; runtime failures exit 1.
+//
 // Instance flags:
 //   --gen=erdos_renyi|bipartite|barabasi_albert|geometric|path|cycle
 //   --n=N --m=M --attach=K --radius=R
@@ -22,6 +32,7 @@
 // Output flags:
 //   --json          machine-readable output
 //   --with-optimum  also run Blossom and report ratios
+#include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
@@ -30,6 +41,8 @@
 #include "api/api.h"
 #include "exact/blossom.h"
 #include "graph/io.h"
+#include "sweep/presets.h"
+#include "sweep/sweep.h"
 #include "util/json.h"
 
 namespace {
@@ -62,29 +75,52 @@ void print_help() {
       "commands:\n"
       "  list                     print registered solvers\n"
       "  solve --algo=A[,B,...]   run solvers on one instance\n"
+      "  bench                    sweep a solver x instance grid\n"
       "  help                     this text\n"
       "\n"
       "instance flags (solve):\n"
       "  --gen=NAME       erdos_renyi (default) | bipartite |\n"
-      "                   barabasi_albert | geometric | path | cycle\n"
+      "                   barabasi_albert | geometric | path | cycle |\n"
+      "                   hard-four-cycle | hard-greedy-trap |\n"
+      "                   hard-long-path | hard-planted-augs |\n"
+      "                   hard-figure1 | hard-figure2\n"
       "  --n=N --m=M      size (defaults 1000 / 4000)\n"
       "  --attach=K       barabasi_albert attachment degree\n"
       "  --radius=R       geometric connection radius\n"
-      "  --weights=NAME   uniform | exponential | polynomial | classes\n"
+      "  --aug-length=L   hard-long-path augmentation half-length\n"
+      "  --gen-beta=B     hard-planted-augs wing density (solve; bench\n"
+      "                   instances use --beta)\n"
+      "  --weights=NAME   unit | uniform | exponential | polynomial |\n"
+      "                   classes\n"
       "  --max-weight=W   weight scale (default 4096)\n"
       "  --order=NAME     random | as-generated | increasing-weight |\n"
       "                   decreasing-weight | clustered\n"
       "  --input=FILE     load a graph (overrides --gen)\n"
       "  --seed=S         generation + solver seed (default 1)\n"
       "\n"
-      "solver flags:\n"
+      "solver flags (solve):\n"
       "  --epsilon=E --delta=D --threads=T\n"
       "  --machines=G --mem-words=S   MPC sizing (0 = paper regime)\n"
       "  --p=P --beta=B               random-arrival knobs\n"
       "\n"
-      "output flags:\n"
+      "output flags (solve):\n"
       "  --json           one JSON object per solver on stdout\n"
-      "  --with-optimum   also run exact Blossom, report ratios\n";
+      "  --with-optimum   also run exact Blossom, report ratios\n"
+      "\n"
+      "bench flags:\n"
+      "  --preset=NAME    ci | e1 | e2 | e5 (named grids; --algo/\n"
+      "                   --epsilon/--threads/--seeds/--reps/--warmup\n"
+      "                   override the preset's axes, but its instance\n"
+      "                   list is fixed: --gen and the instance shape\n"
+      "                   flags are rejected alongside --preset)\n"
+      "  --algo=LIST      comma-separated solver axis\n"
+      "  --gen=LIST       comma-separated generator axis (instance shape\n"
+      "                   comes from the instance flags above)\n"
+      "  --epsilon=LIST --threads=LIST --seeds=LIST   grid axes\n"
+      "  --reps=R --warmup=W   timed / untimed runs per cell\n"
+      "  --delta=D --with-optimum --name=ID\n"
+      "  --summary        aggregate the seed axis in the table\n"
+      "  --json[=path]    write schema-versioned BENCH_<name>.json\n";
 }
 
 bool consume(const std::string& arg, const char* flag, std::string* value) {
@@ -115,6 +151,72 @@ double parse_double(const std::string& flag, const std::string& value) {
   return x;
 }
 
+std::vector<std::string> split_list(const std::string& value) {
+  std::vector<std::string> out;
+  std::stringstream ss(value);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
+std::string join(const std::vector<std::string>& names) {
+  std::string out;
+  for (const std::string& name : names) {
+    if (!out.empty()) out += ", ";
+    out += name;
+  }
+  return out;
+}
+
+/// Exits 2 with the list of known names — the registry lookup would also
+/// throw, but as a generic std::invalid_argument that exits 1; flag typos
+/// are usage errors and must say what IS available.
+void require_known_solver(const std::string& name) {
+  if (api::Registry::instance().contains(name)) return;
+  std::vector<std::string> known;
+  for (const auto& info : api::Registry::instance().list()) {
+    known.push_back(info.name);
+  }
+  usage_error("unknown solver '" + name + "' (known: " + join(known) + ")");
+}
+
+void require_known_generator(const std::string& name) {
+  if (api::is_known_generator(name)) return;
+  usage_error("unknown generator '" + name +
+              "' (known: " + join(api::known_generators()) + ")");
+}
+
+gen::WeightDist parse_weights_flag(const std::string& value) {
+  try {
+    return api::parse_weight_dist(value);
+  } catch (const std::exception&) {
+    usage_error("--weights: unknown weight distribution '" + value +
+                "' (known: unit, uniform, exponential, polynomial, classes)");
+  }
+}
+
+api::ArrivalOrder parse_order_flag(const std::string& value) {
+  try {
+    return api::parse_arrival_order(value);
+  } catch (const std::exception&) {
+    usage_error("--order: unknown arrival order '" + value +
+                "' (known: random, as-generated, increasing-weight, "
+                "decreasing-weight, clustered)");
+  }
+}
+
+/// hard-planted-augs wing density: a probability, checked at parse time
+/// so a bad value is a usage error (exit 2), not a runtime failure.
+double parse_gen_beta_flag(const std::string& flag, const std::string& value) {
+  const double beta = parse_double(flag, value);
+  if (beta < 0.0 || beta > 1.0) {
+    usage_error(flag + " expects a density in [0,1], got '" + value + "'");
+  }
+  return beta;
+}
+
 CliOptions parse_solve_flags(int argc, char** argv) {
   CliOptions opt;
   for (int i = 2; i < argc; ++i) {
@@ -127,6 +229,7 @@ CliOptions parse_solve_flags(int argc, char** argv) {
         if (!name.empty()) opt.algos.push_back(name);
       }
     } else if (consume(arg, "--gen", &v)) {
+      require_known_generator(v);
       opt.gen.generator = v;
     } else if (consume(arg, "--n", &v)) {
       opt.gen.n = parse_size("--n", v);
@@ -136,12 +239,14 @@ CliOptions parse_solve_flags(int argc, char** argv) {
       opt.gen.attach = parse_size("--attach", v);
     } else if (consume(arg, "--radius", &v)) {
       opt.gen.radius = parse_double("--radius", v);
+    } else if (consume(arg, "--aug-length", &v)) {
+      opt.gen.aug_length = parse_size("--aug-length", v);
     } else if (consume(arg, "--weights", &v)) {
-      opt.gen.weights = api::parse_weight_dist(v);
+      opt.gen.weights = parse_weights_flag(v);
     } else if (consume(arg, "--max-weight", &v)) {
       opt.gen.max_weight = static_cast<Weight>(parse_size("--max-weight", v));
     } else if (consume(arg, "--order", &v)) {
-      opt.gen.order = api::parse_arrival_order(v);
+      opt.gen.order = parse_order_flag(v);
     } else if (consume(arg, "--input", &v)) {
       opt.input_path = v;
     } else if (consume(arg, "--seed", &v)) {
@@ -162,6 +267,8 @@ CliOptions parse_solve_flags(int argc, char** argv) {
     } else if (consume(arg, "--p", &v)) {
       opt.arrival.p = parse_double("--p", v);
       opt.arrival_knobs_set = true;
+    } else if (consume(arg, "--gen-beta", &v)) {
+      opt.gen.beta = parse_gen_beta_flag("--gen-beta", v);
     } else if (consume(arg, "--beta", &v)) {
       opt.arrival.beta = parse_double("--beta", v);
       opt.arrival_knobs_set = true;
@@ -215,6 +322,7 @@ int cmd_list(bool json) {
 
 int cmd_solve(int argc, char** argv) {
   CliOptions opt = parse_solve_flags(argc, argv);
+  for (const std::string& algo : opt.algos) require_known_solver(algo);
   if (opt.mpc_knobs_set) opt.spec.knobs = opt.mpc;
   if (opt.arrival_knobs_set) opt.spec.knobs = opt.arrival;
 
@@ -268,6 +376,169 @@ int cmd_solve(int argc, char** argv) {
   return 0;
 }
 
+// ---- bench: declarative sweeps over the sweep engine ----
+
+struct BenchOptions {
+  std::string preset;
+  std::vector<std::string> algos;
+  std::vector<std::string> gens;
+  api::GenSpec shape;  ///< shared instance shape for every --gen family
+  bool shape_set = false;
+  std::vector<double> epsilons;
+  std::vector<std::size_t> threads;
+  std::vector<std::uint64_t> seeds;
+  std::size_t reps = 0, warmup = 0;
+  bool reps_set = false, warmup_set = false;
+  double delta = 0.0;
+  bool delta_set = false;
+  bool with_optimum = false;
+  std::string name;
+  bool summary = false;
+  bool json = false;
+  std::string json_path;
+};
+
+BenchOptions parse_bench_flags(int argc, char** argv) {
+  BenchOptions opt;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    std::string v;
+    if (consume(arg, "--preset", &v)) {
+      opt.preset = v;
+    } else if (consume(arg, "--algo", &v)) {
+      opt.algos = split_list(v);
+    } else if (consume(arg, "--gen", &v)) {
+      opt.gens = split_list(v);
+    } else if (consume(arg, "--n", &v)) {
+      opt.shape.n = parse_size("--n", v);
+      opt.shape_set = true;
+    } else if (consume(arg, "--m", &v)) {
+      opt.shape.m = parse_size("--m", v);
+      opt.shape_set = true;
+    } else if (consume(arg, "--attach", &v)) {
+      opt.shape.attach = parse_size("--attach", v);
+      opt.shape_set = true;
+    } else if (consume(arg, "--radius", &v)) {
+      opt.shape.radius = parse_double("--radius", v);
+      opt.shape_set = true;
+    } else if (consume(arg, "--aug-length", &v)) {
+      opt.shape.aug_length = parse_size("--aug-length", v);
+      opt.shape_set = true;
+    } else if (consume(arg, "--beta", &v)) {
+      opt.shape.beta = parse_gen_beta_flag("--beta", v);
+      opt.shape_set = true;
+    } else if (consume(arg, "--weights", &v)) {
+      opt.shape.weights = parse_weights_flag(v);
+      opt.shape_set = true;
+    } else if (consume(arg, "--max-weight", &v)) {
+      opt.shape.max_weight =
+          static_cast<Weight>(parse_size("--max-weight", v));
+      opt.shape_set = true;
+    } else if (consume(arg, "--order", &v)) {
+      opt.shape.order = parse_order_flag(v);
+      opt.shape_set = true;
+    } else if (consume(arg, "--epsilon", &v)) {
+      for (const std::string& e : split_list(v)) {
+        opt.epsilons.push_back(parse_double("--epsilon", e));
+      }
+    } else if (consume(arg, "--threads", &v)) {
+      for (const std::string& t : split_list(v)) {
+        opt.threads.push_back(parse_size("--threads", t));
+      }
+    } else if (consume(arg, "--seeds", &v)) {
+      for (const std::string& s : split_list(v)) {
+        opt.seeds.push_back(parse_size("--seeds", s));
+      }
+    } else if (consume(arg, "--reps", &v)) {
+      opt.reps = parse_size("--reps", v);
+      opt.reps_set = true;
+    } else if (consume(arg, "--warmup", &v)) {
+      opt.warmup = parse_size("--warmup", v);
+      opt.warmup_set = true;
+    } else if (consume(arg, "--delta", &v)) {
+      opt.delta = parse_double("--delta", v);
+      opt.delta_set = true;
+    } else if (consume(arg, "--name", &v)) {
+      opt.name = v;
+    } else if (arg == "--with-optimum") {
+      opt.with_optimum = true;
+    } else if (arg == "--summary") {
+      opt.summary = true;
+    } else if (arg == "--json") {
+      opt.json = true;
+    } else if (consume(arg, "--json", &v)) {
+      opt.json = true;
+      opt.json_path = v;
+    } else {
+      usage_error("unknown bench flag '" + arg + "'");
+    }
+  }
+  return opt;
+}
+
+int cmd_bench(int argc, char** argv) {
+  const BenchOptions opt = parse_bench_flags(argc, argv);
+  for (const std::string& algo : opt.algos) require_known_solver(algo);
+  for (const std::string& g : opt.gens) require_known_generator(g);
+
+  sweep::SweepSpec spec;
+  if (!opt.preset.empty()) {
+    if (!sweep::is_known_preset(opt.preset)) {
+      usage_error("unknown bench preset '" + opt.preset +
+                  "' (known: " + join(sweep::preset_names()) + ")");
+    }
+    if (!opt.gens.empty() || opt.shape_set) {
+      usage_error("--gen and instance shape flags cannot override a "
+                  "preset's instances; drop --preset to describe the grid "
+                  "by hand");
+    }
+    spec = sweep::preset(opt.preset);
+  } else {
+    if (opt.algos.empty() || opt.gens.empty()) {
+      usage_error("bench requires --preset=NAME or both --algo=LIST and "
+                  "--gen=LIST");
+    }
+    for (const std::string& g : opt.gens) {
+      api::GenSpec inst = opt.shape;
+      inst.generator = g;
+      spec.instances.push_back(std::move(inst));
+    }
+  }
+  if (!opt.algos.empty()) spec.solvers = opt.algos;
+  if (!opt.epsilons.empty()) spec.epsilons = opt.epsilons;
+  if (!opt.threads.empty()) spec.threads = opt.threads;
+  if (!opt.seeds.empty()) spec.seeds = opt.seeds;
+  if (opt.reps_set) spec.repetitions = opt.reps;
+  if (opt.warmup_set) spec.warmup = opt.warmup;
+  if (opt.delta_set) spec.delta = opt.delta;
+  if (opt.with_optimum) spec.with_optimum = true;
+  if (!opt.name.empty()) spec.name = opt.name;
+
+  const sweep::SweepRunner runner(spec);
+  std::cout << "sweep '" << spec.name << "': " << runner.grid_size()
+            << " cells (" << spec.solvers.size() << " solvers x "
+            << spec.instances.size() << " instances x "
+            << spec.epsilons.size() << " epsilons x " << spec.threads.size()
+            << " thread counts x " << spec.seeds.size() << " seeds)\n\n";
+  const sweep::SweepResult result = runner.run();
+  (opt.summary ? result.summary_table() : result.table()).print(std::cout);
+
+  if (opt.json) {
+    const std::string path = opt.json_path.empty()
+                                 ? "BENCH_" + spec.name + ".json"
+                                 : opt.json_path;
+    std::ofstream os(path);
+    result.print_bench_json(os);
+    os.flush();
+    if (!os.good()) {
+      std::cerr << "error: could not write " << path << "\n";
+      return 1;
+    }
+    std::cout << "\nwrote " << path << "\n";
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -294,6 +565,7 @@ int main(int argc, char** argv) {
       return cmd_list(json);
     }
     if (cmd == "solve") return cmd_solve(argc, argv);
+    if (cmd == "bench") return cmd_bench(argc, argv);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;

@@ -1,0 +1,188 @@
+#!/usr/bin/env python3
+"""CI perf-regression gate over sweep BENCH JSON (ISSUE 3 satellite).
+
+Two modes:
+
+  check_bench_regression.py gate CURRENT.json BASELINE.json
+      Diffs the exact counters of CURRENT against the committed baseline,
+      keyed by (algorithm, generator, instance, n, m, epsilon, threads,
+      seed). Counters are deterministic functions of the seed, so any
+      divergence is a real behavioural change:
+        - cost counters (passes, rounds, memory words, communication,
+          black-box calls) may not INCREASE;
+        - solution quality (matching size / weight) may not DECREASE;
+        - baseline entries may not disappear.
+      Improvements and new entries are reported informationally and ask
+      for a baseline refresh. Wall-ms deltas are always informational.
+      Exits 1 on any regression, 0 otherwise.
+
+  check_bench_regression.py invariance A.json B.json
+      Asserts the exact counters of two runs of the same grid are
+      bit-identical, ignoring the threads axis and wall clock — the
+      determinism contract for `wmatch_cli bench ... --threads=N`.
+
+Baseline refresh (after an intentional behaviour change):
+  ./build/wmatch_cli bench --preset=ci --json=bench/baselines/ci_baseline.json
+and commit the diff with a sentence on why the counters moved.
+"""
+
+import json
+import sys
+
+COST_COUNTERS = [  # larger = worse
+    "passes",
+    "rounds",
+    "memory_peak_words",
+    "communication_words",
+    "bb_invocations",
+    "bb_max_invocation_cost",
+]
+QUALITY_COUNTERS = ["matching_size", "matching_weight"]  # smaller = worse
+
+
+def load(path):
+    with open(path) as f:
+        doc = json.load(f)
+    if "schema_version" not in doc or "results" not in doc:
+        sys.exit(f"error: {path} is not a sweep BENCH document "
+                 "(missing schema_version/results)")
+    return doc
+
+
+def key(result, with_threads=True):
+    # "family" (the instance-family index within the sweep spec) keeps
+    # keys unique when two families share generator/n/m and differ only
+    # in e.g. the weight distribution; it is stable across runs of the
+    # same spec, which is all gate/invariance ever compare.
+    parts = [result["algorithm"], result["generator"], result["family"],
+             result["instance"], result["n"], result["m"],
+             result["epsilon"], result["seed"]]
+    if with_threads:
+        parts.insert(7, result["threads"])
+    return tuple(parts)
+
+
+def index(doc, with_threads=True):
+    out = {}
+    for r in doc["results"]:
+        k = key(r, with_threads)
+        if k in out:
+            sys.exit(f"error: duplicate result key {k}")
+        out[k] = r
+    return out
+
+
+def fmt(k):
+    # Mirrors key(): (algorithm, generator, family, instance, n, m,
+    # epsilon, [threads], seed).
+    tail = " ".join(str(p) for p in k[7:])
+    return f"{k[0]} on {k[1]}[{k[2]}](n={k[4]}, m={k[5]}) eps={k[6]} {tail}"
+
+
+def check_schema(a, b, pa, pb):
+    if a["schema_version"] != b["schema_version"]:
+        sys.exit(f"error: schema_version mismatch: {pa} has "
+                 f"{a['schema_version']}, {pb} has {b['schema_version']} — "
+                 "regenerate the baseline")
+
+
+def gate(current_path, baseline_path):
+    current, baseline = load(current_path), load(baseline_path)
+    check_schema(current, baseline, current_path, baseline_path)
+    cur, base = index(current), index(baseline)
+
+    regressions, improvements, infos = [], [], []
+    for k, b in sorted(base.items()):
+        c = cur.get(k)
+        if c is None:
+            regressions.append(f"{fmt(k)}: present in baseline but missing "
+                               "from the current run")
+            continue
+        if b.get("skipped") != c.get("skipped"):
+            regressions.append(f"{fmt(k)}: skipped flag changed "
+                               f"{b.get('skipped')} -> {c.get('skipped')}")
+            continue
+        if b.get("skipped"):
+            continue
+        bc, cc = b["counters"], c["counters"]
+        for name in COST_COUNTERS:
+            if cc[name] > bc[name]:
+                regressions.append(f"{fmt(k)}: {name} regressed "
+                                   f"{bc[name]} -> {cc[name]}")
+            elif cc[name] < bc[name]:
+                improvements.append(f"{fmt(k)}: {name} improved "
+                                    f"{bc[name]} -> {cc[name]}")
+        for name in QUALITY_COUNTERS:
+            if cc[name] < bc[name]:
+                regressions.append(f"{fmt(k)}: {name} regressed "
+                                   f"{bc[name]} -> {cc[name]}")
+            elif cc[name] > bc[name]:
+                improvements.append(f"{fmt(k)}: {name} improved "
+                                    f"{bc[name]} -> {cc[name]}")
+        wall_b = b["wall_ms"]["median"]
+        wall_c = c["wall_ms"]["median"]
+        if wall_b > 0:
+            infos.append(f"{fmt(k)}: wall ms {wall_b:.2f} -> {wall_c:.2f} "
+                         f"({100.0 * (wall_c - wall_b) / wall_b:+.1f}%)")
+    for k in sorted(set(cur) - set(base)):
+        improvements.append(f"{fmt(k)}: new benchmark (not in baseline)")
+
+    print(f"compared {len(base)} baseline entries against {current_path}")
+    if infos:
+        print("\nwall-clock deltas (informational, not gated):")
+        for line in infos:
+            print(f"  {line}")
+    if improvements:
+        print("\nimprovements / additions — refresh the baseline to lock "
+              "them in:")
+        for line in improvements:
+            print(f"  {line}")
+    if regressions:
+        print("\nCOUNTER REGRESSIONS (gate failure):")
+        for line in regressions:
+            print(f"  {line}")
+        print("\nIf the change is intentional, refresh the baseline:\n"
+              "  ./build/wmatch_cli bench --preset=ci "
+              "--json=bench/baselines/ci_baseline.json")
+        return 1
+    print("\nno counter regressions")
+    return 0
+
+
+def invariance(path_a, path_b):
+    a, b = load(path_a), load(path_b)
+    check_schema(a, b, path_a, path_b)
+    ia, ib = index(a, with_threads=False), index(b, with_threads=False)
+    if set(ia) != set(ib):
+        sys.exit(f"error: {path_a} and {path_b} cover different grids")
+    diffs = []
+    for k in sorted(ia):
+        ra, rb = ia[k], ib[k]
+        if ra.get("skipped") != rb.get("skipped"):
+            diffs.append(f"{fmt(k)}: skipped flag differs")
+            continue
+        if ra.get("skipped"):
+            continue
+        for name in COST_COUNTERS + QUALITY_COUNTERS:
+            va, vb = ra["counters"][name], rb["counters"][name]
+            if va != vb:
+                diffs.append(f"{fmt(k)}: {name} differs ({va} vs {vb})")
+    if diffs:
+        print("COUNTERS DIFFER ACROSS RUNS (thread-determinism violation):")
+        for line in diffs:
+            print(f"  {line}")
+        return 1
+    print(f"{len(ia)} results: exact counters bit-identical across runs")
+    return 0
+
+
+def main(argv):
+    if len(argv) != 4 or argv[1] not in ("gate", "invariance"):
+        sys.exit(__doc__)
+    if argv[1] == "gate":
+        return gate(argv[2], argv[3])
+    return invariance(argv[2], argv[3])
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

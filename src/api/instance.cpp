@@ -2,8 +2,11 @@
 
 #include <utility>
 
+#include <algorithm>
+
 #include "exact/hopcroft_karp.h"
 #include "gen/generators.h"
+#include "gen/hard_instances.h"
 #include "util/require.h"
 #include "util/rng.h"
 
@@ -32,6 +35,7 @@ ArrivalOrder parse_arrival_order(const std::string& name) {
 
 const char* to_string(gen::WeightDist dist) {
   switch (dist) {
+    case gen::WeightDist::kUnit: return "unit";
     case gen::WeightDist::kUniform: return "uniform";
     case gen::WeightDist::kExponential: return "exponential";
     case gen::WeightDist::kPolynomial: return "polynomial";
@@ -41,6 +45,7 @@ const char* to_string(gen::WeightDist dist) {
 }
 
 gen::WeightDist parse_weight_dist(const std::string& name) {
+  if (name == "unit") return gen::WeightDist::kUnit;
   if (name == "uniform") return gen::WeightDist::kUniform;
   if (name == "exponential") return gen::WeightDist::kExponential;
   if (name == "polynomial") return gen::WeightDist::kPolynomial;
@@ -70,7 +75,55 @@ std::vector<Edge> make_stream(const Graph& g, ArrivalOrder order,
   return {};
 }
 
+/// Maps a GenSpec onto the planted families of gen/hard_instances.h.
+/// Family sizes derive from spec.n (k copies of the gadget fit in n
+/// vertices) and weights from spec.max_weight, so hard families slot
+/// into the same sweep axes as the random generators.
+gen::PlantedInstance generate_hard(const GenSpec& spec, Rng& rng) {
+  const std::size_t n = std::max<std::size_t>(spec.n, 4);
+  const Weight w = std::max<Weight>(spec.max_weight, 2);
+  if (spec.generator == "hard-four-cycle") {
+    // base < base+gap: improving the planted matching needs augmenting
+    // *cycles* (Section 1.1.2) — worst case for path-only augmenters.
+    return gen::four_cycle_family(n / 4, std::max<Weight>(1, w / 2),
+                                  std::max<Weight>(1, w - w / 2));
+  }
+  if (spec.generator == "hard-greedy-trap") {
+    // wing <= mid < 2*wing: greedy keeps mid, optimum takes both wings.
+    return gen::greedy_trap_paths(n / 4, w, w / 2 + 1);
+  }
+  if (spec.generator == "hard-long-path") {
+    const std::size_t L = std::max<std::size_t>(spec.aug_length, 1);
+    return gen::long_path_family(
+        std::max<std::size_t>(1, n / (2 * (L + 1))), L, 1, w);
+  }
+  if (spec.generator == "hard-planted-augs") {
+    WMATCH_REQUIRE(spec.beta >= 0.0 && spec.beta <= 1.0,
+                   "hard-planted-augs needs beta in [0,1]");
+    return gen::planted_three_augs(n / 4, spec.beta, rng);
+  }
+  if (spec.generator == "hard-figure1") return gen::figure1_example();
+  if (spec.generator == "hard-figure2") return gen::figure2_example();
+  WMATCH_REQUIRE(false, "unknown hard-instance family '" + spec.generator +
+                            "'");
+  return gen::figure1_example();  // unreachable
+}
+
 }  // namespace
+
+const std::vector<std::string>& known_generators() {
+  static const std::vector<std::string> names = {
+      "barabasi_albert", "bipartite",        "cycle",
+      "erdos_renyi",     "geometric",        "hard-figure1",
+      "hard-figure2",    "hard-four-cycle",  "hard-greedy-trap",
+      "hard-long-path",  "hard-planted-augs", "path"};
+  return names;
+}
+
+bool is_known_generator(const std::string& name) {
+  const auto& names = known_generators();
+  return std::find(names.begin(), names.end(), name) != names.end();
+}
 
 Instance make_instance(Graph graph, ArrivalOrder order,
                        std::uint64_t order_seed, std::string name) {
@@ -83,7 +136,20 @@ Instance make_instance(Graph graph, ArrivalOrder order,
 }
 
 Instance generate_instance(const GenSpec& spec) {
+  WMATCH_REQUIRE(is_known_generator(spec.generator),
+                 "unknown generator '" + spec.generator + "'");
   Rng rng(spec.seed);
+  if (spec.generator.rfind("hard-", 0) == 0) {
+    // Planted adversarial families keep their constructed weights and
+    // carry their known optimum onto the Instance; the arrival order
+    // still composes with them (adversarial structure x stream order).
+    gen::PlantedInstance hard = generate_hard(spec, rng);
+    Instance inst =
+        make_instance(std::move(hard.graph), spec.order,
+                      stream_seed_for(spec.seed), spec.generator);
+    inst.known_optimal_weight = hard.optimal_weight;
+    return inst;
+  }
   Graph g;
   if (spec.generator == "erdos_renyi") {
     g = gen::erdos_renyi(spec.n, spec.m, rng);
@@ -106,9 +172,11 @@ Instance generate_instance(const GenSpec& spec) {
     WMATCH_REQUIRE(false, "unknown generator '" + spec.generator + "'");
   }
   // geometric is inherently weighted; path/cycle drew their per-edge
-  // weights from spec.weights above.
+  // weights from spec.weights above; generators already emit unit
+  // weights, so kUnit needs no reassignment pass.
   if (spec.generator != "geometric" && spec.generator != "path" &&
-      spec.generator != "cycle") {
+      spec.generator != "cycle" &&
+      spec.weights != gen::WeightDist::kUnit) {
     g = gen::assign_weights(g, spec.weights, spec.max_weight, rng);
   }
   // A distinct stream seed so reordering the stream never aliases the

@@ -39,10 +39,15 @@ struct Instance {
   Graph graph;               ///< the offline view
   std::vector<Edge> stream;  ///< the same edges in arrival order
   std::vector<char> side;    ///< bipartition (empty if not bipartite)
+  /// Planted maximum matching weight for the hard-instance families
+  /// (gen/hard_instances.h), so sweeps report exact ratios without an
+  /// exact solve. -1 when the optimum is not known by construction.
+  Weight known_optimal_weight = -1;
 
   std::size_t num_vertices() const { return graph.num_vertices(); }
   std::size_t num_edges() const { return graph.num_edges(); }
   bool is_bipartite() const { return !side.empty(); }
+  bool has_known_optimum() const { return known_optimal_weight >= 0; }
 };
 
 /// Wraps an existing graph: materializes the stream in the requested order
@@ -64,13 +69,20 @@ inline std::uint64_t stream_seed_for(std::uint64_t seed) {
 /// onto this struct, and tests/benches can build the identical instance
 /// programmatically.
 struct GenSpec {
-  /// "erdos_renyi" | "bipartite" | "barabasi_albert" | "geometric" |
-  /// "path" | "cycle"
+  /// Random families: "erdos_renyi" | "bipartite" | "barabasi_albert" |
+  /// "geometric" | "path" | "cycle".
+  /// Hard / adversarial families (gen/hard_instances.h — planted optimum,
+  /// Instance::known_optimal_weight is set): "hard-four-cycle" |
+  /// "hard-greedy-trap" | "hard-long-path" | "hard-planted-augs" |
+  /// "hard-figure1" | "hard-figure2".
   std::string generator = "erdos_renyi";
   std::size_t n = 1000;
   std::size_t m = 4000;       ///< edge target (erdos_renyi / bipartite)
   std::size_t attach = 4;     ///< barabasi_albert attachment degree
   double radius = 0.08;       ///< geometric connection radius
+  std::size_t aug_length = 3; ///< hard-long-path: augmentations span
+                              ///< 2*aug_length+1 edges
+  double beta = 0.5;          ///< hard-planted-augs: planted wing density
   gen::WeightDist weights = gen::WeightDist::kUniform;
   Weight max_weight = 1 << 12;
   ArrivalOrder order = ArrivalOrder::kRandom;
@@ -80,6 +92,11 @@ struct GenSpec {
 /// Builds the graph, assigns weights, and materializes the stream; the
 /// whole instance is a deterministic function of the GenSpec.
 Instance generate_instance(const GenSpec& spec);
+
+/// Every name GenSpec::generator accepts, sorted — the CLI's flag
+/// validation and error messages are driven by this list.
+const std::vector<std::string>& known_generators();
+bool is_known_generator(const std::string& name);
 
 gen::WeightDist parse_weight_dist(const std::string& name);
 const char* to_string(gen::WeightDist dist);

@@ -9,6 +9,8 @@ namespace wmatch::gen {
 Weight draw_weight(WeightDist dist, Weight max_w, Rng& rng) {
   WMATCH_REQUIRE(max_w >= 1, "max weight must be >= 1");
   switch (dist) {
+    case WeightDist::kUnit:
+      return 1;
     case WeightDist::kUniform:
       return rng.next_int(1, max_w);
     case WeightDist::kExponential: {

@@ -10,6 +10,7 @@
 namespace wmatch::gen {
 
 enum class WeightDist {
+  kUnit,         ///< every edge has weight 1 (cardinality experiments)
   kUniform,      ///< uniform integers in [1, max_w]
   kExponential,  ///< geometric-tail weights (many light, few heavy)
   kPolynomial,   ///< w = 1 + floor(max_w * u^3): heavy-tailed toward light

@@ -1,0 +1,154 @@
+#include "sweep/presets.h"
+
+#include <algorithm>
+
+#include "util/require.h"
+
+namespace wmatch::sweep {
+
+namespace {
+
+std::vector<std::uint64_t> seed_range(std::uint64_t base, std::size_t count) {
+  std::vector<std::uint64_t> seeds(count);
+  for (std::size_t i = 0; i < count; ++i) seeds[i] = base + i;
+  return seeds;
+}
+
+/// E1 / Theorem 3.4 — one-pass unweighted matching on random-order
+/// streams: the three-branch algorithm vs greedy, cardinality ratios
+/// against the exact optimum.
+SweepSpec e1_preset() {
+  SweepSpec s;
+  s.name = "E1";
+  s.solvers = {"greedy", "unw-rand-arrival"};
+  api::GenSpec er_small;
+  er_small.n = 1000;
+  er_small.m = 2500;
+  api::GenSpec er_large;
+  er_large.n = 2000;
+  er_large.m = 5000;
+  api::GenSpec bip;
+  bip.generator = "bipartite";
+  bip.n = 2000;
+  bip.m = 5000;
+  api::GenSpec ba;
+  ba.generator = "barabasi_albert";
+  ba.n = 2000;
+  ba.attach = 2;
+  for (api::GenSpec* g : {&er_small, &er_large, &bip, &ba}) {
+    g->weights = gen::WeightDist::kUnit;
+  }
+  s.instances = {er_small, er_large, bip, ba};
+  s.seeds = seed_range(1000, 5);
+  s.with_optimum = true;
+  s.stat_columns = {"augmentations"};
+  return s;
+}
+
+/// E2 / Theorems 1.1, 3.14 — one-pass weighted matching on random-order
+/// streams: Rand-Arr-Matching vs greedy and local-ratio [PS17].
+SweepSpec e2_preset() {
+  SweepSpec s;
+  s.name = "E2";
+  s.solvers = {"greedy", "local-ratio", "rand-arrival"};
+  api::GenSpec er_uniform;
+  er_uniform.n = 1200;
+  er_uniform.m = 7200;
+  api::GenSpec er_exp = er_uniform;
+  er_exp.weights = gen::WeightDist::kExponential;
+  api::GenSpec ba;
+  ba.generator = "barabasi_albert";
+  ba.n = 1200;
+  ba.attach = 4;
+  ba.weights = gen::WeightDist::kExponential;
+  api::GenSpec geo;
+  geo.generator = "geometric";
+  geo.n = 700;
+  geo.radius = 0.08;
+  geo.max_weight = 1000;
+  s.instances = {er_uniform, er_exp, ba, geo};
+  s.seeds = seed_range(2000, 5);
+  s.with_optimum = true;
+  return s;
+}
+
+/// E5 / Theorem 1.2 (MPC) — the (1-eps) reduction on the simulated
+/// cluster across instance sizes: rounds per iteration and per-machine
+/// memory vs n (paper regime: Gamma = m/n machines, S = 24n words).
+SweepSpec e5_preset() {
+  SweepSpec s;
+  s.name = "E5";
+  s.solvers = {"reduction-mpc"};
+  for (std::size_t n : {256u, 512u, 1024u, 2048u}) {
+    api::GenSpec g;
+    g.n = n;
+    g.m = 8 * n;
+    g.max_weight = 1 << 10;
+    g.order = api::ArrivalOrder::kAsGenerated;
+    s.instances.push_back(g);
+  }
+  s.epsilons = {0.2};
+  s.seeds = {5000};
+  s.with_optimum = true;
+  s.stat_columns = {"iterations", "machines", "memory_ok"};
+  return s;
+}
+
+/// The CI perf-regression grid: small and fast, but covering streaming +
+/// MPC + reduction solvers on random AND adversarial (hard-*) families.
+/// Every counter in the emitted BENCH_ci.json is a deterministic function
+/// of the seed (and invariant under --threads), so the gate diffs them
+/// exactly against bench/baselines/ci_baseline.json.
+SweepSpec ci_preset() {
+  SweepSpec s;
+  s.name = "ci";
+  s.solvers = {"greedy",           "local-ratio",  "rand-arrival",
+               "unw-rand-arrival", "reduction-hk", "reduction-mpc"};
+  api::GenSpec er;
+  er.n = 200;
+  er.m = 800;
+  api::GenSpec bip;
+  bip.generator = "bipartite";
+  bip.n = 200;
+  bip.m = 800;
+  api::GenSpec trap;
+  trap.generator = "hard-greedy-trap";
+  trap.n = 128;
+  api::GenSpec cycles;
+  cycles.generator = "hard-four-cycle";
+  cycles.n = 128;
+  api::GenSpec long_path;
+  long_path.generator = "hard-long-path";
+  long_path.n = 96;
+  long_path.aug_length = 3;
+  s.instances = {er, bip, trap, cycles, long_path};
+  s.epsilons = {0.2};
+  s.seeds = {1};
+  s.with_optimum = true;
+  s.stat_columns = {"iterations"};
+  return s;
+}
+
+}  // namespace
+
+const std::vector<std::string>& preset_names() {
+  static const std::vector<std::string> names = {"ci", "e1", "e2", "e5"};
+  return names;
+}
+
+bool is_known_preset(const std::string& name) {
+  const auto& names = preset_names();
+  return std::find(names.begin(), names.end(), name) != names.end();
+}
+
+SweepSpec preset(const std::string& name) {
+  if (name == "ci") return ci_preset();
+  if (name == "e1") return e1_preset();
+  if (name == "e2") return e2_preset();
+  if (name == "e5") return e5_preset();
+  WMATCH_REQUIRE(false, "unknown bench preset '" + name +
+                            "' (known: ci, e1, e2, e5)");
+  return {};  // unreachable
+}
+
+}  // namespace wmatch::sweep

@@ -1,0 +1,23 @@
+// Named SweepSpecs: the paper's parametric experiments (e1 / e2 / e5)
+// expressed as declarative grids, plus the small deterministic "ci" grid
+// the perf-regression gate diffs against bench/baselines/ci_baseline.json.
+// `wmatch_cli bench --preset=<name>` and the bench_e* thin wrappers both
+// resolve through here, so the CLI, the benches, and CI run the exact
+// same grids.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sweep/sweep.h"
+
+namespace wmatch::sweep {
+
+/// Sorted preset names ("ci", "e1", "e2", "e5").
+const std::vector<std::string>& preset_names();
+bool is_known_preset(const std::string& name);
+
+/// The named SweepSpec; throws std::invalid_argument on unknown names.
+SweepSpec preset(const std::string& name);
+
+}  // namespace wmatch::sweep

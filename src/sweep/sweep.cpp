@@ -1,0 +1,428 @@
+#include "sweep/sweep.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <map>
+#include <ostream>
+#include <sstream>
+
+#include "exact/blossom.h"
+#include "util/json.h"
+#include "util/require.h"
+#include "util/stats.h"
+
+namespace wmatch::sweep {
+
+namespace {
+
+std::string fmt_double(double x) {
+  // Exact integers (optima, weights, integral stats) must serialize
+  // losslessly — the default 6-significant-digit double format would
+  // round e.g. a Blossom optimum of 2124337 to 2.12434e+06 in the BENCH
+  // artifact. Non-integral values (ratios, wall ms) keep the compact
+  // default format.
+  if (std::floor(x) == x && std::abs(x) < 1e15) {
+    return std::to_string(static_cast<long long>(x));
+  }
+  std::ostringstream ss;
+  ss << x;
+  return ss.str();
+}
+
+bool is_cardinality(const std::string& solver) {
+  return api::Registry::instance().info(solver).objective == "cardinality";
+}
+
+bool all_unit_weights(const Graph& g) {
+  return std::all_of(g.edges().begin(), g.edges().end(),
+                     [](const Edge& e) { return e.w == 1; });
+}
+
+/// Per-(family, seed) state shared by every cell that uses the instance:
+/// the instance itself plus lazily computed optima per objective.
+struct InstanceSlot {
+  api::Instance inst;
+  double weight_opt = -1.0;
+  double card_opt = -1.0;
+};
+
+InstanceSlot build_slot(const api::GenSpec& gen, const SweepSpec& spec,
+                        bool need_cardinality) {
+  InstanceSlot slot;
+  slot.inst = api::generate_instance(gen);
+  // On unit-weight instances the weight optimum IS the cardinality
+  // optimum, so one exact solve (or a planted optimum) serves both
+  // objectives — e.g. the e1 preset's families need no second Blossom.
+  const bool unit =
+      need_cardinality && all_unit_weights(slot.inst.graph);
+  if (slot.inst.has_known_optimum()) {
+    slot.weight_opt = static_cast<double>(slot.inst.known_optimal_weight);
+  }
+  if (spec.with_optimum && slot.weight_opt < 0.0) {
+    slot.weight_opt = static_cast<double>(
+        exact::blossom_max_weight(slot.inst.graph).weight());
+  }
+  if (unit) {
+    slot.card_opt = slot.weight_opt;
+  } else if (spec.with_optimum && need_cardinality) {
+    slot.card_opt = static_cast<double>(
+        exact::blossom_max_weight(slot.inst.graph, true).size());
+  }
+  return slot;
+}
+
+}  // namespace
+
+std::vector<SweepCell> expand_grid(const SweepSpec& spec) {
+  WMATCH_REQUIRE(!spec.solvers.empty(), "sweep needs at least one solver");
+  WMATCH_REQUIRE(!spec.instances.empty(),
+                 "sweep needs at least one instance family");
+  WMATCH_REQUIRE(!spec.epsilons.empty() && !spec.threads.empty() &&
+                     !spec.seeds.empty(),
+                 "sweep axes must be non-empty");
+  std::vector<SweepCell> cells;
+  cells.reserve(spec.instances.size() * spec.seeds.size() *
+                spec.solvers.size() * spec.epsilons.size() *
+                spec.threads.size());
+  for (std::size_t ii = 0; ii < spec.instances.size(); ++ii) {
+    for (std::size_t si = 0; si < spec.seeds.size(); ++si) {
+      for (std::size_t ai = 0; ai < spec.solvers.size(); ++ai) {
+        for (std::size_t ei = 0; ei < spec.epsilons.size(); ++ei) {
+          for (std::size_t ti = 0; ti < spec.threads.size(); ++ti) {
+            SweepCell c;
+            c.solver_idx = ai;
+            c.instance_idx = ii;
+            c.epsilon_idx = ei;
+            c.threads_idx = ti;
+            c.seed_idx = si;
+            c.solver = spec.solvers[ai];
+            c.gen = spec.instances[ii];
+            c.gen.seed = spec.seeds[si];
+            c.epsilon = spec.epsilons[ei];
+            c.threads = spec.threads[ti];
+            c.seed = spec.seeds[si];
+            cells.push_back(std::move(c));
+          }
+        }
+      }
+    }
+  }
+  return cells;
+}
+
+SweepResult run_sweep(const SweepSpec& spec) {
+  const api::Registry& registry = api::Registry::instance();
+  for (const std::string& solver : spec.solvers) {
+    WMATCH_REQUIRE(registry.contains(solver),
+                   "unknown solver '" + solver + "' in sweep spec");
+  }
+  const bool need_cardinality =
+      std::any_of(spec.solvers.begin(), spec.solvers.end(), is_cardinality);
+
+  SweepResult result;
+  result.spec = spec;
+  const std::vector<SweepCell> cells = expand_grid(spec);
+  result.rows.reserve(cells.size());
+
+  // Cells arrive instance-major, so one slot at a time is live.
+  std::pair<std::size_t, std::size_t> slot_key{~0u, ~0u};
+  InstanceSlot slot;
+  const std::size_t reps = std::max<std::size_t>(1, spec.repetitions);
+
+  for (const SweepCell& cell : cells) {
+    if (slot_key != std::make_pair(cell.instance_idx, cell.seed_idx)) {
+      slot = build_slot(cell.gen, spec, need_cardinality);
+      slot_key = {cell.instance_idx, cell.seed_idx};
+    }
+    SweepRow row;
+    row.cell = cell;
+    row.instance_name = slot.inst.name;
+    row.n = slot.inst.num_vertices();
+    row.m = slot.inst.num_edges();
+
+    const api::SolverInfo& info = registry.info(cell.solver);
+    if (info.bipartite_only && !slot.inst.is_bipartite()) {
+      row.skipped = true;
+      result.rows.push_back(std::move(row));
+      continue;
+    }
+
+    api::SolverSpec solver_spec;
+    solver_spec.epsilon = cell.epsilon;
+    solver_spec.delta = spec.delta;
+    solver_spec.seed = cell.seed;
+    solver_spec.runtime.num_threads = cell.threads;
+
+    const api::Solver solver(cell.solver);
+    for (std::size_t w = 0; w < spec.warmup; ++w) {
+      (void)solver.solve(slot.inst, solver_spec);
+    }
+    std::vector<double> wall;
+    wall.reserve(reps);
+    api::SolveResult r;
+    for (std::size_t rep = 0; rep < reps; ++rep) {
+      r = solver.solve(slot.inst, solver_spec);
+      wall.push_back(r.cost.wall_ms);
+    }
+
+    row.cost = r.cost;
+    row.wall_ms_median = median(wall);
+    row.wall_ms_min = *std::min_element(wall.begin(), wall.end());
+    row.cost.wall_ms = row.wall_ms_median;
+    row.matching_size = r.matching.size();
+    row.matching_weight = r.matching.weight();
+    const bool cardinality = info.objective == "cardinality";
+    row.achieved = cardinality ? static_cast<double>(row.matching_size)
+                               : static_cast<double>(row.matching_weight);
+    row.optimum = cardinality ? slot.card_opt : slot.weight_opt;
+    row.stats = std::move(r.stats);
+    result.rows.push_back(std::move(row));
+  }
+  return result;
+}
+
+namespace {
+
+bool any_ratio(const std::vector<SweepRow>& rows) {
+  return std::any_of(rows.begin(), rows.end(),
+                     [](const SweepRow& r) { return r.has_ratio(); });
+}
+
+std::string stat_cell(const SweepRow& row, const std::string& name) {
+  for (const auto& [key, value] : row.stats) {
+    if (key == name) return Table::fmt(value, 1);
+  }
+  return "-";
+}
+
+}  // namespace
+
+Table SweepResult::table() const {
+  const bool with_ratio = any_ratio(rows);
+  std::vector<std::string> header = {"solver", "instance", "n",     "m",
+                                     "eps",    "thr",      "seed",  "size",
+                                     "weight", "passes",   "rounds",
+                                     "mem words", "bb calls", "wall ms"};
+  if (with_ratio) header.insert(header.begin() + 9, "ratio");
+  for (const std::string& s : spec.stat_columns) header.push_back(s);
+  Table t(header);
+  for (const SweepRow& r : rows) {
+    std::vector<std::string> row = {
+        r.cell.solver,
+        r.cell.gen.generator,
+        Table::fmt(r.n),
+        Table::fmt(r.m),
+        Table::fmt(r.cell.epsilon, 2),
+        Table::fmt(r.cell.threads),
+        Table::fmt(static_cast<std::size_t>(r.cell.seed))};
+    if (r.skipped) {
+      row.push_back("skipped");  // in place of the size column
+      while (row.size() < t.columns()) row.push_back("-");
+      t.add_row(std::move(row));
+      continue;
+    }
+    row.push_back(Table::fmt(r.matching_size));
+    row.push_back(Table::fmt(r.matching_weight));
+    if (with_ratio) row.push_back(r.has_ratio() ? Table::fmt(r.ratio(), 4) : "-");
+    row.push_back(Table::fmt(r.cost.passes));
+    row.push_back(Table::fmt(r.cost.rounds));
+    row.push_back(Table::fmt(r.cost.memory_peak_words));
+    row.push_back(Table::fmt(r.cost.bb_invocations));
+    row.push_back(Table::fmt(r.wall_ms_median, 1));
+    for (const std::string& s : spec.stat_columns) {
+      row.push_back(stat_cell(r, s));
+    }
+    t.add_row(std::move(row));
+  }
+  return t;
+}
+
+Table SweepResult::summary_table() const {
+  const bool with_ratio = any_ratio(rows);
+
+  struct Group {
+    const SweepRow* first = nullptr;
+    Accumulator ratio;
+    std::vector<double> wall;
+    std::size_t passes_min = 0, passes_max = 0;
+    std::size_t rounds_min = 0, rounds_max = 0;
+    std::size_t mem_min = 0, mem_max = 0;
+    std::size_t skipped = 0, ran = 0;
+    std::vector<Accumulator> stat;  ///< one per spec.stat_columns entry
+  };
+  // Group key = every axis except the seed; std::map keeps deterministic
+  // (expansion) order because the indices are ordered lexicographically.
+  std::map<std::array<std::size_t, 4>, Group> groups;
+  for (const SweepRow& r : rows) {
+    Group& g = groups[{r.cell.solver_idx, r.cell.instance_idx,
+                       r.cell.epsilon_idx, r.cell.threads_idx}];
+    if (!g.first) g.first = &r;
+    if (r.skipped) {
+      ++g.skipped;
+      continue;
+    }
+    if (g.ran == 0) {
+      g.passes_min = g.passes_max = r.cost.passes;
+      g.rounds_min = g.rounds_max = r.cost.rounds;
+      g.mem_min = g.mem_max = r.cost.memory_peak_words;
+    } else {
+      g.passes_min = std::min(g.passes_min, r.cost.passes);
+      g.passes_max = std::max(g.passes_max, r.cost.passes);
+      g.rounds_min = std::min(g.rounds_min, r.cost.rounds);
+      g.rounds_max = std::max(g.rounds_max, r.cost.rounds);
+      g.mem_min = std::min(g.mem_min, r.cost.memory_peak_words);
+      g.mem_max = std::max(g.mem_max, r.cost.memory_peak_words);
+    }
+    ++g.ran;
+    if (r.has_ratio()) g.ratio.add(r.ratio());
+    g.wall.push_back(r.wall_ms_median);
+    g.stat.resize(spec.stat_columns.size());
+    for (std::size_t s = 0; s < spec.stat_columns.size(); ++s) {
+      for (const auto& [key, value] : r.stats) {
+        if (key == spec.stat_columns[s]) {
+          g.stat[s].add(value);
+          break;
+        }
+      }
+    }
+  }
+
+  auto range = [](std::size_t lo, std::size_t hi) {
+    return lo == hi ? Table::fmt(lo)
+                    : Table::fmt(lo) + ".." + Table::fmt(hi);
+  };
+
+  std::vector<std::string> header = {"solver", "instance", "n",    "m",
+                                     "eps",    "thr",      "seeds"};
+  if (with_ratio) header.push_back("ratio (mean±ci95)");
+  header.insert(header.end(), {"passes", "rounds", "mem words", "wall ms"});
+  for (const std::string& s : spec.stat_columns) header.push_back(s);
+  Table t(header);
+  for (const auto& [key, g] : groups) {
+    const SweepRow& f = *g.first;
+    std::vector<std::string> row = {
+        f.cell.solver,        f.cell.gen.generator, Table::fmt(f.n),
+        Table::fmt(f.m),      Table::fmt(f.cell.epsilon, 2),
+        Table::fmt(f.cell.threads), Table::fmt(g.ran)};
+    if (g.ran == 0) {
+      row.back() = "skipped";
+      while (row.size() < t.columns()) row.push_back("-");
+      t.add_row(std::move(row));
+      continue;
+    }
+    if (with_ratio) {
+      row.push_back(g.ratio.count() == 0
+                        ? "-"
+                        : Table::fmt(g.ratio.mean(), 4) + " ± " +
+                              Table::fmt(g.ratio.ci95_halfwidth(), 4));
+    }
+    row.push_back(range(g.passes_min, g.passes_max));
+    row.push_back(range(g.rounds_min, g.rounds_max));
+    row.push_back(range(g.mem_min, g.mem_max));
+    row.push_back(Table::fmt(median(g.wall), 1));
+    for (std::size_t s = 0; s < spec.stat_columns.size(); ++s) {
+      row.push_back(s < g.stat.size() && g.stat[s].count() > 0
+                        ? Table::fmt(g.stat[s].mean(), 1)
+                        : "-");
+    }
+    t.add_row(std::move(row));
+  }
+  return t;
+}
+
+void SweepResult::print_bench_json(std::ostream& os) const {
+  os << "{\"bench\":";
+  util::write_json_string(os, spec.name);
+  os << ",\"schema_version\":" << kBenchSchemaVersion;
+
+  os << ",\"spec\":{\"repetitions\":" << std::max<std::size_t>(1, spec.repetitions)
+     << ",\"warmup\":" << spec.warmup << ",\"delta\":" << fmt_double(spec.delta)
+     << ",\"with_optimum\":" << (spec.with_optimum ? "true" : "false");
+  os << ",\"solvers\":[";
+  for (std::size_t i = 0; i < spec.solvers.size(); ++i) {
+    if (i) os << ',';
+    util::write_json_string(os, spec.solvers[i]);
+  }
+  os << "],\"epsilons\":[";
+  for (std::size_t i = 0; i < spec.epsilons.size(); ++i) {
+    if (i) os << ',';
+    os << fmt_double(spec.epsilons[i]);
+  }
+  os << "],\"threads\":[";
+  for (std::size_t i = 0; i < spec.threads.size(); ++i) {
+    if (i) os << ',';
+    os << spec.threads[i];
+  }
+  os << "],\"seeds\":[";
+  for (std::size_t i = 0; i < spec.seeds.size(); ++i) {
+    if (i) os << ',';
+    os << spec.seeds[i];
+  }
+  os << "],\"instances\":[";
+  for (std::size_t i = 0; i < spec.instances.size(); ++i) {
+    const api::GenSpec& g = spec.instances[i];
+    if (i) os << ',';
+    os << "{\"generator\":";
+    util::write_json_string(os, g.generator);
+    os << ",\"n\":" << g.n << ",\"m\":" << g.m << ",\"weights\":";
+    util::write_json_string(os, api::to_string(g.weights));
+    os << ",\"order\":";
+    util::write_json_string(os, api::to_string(g.order));
+    os << '}';
+  }
+  os << "]},";
+
+  table().print_json_fragment(os);
+
+  os << ",\"results\":[";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const SweepRow& r = rows[i];
+    if (i) os << ',';
+    os << "{\"algorithm\":";
+    util::write_json_string(os, r.cell.solver);
+    os << ",\"generator\":";
+    util::write_json_string(os, r.cell.gen.generator);
+    os << ",\"instance\":";
+    util::write_json_string(os, r.instance_name);
+    // The family index keeps results distinguishable (and the gate's keys
+    // unique) when two families share generator/n/m and differ only in,
+    // say, the weight distribution; it is stable across runs of one spec.
+    os << ",\"family\":" << r.cell.instance_idx << ",\"weights\":";
+    util::write_json_string(os, api::to_string(r.cell.gen.weights));
+    os << ",\"n\":" << r.n << ",\"m\":" << r.m
+       << ",\"epsilon\":" << fmt_double(r.cell.epsilon)
+       << ",\"threads\":" << r.cell.threads << ",\"seed\":" << r.cell.seed
+       << ",\"skipped\":" << (r.skipped ? "true" : "false");
+    if (!r.skipped) {
+      const api::CostReport& c = r.cost;
+      os << ",\"counters\":{\"passes\":" << c.passes
+         << ",\"rounds\":" << c.rounds
+         << ",\"memory_peak_words\":" << c.memory_peak_words
+         << ",\"communication_words\":" << c.communication_words
+         << ",\"bb_invocations\":" << c.bb_invocations
+         << ",\"bb_max_invocation_cost\":" << c.bb_max_invocation_cost
+         << ",\"matching_size\":" << r.matching_size
+         << ",\"matching_weight\":" << r.matching_weight << '}';
+      if (r.has_ratio()) {
+        os << ",\"optimum\":" << fmt_double(r.optimum)
+           << ",\"ratio\":" << fmt_double(r.ratio());
+      }
+      os << ",\"wall_ms\":{\"median\":" << fmt_double(r.wall_ms_median)
+         << ",\"min\":" << fmt_double(r.wall_ms_min) << '}';
+      os << ",\"stats\":{";
+      bool first = true;
+      for (const auto& [name, value] : r.stats) {
+        if (!first) os << ',';
+        first = false;
+        util::write_json_string(os, name);
+        os << ':' << fmt_double(value);
+      }
+      os << '}';
+    }
+    os << '}';
+  }
+  os << "]}\n";
+}
+
+}  // namespace wmatch::sweep

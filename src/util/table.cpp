@@ -68,14 +68,20 @@ void json_string_row(std::ostream& os, const std::vector<std::string>& cells) {
 void Table::print_json(std::ostream& os, const std::string& id) const {
   os << "{\"bench\":";
   json_string(os, id);
-  os << ",\"columns\":";
+  os << ',';
+  print_json_fragment(os);
+  os << "}\n";
+}
+
+void Table::print_json_fragment(std::ostream& os) const {
+  os << "\"columns\":";
   json_string_row(os, header_);
   os << ",\"rows\":[";
   for (std::size_t r = 0; r < rows_.size(); ++r) {
     if (r) os << ',';
     json_string_row(os, rows_[r]);
   }
-  os << "]}\n";
+  os << ']';
 }
 
 void Table::print_csv(std::ostream& os) const {

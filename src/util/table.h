@@ -28,7 +28,13 @@ class Table {
   /// --json flag so perf trajectories can be tracked across PRs.
   void print_json(std::ostream& os, const std::string& id) const;
 
+  /// The `"columns":[...],"rows":[...]` body of print_json without the
+  /// enclosing object, for callers embedding the table in a larger JSON
+  /// document (sweep::SweepResult::print_bench_json).
+  void print_json_fragment(std::ostream& os) const;
+
   std::size_t rows() const { return rows_.size(); }
+  std::size_t columns() const { return header_.size(); }
 
  private:
   std::vector<std::string> header_;

@@ -1,0 +1,78 @@
+#!/usr/bin/env bash
+# Regression tests for wmatch_cli error paths (ISSUE 3 satellite): unknown
+# --algo / --gen / --preset names and unknown commands must exit 2 with a
+# one-line message naming the bad value, and valid invocations must still
+# exit 0. Driven by ctest: cli_errors.sh <path-to-wmatch_cli>.
+set -u
+
+bin=${1:?usage: cli_errors.sh <path-to-wmatch_cli>}
+failures=0
+
+# expect_error <exit-code> <stderr-pattern> <args...>
+expect_error() {
+  local want_status=$1 pattern=$2
+  shift 2
+  local out status
+  out=$("$bin" "$@" 2>&1)
+  status=$?
+  if [ "$status" -ne "$want_status" ]; then
+    echo "FAIL: '$bin $*' exited $status, want $want_status"
+    echo "$out" | sed 's/^/    /'
+    failures=$((failures + 1))
+  elif ! printf '%s' "$out" | grep -q -e "$pattern"; then
+    echo "FAIL: '$bin $*' output does not match /$pattern/"
+    echo "$out" | sed 's/^/    /'
+    failures=$((failures + 1))
+  else
+    echo "ok: $* -> exit $want_status, matches /$pattern/"
+  fi
+}
+
+expect_ok() {
+  local out status
+  out=$("$bin" "$@" 2>&1)
+  status=$?
+  if [ "$status" -ne 0 ]; then
+    echo "FAIL: '$bin $*' exited $status, want 0"
+    echo "$out" | sed 's/^/    /'
+    failures=$((failures + 1))
+  else
+    echo "ok: $* -> exit 0"
+  fi
+}
+
+expect_error 2 "unknown solver 'definitely-not-a-solver'" \
+  solve --algo=definitely-not-a-solver --n=10 --m=20
+expect_error 2 "unknown solver 'nope'" \
+  solve --algo=greedy,nope --n=10 --m=20
+expect_error 2 "unknown generator 'not-a-generator'" \
+  solve --algo=greedy --gen=not-a-generator --n=10 --m=20
+expect_error 2 "known:" solve --algo=greedy --gen=not-a-generator
+expect_error 2 "unknown weight distribution 'lognormal'" \
+  solve --algo=greedy --weights=lognormal
+expect_error 2 "unknown arrival order 'sorted'" \
+  solve --algo=greedy --order=sorted
+expect_error 2 "--n expects a non-negative integer" \
+  solve --algo=greedy --n=ten
+expect_error 2 "unknown flag" solve --algo=greedy --frobnicate=1
+expect_error 2 "unknown command 'frobnicate'" frobnicate
+expect_error 2 "requires --algo" solve
+expect_error 2 "expects a density" \
+  solve --algo=greedy --gen=hard-planted-augs --gen-beta=1.5
+expect_error 2 "expects a density" \
+  bench --algo=greedy --gen=hard-planted-augs --n=16 --beta=-0.1 --seeds=1
+expect_error 2 "unknown bench preset 'e99'" bench --preset=e99
+expect_error 2 "unknown solver 'nope'" bench --algo=nope --gen=erdos_renyi
+expect_error 2 "unknown generator 'nope'" bench --algo=greedy --gen=nope
+expect_error 2 "requires --preset" bench --algo=greedy
+expect_error 2 "cannot override a preset" bench --preset=ci --gen=erdos_renyi
+
+expect_ok list
+expect_ok solve --algo=greedy --n=20 --m=40 --seed=3
+expect_ok bench --algo=greedy --gen=hard-greedy-trap --n=16 --seeds=1
+
+if [ "$failures" -ne 0 ]; then
+  echo "$failures CLI error-path check(s) failed"
+  exit 1
+fi
+echo "all CLI error-path checks passed"
