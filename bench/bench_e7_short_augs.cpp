@@ -1,5 +1,15 @@
 // E7 — Lemma 4.9 / Theorem 4.7: any matching below (1-eps) optimum admits
 // vertex-disjoint short augmentations of total gain >= eps^2 w(M*)/200.
+//
+// Two sections. First, a thin wrapper over the sweep engine: the "e7"
+// preset (greedy vs the (1-eps) reductions across the eps ladder on the
+// E7 family — n = 400, m = 2400, exponential weights — ratios against
+// the exact optimum), so `wmatch_cli bench --preset=e7` reproduces that
+// table exactly and the parallelized per-class augmentation path is part
+// of the declarative grid. Second, the structural witness measurement the
+// lemma itself makes: short-augmentation collections extracted from
+// greedy matchings, compared against the eps^2 w(M*)/200 gain bound.
+// Flags: --threads=N, --json[=path] (JSON carries the sweep section).
 #include "bench_common.h"
 
 #include <cmath>
@@ -9,16 +19,26 @@
 #include "exact/blossom.h"
 #include "gen/generators.h"
 #include "gen/weights.h"
+#include "sweep/presets.h"
 
 int main(int argc, char** argv) {
   using namespace wmatch;
   const bench::Args args = bench::parse_args(argc, argv);
   const runtime::RuntimeConfig rt{args.threads};
   bench::header("E7 / Lemma 4.9, Theorem 4.7",
-                "Structural witness: short-augmentation collections "
-                "extracted from greedy matchings vs the lemma's gain "
-                "bound eps^2 w(M*)/200 (n = 400, m = 2400).");
+                "Short augmentations: the (1-eps) reductions that harvest "
+                "them (sweep preset e7) and the lemma's structural witness "
+                "vs the eps^2 w(M*)/200 bound (n = 400, m = 2400, "
+                "exponential weights).");
 
+  sweep::SweepSpec spec = sweep::preset("e7");
+  spec.threads = {args.threads};
+  const sweep::SweepResult result = sweep::run_sweep(spec);
+  result.summary_table().print(std::cout);
+  const bool wrote = bench::maybe_write_json(args, "E7", result);
+
+  // --- Lemma 4.9 witness: gain of an explicit short-augmentation
+  // collection against the bound, from greedy matchings. ---
   const int kSeeds = 5;
   Table t({"eps", "gap to opt", "witness gain / w(M*)", "bound / w(M*)",
            "witness/bound", "max piece len", "4/eps"});
@@ -59,10 +79,10 @@ int main(int argc, char** argv) {
                Table::fmt(std::ceil(4.0 / eps), 0)});
   }
   t.print(std::cout);
-  bench::maybe_write_json(args, "E7", t);
   bench::footer(
-      "witness/bound >= 1 on every row (typically 10-100x: the constant "
-      "200 is worst-case), and pieces stay short (within ~2 * 4/eps "
-      "edges).");
-  return 0;
+      "reduction ratios clear (1-eps) at every eps while arrival-order "
+      "greedy collapses on the heavy-tailed weights; witness/bound >= 1 "
+      "on every row (typically 10-100x: the constant 200 is worst-case) "
+      "and pieces stay short (within ~2 * 4/eps edges).");
+  return wrote ? 0 : 1;
 }

@@ -10,6 +10,10 @@ Two modes:
       divergence is a real behavioural change:
         - cost counters (passes, rounds, memory words, communication,
           black-box calls) may not INCREASE;
+        - for counters in UNMETERED_OK a baseline of 0 means "previously
+          unmetered": a nonzero current value is a metering fix, not a
+          regression, and is reported informationally (refresh the
+          baseline to gate it);
         - solution quality (matching size / weight) may not DECREASE;
         - baseline entries may not disappear.
       Improvements and new entries are reported informationally and ask
@@ -38,6 +42,16 @@ COST_COUNTERS = [  # larger = worse
     "bb_max_invocation_cost",
 ]
 QUALITY_COUNTERS = ["matching_size", "matching_weight"]  # smaller = worse
+
+# Counters where a baseline value of 0 plausibly means "the solver did not
+# meter this resource yet" rather than "this resource is genuinely free":
+# a 0 -> N jump there is reported informationally instead of failing the
+# gate, so metering fixes do not require lockstep baseline edits. Keep
+# this list tight — for any counter NOT in it (e.g. rounds for a
+# streaming solver, communication for an offline one) a zero baseline is
+# a real claim and 0 -> N stays a gated regression. Extend it only in the
+# commit that adds a new metering source.
+UNMETERED_OK = {"memory_peak_words"}
 
 
 def load(path):
@@ -91,7 +105,7 @@ def gate(current_path, baseline_path):
     check_schema(current, baseline, current_path, baseline_path)
     cur, base = index(current), index(baseline)
 
-    regressions, improvements, infos = [], [], []
+    regressions, improvements, infos, unmetered = [], [], [], []
     for k, b in sorted(base.items()):
         c = cur.get(k)
         if c is None:
@@ -106,7 +120,10 @@ def gate(current_path, baseline_path):
             continue
         bc, cc = b["counters"], c["counters"]
         for name in COST_COUNTERS:
-            if cc[name] > bc[name]:
+            if name in UNMETERED_OK and bc[name] == 0 and cc[name] > 0:
+                unmetered.append(f"{fmt(k)}: {name} now metered "
+                                 f"(0 -> {cc[name]})")
+            elif cc[name] > bc[name]:
                 regressions.append(f"{fmt(k)}: {name} regressed "
                                    f"{bc[name]} -> {cc[name]}")
             elif cc[name] < bc[name]:
@@ -131,6 +148,12 @@ def gate(current_path, baseline_path):
     if infos:
         print("\nwall-clock deltas (informational, not gated):")
         for line in infos:
+            print(f"  {line}")
+    if unmetered:
+        print("\npreviously unmetered counters now reporting "
+              "(informational — refresh the baseline to start gating "
+              "them):")
+        for line in unmetered:
             print(f"  {line}")
     if improvements:
         print("\nimprovements / additions — refresh the baseline to lock "

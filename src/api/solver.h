@@ -44,7 +44,7 @@ struct CostReport {
   /// stored edge = one word; see streaming/memory_meter.h and
   /// mpc::MpcConfig::machine_memory_words), so streaming and MPC runs
   /// are directly comparable. 0 means the solver does not meter its
-  /// storage (currently reduction-hk and the offline solvers).
+  /// storage (currently only the offline solvers).
   std::size_t memory_peak_words = 0;
   std::size_t communication_words = 0;   ///< MPC total traffic
   std::size_t bb_invocations = 0;        ///< Unw-Bip-Matching calls

@@ -116,14 +116,15 @@ SolveResult solve_unw_rand_arrival(const Instance& inst,
 
 SolveResult solve_reduction_hk(const Instance& inst, const SolverSpec& spec) {
   Rng rng(spec.seed);
-  core::HkStreamingMatcher matcher;
+  core::HkStreamingMatcher matcher(spec.runtime);
   auto r = core::maximum_weight_matching(inst.graph, reduction_config(spec),
                                          matcher, rng);
   SolveResult out = reduction_result(r, matcher, "streaming");
   out.cost.passes = r.parallel_model_cost;
-  // memory_peak_words stays 0: the multipass reduction's stored state
-  // (layered subgraphs, O(n) per class) is not metered yet — see the
-  // CostReport field contract.
+  // Stored state of the multipass reduction (matching + per-round layered
+  // subgraphs, O(n) per class), metered via streaming::MemoryMeter and
+  // merged at the round barriers (MainAlgResult::memory_peak_words).
+  out.cost.memory_peak_words = r.memory_peak_words;
   return out;
 }
 
@@ -167,7 +168,7 @@ SolveResult solve_reduction_mpc(const Instance& inst, const SolverSpec& spec) {
 SolveResult solve_reduction_exact(const Instance& inst,
                                   const SolverSpec& spec) {
   Rng rng(spec.seed);
-  core::ExactMatcher matcher;
+  core::ExactMatcher matcher(spec.runtime);
   auto r = core::maximum_weight_matching(inst.graph, reduction_config(spec),
                                          matcher, rng);
   return reduction_result(r, matcher, "offline");
@@ -195,9 +196,10 @@ SolveResult solve_hungarian(const Instance& inst, const SolverSpec&) {
   return out;
 }
 
-SolveResult solve_hopcroft_karp(const Instance& inst, const SolverSpec&) {
+SolveResult solve_hopcroft_karp(const Instance& inst, const SolverSpec& spec) {
   require_bipartite(inst, "exact-hk");
-  auto r = exact::hopcroft_karp(inst.graph, inst.side);
+  auto r = exact::hopcroft_karp(inst.graph, inst.side, 0, nullptr,
+                                spec.runtime);
   SolveResult out;
   out.matching = std::move(r.matching);
   out.cost.model = "offline";

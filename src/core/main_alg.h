@@ -58,15 +58,27 @@ struct MainAlgResult {
   /// parallel, so an iteration costs max invocation cost + O(1); this is
   /// the sum of those charges over iterations.
   std::size_t parallel_model_cost = 0;
+  /// Peak stored words of the multipass reduction under the semi-streaming
+  /// convention: the matching (one word per vertex) plus the heaviest
+  /// round's per-class state, where the round charge is the *sum* of the
+  /// per-class peaks (classes run simultaneously in the model). Summed at
+  /// the round barrier in ladder order, so the value is bit-identical for
+  /// any thread count.
+  std::size_t memory_peak_words = 0;
   Weight total_gain = 0;
 };
 
 /// One round of Theorem 4.1 on top of `m` (applies augmentations in
-/// place). Returns the gain achieved.
+/// place). Returns the gain achieved. The per-class searches run on
+/// cfg.runtime's thread pool with forked sub-matchers (see
+/// UnweightedMatcher::fork_for_class) merged at the end-of-round barrier;
+/// `stored_words_out`, when given, receives the round's stored-word
+/// charge (sum of per-class peaks).
 Weight improve_matching_once(const Graph& g, Matching& m,
                              const ReductionConfig& cfg,
                              UnweightedMatcher& matcher, Rng& rng,
-                             std::size_t* max_invocation_cost_out = nullptr);
+                             std::size_t* max_invocation_cost_out = nullptr,
+                             std::size_t* stored_words_out = nullptr);
 
 /// Full (1-eps) algorithm starting from `initial` (empty by default).
 MainAlgResult maximum_weight_matching(const Graph& g,

@@ -1,6 +1,5 @@
 #include "core/matcher.h"
 
-#include <algorithm>
 #include <cmath>
 
 #include "exact/hopcroft_karp.h"
@@ -28,31 +27,51 @@ std::size_t pass_cost(std::size_t phases) {
 Matching HkStreamingMatcher::solve(const Graph& g,
                                    const std::vector<char>& side,
                                    double delta) {
-  auto result = exact::hopcroft_karp(g, side, phases_for(delta));
-  std::size_t cost = pass_cost(result.phases);
-  ++invocations_;
-  total_cost_ += cost;
-  max_cost_ = std::max(max_cost_, cost);
+  auto result = exact::hopcroft_karp(g, side, phases_for(delta), nullptr, rt_);
+  charge_invocation(pass_cost(result.phases));
   return std::move(result.matching);
+}
+
+std::unique_ptr<UnweightedMatcher> HkStreamingMatcher::fork_for_class(
+    std::uint64_t /*seed*/) {
+  return std::make_unique<HkStreamingMatcher>(rt_);
 }
 
 Matching MpcMatcher::solve(const Graph& g, const std::vector<char>& side,
                            double delta) {
   auto result = mpc::mpc_bipartite_matching(g, side, delta, *ctx_, *rng_);
-  ++invocations_;
-  total_cost_ += result.rounds_used;
-  max_cost_ = std::max(max_cost_, result.rounds_used);
+  charge_invocation(result.rounds_used);
   return std::move(result.matching);
+}
+
+MpcMatcher::MpcMatcher(const mpc::MpcConfig& config, std::uint64_t seed)
+    : owned_ctx_(std::make_unique<mpc::MpcContext>(config)),
+      owned_rng_(std::make_unique<Rng>(seed)),
+      ctx_(owned_ctx_.get()),
+      rng_(owned_rng_.get()) {}
+
+std::unique_ptr<UnweightedMatcher> MpcMatcher::fork_for_class(
+    std::uint64_t seed) {
+  return std::unique_ptr<UnweightedMatcher>(
+      new MpcMatcher(ctx_->config(), seed));
+}
+
+void MpcMatcher::merge_class(const UnweightedMatcher& sub) {
+  UnweightedMatcher::merge_class(sub);
+  ctx_->merge_parallel(*dynamic_cast<const MpcMatcher&>(sub).ctx_);
 }
 
 Matching ExactMatcher::solve(const Graph& g, const std::vector<char>& side,
                              double delta) {
   (void)delta;
-  auto result = exact::hopcroft_karp(g, side, 0);
-  ++invocations_;
-  total_cost_ += result.phases;
-  max_cost_ = std::max(max_cost_, result.phases);
+  auto result = exact::hopcroft_karp(g, side, 0, nullptr, rt_);
+  charge_invocation(result.phases);
   return std::move(result.matching);
+}
+
+std::unique_ptr<UnweightedMatcher> ExactMatcher::fork_for_class(
+    std::uint64_t /*seed*/) {
+  return std::make_unique<ExactMatcher>(rt_);
 }
 
 }  // namespace wmatch::core

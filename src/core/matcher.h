@@ -10,13 +10,16 @@
 // them (Section 4.4, implementation paragraphs).
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <vector>
 
 #include "graph/graph.h"
 #include "graph/matching.h"
 #include "mpc/mpc_context.h"
+#include "runtime/runtime.h"
 #include "util/rng.h"
 
 namespace wmatch::core {
@@ -26,15 +29,50 @@ class UnweightedMatcher {
   virtual ~UnweightedMatcher() = default;
 
   /// (1-delta)-approximate maximum-cardinality matching of the bipartite
-  /// graph g (side[v] in {0,1}).
+  /// graph g (side[v] in {0,1}). Implementations record their model cost
+  /// via charge_invocation.
   virtual Matching solve(const Graph& g, const std::vector<char>& side,
                          double delta) = 0;
 
-  virtual std::size_t invocations() const = 0;
+  std::size_t invocations() const { return invocations_; }
   /// Cumulative model cost over all invocations.
-  virtual std::size_t total_cost() const = 0;
+  std::size_t total_cost() const { return total_cost_; }
   /// Largest single-invocation cost (parallel-composition charge).
-  virtual std::size_t max_invocation_cost() const = 0;
+  std::size_t max_invocation_cost() const { return max_cost_; }
+
+  /// Per-class sub-accounting for one parallel improvement round (the
+  /// merge discipline of DESIGN.md §5). `fork_for_class` returns an
+  /// independent matcher whose counters (and, for MPC, simulated-cluster
+  /// context) accumulate locally while weight classes run concurrently;
+  /// `seed` feeds any randomness the fork owns. `merge_class` folds a
+  /// fork back — call it at the round barrier, in class-ladder order,
+  /// never concurrently; the base fold covers the shared counters, and
+  /// overrides must invoke it before folding their own state. A nullptr
+  /// fork means the matcher does not support forking and must be invoked
+  /// serially instead.
+  virtual std::unique_ptr<UnweightedMatcher> fork_for_class(
+      std::uint64_t seed) {
+    (void)seed;
+    return nullptr;
+  }
+  virtual void merge_class(const UnweightedMatcher& sub) {
+    invocations_ += sub.invocations_;
+    total_cost_ += sub.total_cost_;
+    max_cost_ = std::max(max_cost_, sub.max_cost_);
+  }
+
+ protected:
+  /// Records one black-box invocation of `cost` (model currency).
+  void charge_invocation(std::size_t cost) {
+    ++invocations_;
+    total_cost_ += cost;
+    max_cost_ = std::max(max_cost_, cost);
+  }
+
+ private:
+  std::size_t invocations_ = 0;
+  std::size_t total_cost_ = 0;
+  std::size_t max_cost_ = 0;
 };
 
 /// Streaming black box: phase-limited Hopcroft–Karp. A phase that explores
@@ -44,16 +82,16 @@ class UnweightedMatcher {
 /// Oe(1).
 class HkStreamingMatcher final : public UnweightedMatcher {
  public:
+  explicit HkStreamingMatcher(const runtime::RuntimeConfig& rt = {})
+      : rt_(rt) {}
+
   Matching solve(const Graph& g, const std::vector<char>& side,
                  double delta) override;
-  std::size_t invocations() const override { return invocations_; }
-  std::size_t total_cost() const override { return total_cost_; }
-  std::size_t max_invocation_cost() const override { return max_cost_; }
+  std::unique_ptr<UnweightedMatcher> fork_for_class(
+      std::uint64_t seed) override;
 
  private:
-  std::size_t invocations_ = 0;
-  std::size_t total_cost_ = 0;
-  std::size_t max_cost_ = 0;
+  runtime::RuntimeConfig rt_;
 };
 
 /// MPC black box: LMSV11-style filtering + phase-limited Hopcroft–Karp on
@@ -64,32 +102,37 @@ class MpcMatcher final : public UnweightedMatcher {
 
   Matching solve(const Graph& g, const std::vector<char>& side,
                  double delta) override;
-  std::size_t invocations() const override { return invocations_; }
-  std::size_t total_cost() const override { return total_cost_; }
-  std::size_t max_invocation_cost() const override { return max_cost_; }
+  /// A fork simulates its class on a private cluster of the same shape
+  /// (own MpcContext + own seed-derived Rng); merge_class folds rounds,
+  /// communication, the per-machine peak, and the violation flag back
+  /// into the parent context (MpcContext::merge_parallel) on top of the
+  /// base counter fold.
+  std::unique_ptr<UnweightedMatcher> fork_for_class(
+      std::uint64_t seed) override;
+  void merge_class(const UnweightedMatcher& sub) override;
 
  private:
+  MpcMatcher(const mpc::MpcConfig& config, std::uint64_t seed);
+
+  std::unique_ptr<mpc::MpcContext> owned_ctx_;  ///< forks only
+  std::unique_ptr<Rng> owned_rng_;              ///< forks only
   mpc::MpcContext* ctx_;
   Rng* rng_;
-  std::size_t invocations_ = 0;
-  std::size_t total_cost_ = 0;
-  std::size_t max_cost_ = 0;
 };
 
 /// Exact black box (delta ignored; Hopcroft–Karp to optimality). Useful in
 /// tests to isolate reduction behaviour from black-box slack.
 class ExactMatcher final : public UnweightedMatcher {
  public:
+  explicit ExactMatcher(const runtime::RuntimeConfig& rt = {}) : rt_(rt) {}
+
   Matching solve(const Graph& g, const std::vector<char>& side,
                  double delta) override;
-  std::size_t invocations() const override { return invocations_; }
-  std::size_t total_cost() const override { return total_cost_; }
-  std::size_t max_invocation_cost() const override { return max_cost_; }
+  std::unique_ptr<UnweightedMatcher> fork_for_class(
+      std::uint64_t seed) override;
 
  private:
-  std::size_t invocations_ = 0;
-  std::size_t total_cost_ = 0;
-  std::size_t max_cost_ = 0;
+  runtime::RuntimeConfig rt_;
 };
 
 }  // namespace wmatch::core

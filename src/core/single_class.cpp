@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/decompose.h"
+#include "streaming/memory_meter.h"
 #include "util/require.h"
 
 namespace wmatch::core {
@@ -33,6 +34,14 @@ SingleClassResult find_class_augmentations(const Graph& g, const Matching& m,
   const Weight unit = quantum(w_class, tau_cfg);
   const int umax = max_units(tau_cfg);
 
+  // Semi-streaming accounting for this class: what the per-class instance
+  // of the reduction *stores* between passes (the stream itself is free).
+  // All charges are deterministic functions of (g, m, w_class, seed), so
+  // the peak is thread-count invariant and safe to sum across classes at
+  // the round barrier (see DESIGN.md §5).
+  MemoryMeter meter;
+  std::size_t candidate_words = 0;
+
   // Candidate augmentations pooled over all bipartitions and tau pairs.
   // (Divergence from the paper's Line 13 — see file comment in
   // single_class.h.)
@@ -45,6 +54,13 @@ SingleClassResult find_class_augmentations(const Graph& g, const Matching& m,
   if (crossing.unmatched.empty()) continue;
   BucketedEdges buckets = bucket_edges(crossing, unit, umax);
 
+  // The class-window edges kept across passes (out-of-class buckets are
+  // already discarded by bucket_edges).
+  std::size_t bucket_words = 0;
+  for (const auto& b : buckets.matched) bucket_words += b.size();
+  for (const auto& b : buckets.unmatched) bucket_words += b.size();
+  meter.add(bucket_words);
+
   std::vector<TauPair> pairs = pairs_for_values(
       buckets.matched_values(), buckets.unmatched_values(), tau_cfg, rng);
 
@@ -54,7 +70,16 @@ SingleClassResult find_class_augmentations(const Graph& g, const Matching& m,
     if (lg.num_between_edges == 0) continue;
     ++result.layered_graphs;
 
+    // One layered subgraph lives at a time: the compressed vertex maps
+    // (original, layer_of, side), the intermediate matching M_L', and the
+    // black box's O(|V(L')|) working state (dist + match arrays).
+    const std::size_t lg_words =
+        3 * lg.lprime.num_vertices() + lg.ml.size();
+    const std::size_t bb_words = 2 * lg.lprime.num_vertices();
+    meter.add(lg_words + bb_words);
+
     Matching mprime = matcher.solve(lg.lprime, lg.side, opts.delta);
+    meter.add(mprime.size());
 
     // Augmenting paths of M' w.r.t. ML' are path components of the
     // symmetric difference with one more M'-edge than ML'-edge.
@@ -90,10 +115,19 @@ SingleClassResult find_class_augmentations(const Graph& g, const Matching& m,
           best = std::move(piece);
         }
       }
-      if (best_gain > 0) candidates.push_back(std::move(best));
+      if (best_gain > 0) {
+        const std::size_t words = best.edges.size();
+        meter.add(words);  // pooled candidate, held until selection
+        candidate_words += words;
+        candidates.push_back(std::move(best));
+      }
     }
+    meter.sub(lg_words + bb_words + mprime.size());  // subgraph retired
   }
+  meter.sub(bucket_words);  // class window dropped with the bipartition
   }  // parametrization repetitions
+  meter.sub(candidate_words);
+  result.stored_words_peak = meter.peak();
 
   // Greedy selection by decreasing gain; keep vertex-disjoint ones.
   std::vector<std::pair<Weight, std::size_t>> order;

@@ -30,6 +30,13 @@ struct SingleClassResult {
   std::vector<Augmentation> augmentations;  ///< disjoint, positive gain
   Weight total_gain = 0;     ///< sum of gains against the input matching
   std::size_t layered_graphs = 0;  ///< non-trivial layered graphs solved
+  /// Peak words this class stores at once under the semi-streaming
+  /// convention (streaming/memory_meter.h): the bucketed class-window
+  /// edges, one layered subgraph's vertex maps + intermediate matching +
+  /// black-box working state (O(n) per class), and the candidate pool.
+  /// A deterministic function of the inputs, so per-class peaks can be
+  /// summed at the round barrier regardless of thread count.
+  std::size_t stored_words_peak = 0;
 };
 
 struct SingleClassOptions {

@@ -1,8 +1,12 @@
 #include "exact/hopcroft_karp.h"
 
+#include <atomic>
 #include <limits>
 #include <queue>
+#include <utility>
 
+#include "runtime/parallel.h"
+#include "runtime/thread_pool.h"
 #include "util/require.h"
 
 namespace wmatch::exact {
@@ -10,6 +14,12 @@ namespace wmatch::exact {
 namespace {
 constexpr std::uint32_t kInf = std::numeric_limits<std::uint32_t>::max();
 constexpr std::uint32_t kNoEdge = std::numeric_limits<std::uint32_t>::max();
+
+/// Chunk grains: BFS frontier expansion is cheap per vertex, speculative
+/// DFS does real work per root. Grains affect wall clock only, never the
+/// result (see the determinism argument in hopcroft_karp below).
+constexpr std::size_t kBfsGrain = 64;
+constexpr std::size_t kDfsGrain = 4;
 }  // namespace
 
 std::vector<char> bipartition_of(const Graph& g) {
@@ -38,7 +48,8 @@ std::vector<char> bipartition_of(const Graph& g) {
 
 HopcroftKarpResult hopcroft_karp(const Graph& g, const std::vector<char>& side,
                                  std::size_t max_phases,
-                                 const Matching* initial) {
+                                 const Matching* initial,
+                                 const runtime::RuntimeConfig& rt) {
   const std::size_t n = g.num_vertices();
   WMATCH_REQUIRE(side.size() == n, "side vector size mismatch");
   for (const Edge& e : g.edges()) {
@@ -70,67 +81,217 @@ HopcroftKarpResult hopcroft_karp(const Graph& g, const std::vector<char>& side,
   std::vector<char> in_left(n);
   for (Vertex v = 0; v < n; ++v) in_left[v] = (side[v] == 0);
 
+  // incident() builds the adjacency index lazily behind a plain flag;
+  // touch it once here so the build happens serially, never as a race
+  // between the parallel BFS/DFS chunks below.
+  if (n > 0) (void)g.incident(0);
+
+  runtime::ThreadPool& pool = runtime::pool_for(rt);
   std::vector<std::uint32_t> dist(n);
 
-  // BFS over alternating layers from free left vertices.
+  // Level-synchronous BFS over alternating layers from free left vertices.
+  // The frontier holds left vertices of one even level; expanding it claims
+  // right vertices via CAS at level+1 and their mates at level+2. Every
+  // contender for a right vertex writes the same level value, and a mate is
+  // reachable only through its unique matched partner, so the dist labels
+  // (and the reachable-free-right flag) are independent of chunking,
+  // schedule, and thread count — only the transient frontier *order* may
+  // differ, and nothing downstream reads it.
   auto bfs = [&]() -> bool {
-    std::queue<Vertex> q;
-    bool reachable_free_right = false;
     std::fill(dist.begin(), dist.end(), kInf);
+    std::vector<Vertex> frontier;
     for (Vertex v = 0; v < n; ++v) {
       if (in_left[v] && match_edge[v] == kNoEdge) {
         dist[v] = 0;
-        q.push(v);
+        frontier.push_back(v);
       }
     }
-    while (!q.empty()) {
-      Vertex v = q.front();
-      q.pop();
-      for (std::uint32_t ei : g.incident(v)) {
-        if (ei == match_edge[v]) continue;  // leave on non-matching edges
-        Vertex u = g.edge(ei).other(v);
-        if (dist[u] != kInf) continue;
-        dist[u] = dist[v] + 1;
-        Vertex w = mate(u);
-        if (w == kNoVertex) {
-          reachable_free_right = true;
-        } else if (dist[w] == kInf) {
-          dist[w] = dist[u] + 1;
-          q.push(w);
-        }
-      }
+    struct Layer {
+      std::vector<Vertex> next;
+      bool free_right = false;
+    };
+    bool reachable_free_right = false;
+    std::uint32_t level = 0;
+    while (!frontier.empty()) {
+      Layer layer = runtime::parallel_reduce(
+          pool, frontier.size(), kBfsGrain, Layer{},
+          [&](std::size_t lo, std::size_t hi) {
+            Layer local;
+            for (std::size_t i = lo; i < hi; ++i) {
+              const Vertex v = frontier[i];
+              for (std::uint32_t ei : g.incident(v)) {
+                if (ei == match_edge[v]) continue;  // leave on non-matching
+                const Vertex u = g.edge(ei).other(v);
+                std::uint32_t expected = kInf;
+                if (!std::atomic_ref<std::uint32_t>(dist[u])
+                         .compare_exchange_strong(expected, level + 1,
+                                                  std::memory_order_relaxed)) {
+                  continue;  // claimed (same value) by another chunk
+                }
+                const Vertex w = mate(u);
+                if (w == kNoVertex) {
+                  local.free_right = true;
+                } else {
+                  // u was claimed uniquely, so its mate has one writer.
+                  std::atomic_ref<std::uint32_t>(dist[w]).store(
+                      level + 2, std::memory_order_relaxed);
+                  local.next.push_back(w);
+                }
+              }
+            }
+            return local;
+          },
+          [](Layer acc, Layer part) {
+            acc.next.insert(acc.next.end(), part.next.begin(),
+                            part.next.end());
+            acc.free_right |= part.free_right;
+            return acc;
+          });
+      reachable_free_right |= layer.free_right;
+      frontier = std::move(layer.next);
+      level += 2;
     }
     return reachable_free_right;
   };
 
-  std::vector<std::uint32_t> iter(n);
-  auto dfs = [&](auto&& self, Vertex v) -> bool {
-    auto inc = g.incident(v);
-    for (; iter[v] < inc.size(); ++iter[v]) {
-      std::uint32_t ei = inc[iter[v]];
-      if (ei == match_edge[v]) continue;
-      Vertex u = g.edge(ei).other(v);
-      if (dist[u] != dist[v] + 1) continue;
-      Vertex w = mate(u);
-      if (w == kNoVertex || (dist[w] == dist[u] + 1 && self(self, w))) {
-        dist[u] = kInf;
-        match_edge[v] = ei;
-        match_edge[u] = ei;
-        return true;
+  // One DFS walk from `root` along the dist layering, shared by the
+  // speculative and the retry path — they differ only in how they skip /
+  // retire fruitless right vertices. `skip(u)` filters a right vertex
+  // before it is considered; `mark_dead(u)` retires one whose subtree is
+  // exhausted (a subtree only moves to strictly larger dist values, so
+  // fruitlessness is independent of the path prefix — and, against a
+  // frozen snapshot, of the root as well). Returns the non-matching edges
+  // of an augmenting path root -> free right vertex (empty if none).
+  struct Frame {
+    Vertex v;              // left vertex being expanded
+    std::size_t it;        // next incident-edge slot of v
+    std::uint32_t entry;   // edge that entered v (kNoEdge for the root)
+  };
+  auto walk = [&](Vertex root, auto&& skip,
+                  auto&& mark_dead) -> std::vector<std::uint32_t> {
+    std::vector<Frame> stack{{root, 0, kNoEdge}};
+    while (!stack.empty()) {
+      Frame& f = stack.back();
+      const auto inc = g.incident(f.v);
+      bool descended = false;
+      for (; f.it < inc.size(); ++f.it) {
+        const std::uint32_t ei = inc[f.it];
+        if (ei == match_edge[f.v]) continue;
+        const Vertex u = g.edge(ei).other(f.v);
+        if (dist[u] != dist[f.v] + 1) continue;
+        if (skip(u)) continue;
+        const Vertex w = mate(u);
+        if (w == kNoVertex) {
+          std::vector<std::uint32_t> path;
+          path.reserve(stack.size());
+          for (const Frame& fr : stack) {
+            if (fr.entry != kNoEdge) path.push_back(fr.entry);
+          }
+          path.push_back(ei);
+          return path;
+        }
+        if (dist[w] == dist[u] + 1) {
+          ++f.it;  // resume after this edge when the subtree fails
+          stack.push_back({w, 0, ei});
+          descended = true;
+          break;
+        }
+        mark_dead(u);  // matched off-layer: a dead end for this phase
       }
+      if (descended) continue;
+      // f.v is exhausted: its entry right vertex is fruitless everywhere.
+      if (f.entry != kNoEdge) mark_dead(g.edge(f.entry).other(f.v));
+      stack.pop_back();
     }
-    dist[v] = kInf;
-    return false;
+    return {};
+  };
+
+  // Speculative DFS against the frozen (dist, match_edge) snapshot of
+  // this phase: mutates no shared state; fruitless right vertices are
+  // memoized in the chunk's `dead` scratch. Because the snapshot is
+  // identical for every root, the marks carry across the whole chunk —
+  // pruned subtrees can never contribute path edges, so the candidate
+  // found is the same with or without them, which both preserves the
+  // thread-count invariance (chunking differs, results do not) and keeps
+  // a phase's sequential work near the classic shared-pruning bound at
+  // num_threads = 1 (one chunk = full cross-root memoization).
+  auto speculate = [&](Vertex root,
+                       std::vector<char>& dead) -> std::vector<std::uint32_t> {
+    return walk(
+        root, [&](Vertex u) { return dead[u] != 0; },
+        [&](Vertex u) { dead[u] = 1; });
+  };
+
+  // Serial fallback for roots whose speculative path conflicted with an
+  // earlier commit: the classic live-state DFS, pruning globally through
+  // dist (committed paths and exhausted subtrees are marked kInf, which is
+  // sound because the per-phase search space only ever shrinks).
+  auto retry = [&](Vertex root) -> std::vector<std::uint32_t> {
+    return walk(
+        root, [](Vertex) { return false; },
+        [&](Vertex u) { dist[u] = kInf; });
+  };
+
+  // Flips the matching along the non-matching edges of an augmenting path
+  // and retires its vertices from this phase (claimed + dist = kInf).
+  std::vector<char> claimed(n, 0);
+  auto commit = [&](const std::vector<std::uint32_t>& path) {
+    for (std::uint32_t ei : path) {
+      const Edge& e = g.edge(ei);
+      match_edge[e.u] = ei;
+      match_edge[e.v] = ei;
+      claimed[e.u] = claimed[e.v] = 1;
+      dist[e.u] = dist[e.v] = kInf;
+    }
   };
 
   std::size_t phases = 0;
   while ((max_phases == 0 || phases < max_phases) && bfs()) {
-    std::fill(iter.begin(), iter.end(), 0);
-    bool any = false;
+    // Batch the free roots: speculate candidate paths for all of them
+    // concurrently against the phase-start snapshot, then commit serially
+    // in root index order, falling back to a live serial DFS for roots
+    // whose candidate touches an already-committed vertex. Speculation is
+    // snapshot-pure and the commit/retry pass is sequential, so the phase
+    // outcome is bit-identical for any thread count; and every free root
+    // either augments or proves no disjoint path remains, so the committed
+    // set is maximal — exactly the per-phase invariant Hopcroft-Karp's
+    // bounds (and Fact 1.3) rely on.
+    std::vector<Vertex> roots;
     for (Vertex v = 0; v < n; ++v) {
       if (in_left[v] && match_edge[v] == kNoEdge && dist[v] == 0) {
-        if (dfs(dfs, v)) any = true;
+        roots.push_back(v);
       }
+    }
+    std::vector<std::vector<std::uint32_t>> candidate(roots.size());
+    runtime::parallel_for(
+        pool, roots.size(), kDfsGrain, [&](std::size_t lo, std::size_t hi) {
+          std::vector<char> dead(n, 0);  // shared across the chunk's roots
+          for (std::size_t i = lo; i < hi; ++i) {
+            candidate[i] = speculate(roots[i], dead);
+          }
+        });
+
+    std::fill(claimed.begin(), claimed.end(), 0);
+    bool any = false;
+    for (std::size_t i = 0; i < roots.size(); ++i) {
+      const std::vector<std::uint32_t>& path = candidate[i];
+      if (path.empty()) continue;  // no path in the (larger) snapshot space
+      bool clean = true;
+      for (std::uint32_t ei : path) {
+        const Edge& e = g.edge(ei);
+        if (claimed[e.u] || claimed[e.v]) {
+          clean = false;
+          break;
+        }
+      }
+      if (!clean) {
+        const std::vector<std::uint32_t> rerun = retry(roots[i]);
+        if (rerun.empty()) continue;
+        commit(rerun);
+      } else {
+        commit(path);
+      }
+      any = true;
     }
     ++phases;
     if (!any) break;

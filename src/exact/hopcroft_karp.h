@@ -14,6 +14,7 @@
 
 #include "graph/graph.h"
 #include "graph/matching.h"
+#include "runtime/runtime.h"
 
 namespace wmatch::exact {
 
@@ -26,9 +27,13 @@ struct HopcroftKarpResult {
 /// `max_phases == 0` means run to optimality.
 /// `initial`, when provided, seeds the matching (must be valid in g and
 /// respect the bipartition).
+/// `rt` selects the host threads for the per-phase BFS layer construction
+/// and the speculative DFS augmentation batch; the result (matching and
+/// phase count) is bit-identical for any thread count.
 HopcroftKarpResult hopcroft_karp(const Graph& g, const std::vector<char>& side,
                                  std::size_t max_phases = 0,
-                                 const Matching* initial = nullptr);
+                                 const Matching* initial = nullptr,
+                                 const runtime::RuntimeConfig& rt = {});
 
 /// Attempts a 2-coloring of g; returns empty vector if g is not bipartite.
 std::vector<char> bipartition_of(const Graph& g);

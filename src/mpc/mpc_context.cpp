@@ -33,6 +33,19 @@ void MpcContext::charge_communication(std::size_t words) {
   total_comm_.fetch_add(words, std::memory_order_relaxed);
 }
 
+void MpcContext::merge_parallel(const MpcContext& sub) {
+  rounds_ += sub.rounds();
+  total_comm_.fetch_add(sub.total_communication(), std::memory_order_relaxed);
+  const std::size_t sub_peak = sub.peak_machine_memory();
+  std::size_t peak = peak_machine_memory_.load(std::memory_order_relaxed);
+  while (sub_peak > peak && !peak_machine_memory_.compare_exchange_weak(
+                                peak, sub_peak, std::memory_order_relaxed)) {
+  }
+  if (sub.memory_violated()) {
+    violated_.store(true, std::memory_order_relaxed);
+  }
+}
+
 void MpcContext::release_memory(std::size_t machine, std::size_t words) {
   WMATCH_REQUIRE(machine < config_.num_machines, "machine index out of range");
   std::size_t cur = machine_load_[machine].load(std::memory_order_relaxed);

@@ -51,6 +51,16 @@ class MpcContext {
   /// Releases storage (end of round / data dropped). Clamps at zero.
   void release_memory(std::size_t machine, std::size_t words);
 
+  /// Folds a per-class sub-context back into this one at an iteration
+  /// barrier (coordinator-only, in class order — the merge discipline of
+  /// DESIGN.md §5). Rounds and communication add, matching the sequential
+  /// accounting the reports have always used; the per-machine peak is a
+  /// max because sub-contexts never share live machine loads, so
+  /// concurrently simulated classes cannot inflate each other's peaks.
+  /// The sub-context must be quiescent (no machine computation in flight)
+  /// and is not reset by the merge.
+  void merge_parallel(const MpcContext& sub);
+
   std::size_t rounds() const { return rounds_; }
   std::size_t peak_machine_memory() const {
     return peak_machine_memory_.load(std::memory_order_relaxed);

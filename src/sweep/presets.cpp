@@ -95,15 +95,17 @@ SweepSpec e5_preset() {
 }
 
 /// The CI perf-regression grid: small and fast, but covering streaming +
-/// MPC + reduction solvers on random AND adversarial (hard-*) families.
-/// Every counter in the emitted BENCH_ci.json is a deterministic function
-/// of the seed (and invariant under --threads), so the gate diffs them
-/// exactly against bench/baselines/ci_baseline.json.
+/// MPC + offline reduction solvers on random AND adversarial (hard-*)
+/// families. Every counter in the emitted BENCH_ci.json is a
+/// deterministic function of the seed (and invariant under --threads, now
+/// including the parallelized per-class loop and Hopcroft-Karp layers),
+/// so the gate diffs them exactly against bench/baselines/ci_baseline.json.
 SweepSpec ci_preset() {
   SweepSpec s;
   s.name = "ci";
   s.solvers = {"greedy",           "local-ratio",  "rand-arrival",
-               "unw-rand-arrival", "reduction-hk", "reduction-mpc"};
+               "unw-rand-arrival", "reduction-hk", "reduction-mpc",
+               "reduction-exact"};
   api::GenSpec er;
   er.n = 200;
   er.m = 800;
@@ -129,10 +131,34 @@ SweepSpec ci_preset() {
   return s;
 }
 
+/// E7 / Lemma 4.9, Theorem 4.7 — the short-augmentation structure the
+/// reduction's per-class loop exploits: (1-eps) reductions across the eps
+/// ladder on the E7 instance family (n = 400, m = 2400, exponential
+/// weights), ratio vs the exact optimum, with greedy as the baseline the
+/// lemma lifts. Exercises the parallelized per-class augmentation path
+/// (and Hopcroft-Karp black box) end to end on every run.
+SweepSpec e7_preset() {
+  SweepSpec s;
+  s.name = "E7";
+  s.solvers = {"greedy", "reduction-exact", "reduction-hk"};
+  api::GenSpec er;
+  er.n = 400;
+  er.m = 2400;
+  er.weights = gen::WeightDist::kExponential;
+  er.max_weight = 1 << 12;
+  s.instances = {er};
+  s.epsilons = {0.4, 0.2, 0.1};
+  s.seeds = seed_range(7000, 3);
+  s.with_optimum = true;
+  s.stat_columns = {"iterations", "classes"};
+  return s;
+}
+
 }  // namespace
 
 const std::vector<std::string>& preset_names() {
-  static const std::vector<std::string> names = {"ci", "e1", "e2", "e5"};
+  static const std::vector<std::string> names = {"ci", "e1", "e2", "e5",
+                                                 "e7"};
   return names;
 }
 
@@ -146,8 +172,9 @@ SweepSpec preset(const std::string& name) {
   if (name == "e1") return e1_preset();
   if (name == "e2") return e2_preset();
   if (name == "e5") return e5_preset();
+  if (name == "e7") return e7_preset();
   WMATCH_REQUIRE(false, "unknown bench preset '" + name +
-                            "' (known: ci, e1, e2, e5)");
+                            "' (known: ci, e1, e2, e5, e7)");
   return {};  // unreachable
 }
 

@@ -199,6 +199,47 @@ TEST(Api, RandArrivalMatchesDirectEntryPoint) {
   EXPECT_EQ(via_api.cost.passes, 1u);
 }
 
+// ---- Thread-count invariance of the parallelized reductions ----
+
+// The parallel per-class loop and Hopcroft-Karp batching must leave every
+// reported counter (and the matching weight) a function of the seed only:
+// 1, 2, and 8 host threads are bit-identical. Also pins the metering fix —
+// reduction-hk's memory column no longer reads 0.
+TEST(Api, ReductionSolversAreThreadCountInvariant) {
+  const api::Instance inst = small_general();
+  for (const char* algo : {"reduction-hk", "reduction-exact"}) {
+    api::SolveResult base;
+    for (std::size_t threads : {1u, 2u, 8u}) {
+      api::SolverSpec spec;
+      spec.epsilon = 0.2;
+      spec.seed = 53;
+      spec.runtime.num_threads = threads;
+      api::SolveResult r = api::Solver(algo).solve(inst, spec);
+      if (threads == 1) {
+        base = std::move(r);
+        continue;
+      }
+      EXPECT_EQ(base.matching.weight(), r.matching.weight())
+          << algo << " threads=" << threads;
+      EXPECT_EQ(base.matching.size(), r.matching.size())
+          << algo << " threads=" << threads;
+      EXPECT_EQ(base.cost.passes, r.cost.passes)
+          << algo << " threads=" << threads;
+      EXPECT_EQ(base.cost.memory_peak_words, r.cost.memory_peak_words)
+          << algo << " threads=" << threads;
+      EXPECT_EQ(base.cost.bb_invocations, r.cost.bb_invocations)
+          << algo << " threads=" << threads;
+      EXPECT_EQ(base.cost.bb_max_invocation_cost,
+                r.cost.bb_max_invocation_cost)
+          << algo << " threads=" << threads;
+    }
+    if (std::string(algo) == "reduction-hk") {
+      EXPECT_GT(base.cost.memory_peak_words, 0u)
+          << "reduction-hk stored words must be metered";
+    }
+  }
+}
+
 // ---- Instance construction and knob routing ----
 
 TEST(Api, GenerateInstanceIsDeterministic) {

@@ -86,6 +86,25 @@ TEST(HopcroftKarp, InitialMatchingNotInGraphRejected) {
                std::invalid_argument);
 }
 
+TEST(HopcroftKarp, ResultIsInvariantAcrossThreadCounts) {
+  // The parallel BFS layers and the speculative DFS batch must produce
+  // the exact matching and phase count of the sequential path: the
+  // snapshot speculation is thread-independent and commits are ordered.
+  Rng rng(13);
+  Graph g = gen::random_bipartite(120, 120, 900, rng);
+  auto side = sides_by_cut(120, 240);
+  for (std::size_t max_phases : {std::size_t{0}, std::size_t{2}}) {
+    auto base = exact::hopcroft_karp(g, side, max_phases, nullptr,
+                                     runtime::RuntimeConfig{1});
+    for (std::size_t threads : {2u, 8u}) {
+      auto r = exact::hopcroft_karp(g, side, max_phases, nullptr,
+                                    runtime::RuntimeConfig{threads});
+      EXPECT_EQ(r.phases, base.phases) << threads;
+      EXPECT_EQ(r.matching, base.matching) << threads;
+    }
+  }
+}
+
 TEST(HopcroftKarp, PhasesGrowLogarithmically) {
   // Hopcroft-Karp needs O(sqrt(V)) phases; on random graphs far fewer.
   Rng rng(11);

@@ -72,31 +72,46 @@ TEST(SweepRunner, UnknownSolverThrows) {
 
 // The acceptance contract: exact counters in the emitted results are
 // bit-identical across thread counts at equal seed — only wall clock may
-// differ.
+// differ. Covers the parallelized reduction solvers (per-class loop +
+// Hopcroft-Karp layers) at 1 / 2 / 8 threads, including the now-metered
+// reduction-hk memory column.
 TEST(SweepRunner, CountersAreDeterministicAcrossThreadCounts) {
   sweep::SweepSpec spec = tiny_spec();
-  spec.solvers = {"greedy", "rand-arrival", "reduction-hk", "reduction-mpc"};
+  spec.solvers = {"greedy", "rand-arrival", "reduction-hk", "reduction-mpc",
+                  "reduction-exact"};
 
-  sweep::SweepSpec t1 = spec, t4 = spec;
+  sweep::SweepSpec t1 = spec, t2 = spec, t8 = spec;
   t1.threads = {1};
-  t4.threads = {4};
+  t2.threads = {2};
+  t8.threads = {8};
   const sweep::SweepResult a = sweep::run_sweep(t1);
-  const sweep::SweepResult b = sweep::run_sweep(t4);
-  ASSERT_EQ(a.rows.size(), b.rows.size());
-  for (std::size_t i = 0; i < a.rows.size(); ++i) {
-    const sweep::SweepRow& x = a.rows[i];
-    const sweep::SweepRow& y = b.rows[i];
-    ASSERT_EQ(x.cell.solver, y.cell.solver);
-    EXPECT_EQ(x.skipped, y.skipped);
-    EXPECT_EQ(x.matching_size, y.matching_size) << x.cell.solver;
-    EXPECT_EQ(x.matching_weight, y.matching_weight) << x.cell.solver;
-    EXPECT_EQ(x.cost.passes, y.cost.passes) << x.cell.solver;
-    EXPECT_EQ(x.cost.rounds, y.cost.rounds) << x.cell.solver;
-    EXPECT_EQ(x.cost.memory_peak_words, y.cost.memory_peak_words)
-        << x.cell.solver;
-    EXPECT_EQ(x.cost.communication_words, y.cost.communication_words)
-        << x.cell.solver;
-    EXPECT_EQ(x.cost.bb_invocations, y.cost.bb_invocations) << x.cell.solver;
+  for (const sweep::SweepResult& b :
+       {sweep::run_sweep(t2), sweep::run_sweep(t8)}) {
+    ASSERT_EQ(a.rows.size(), b.rows.size());
+    for (std::size_t i = 0; i < a.rows.size(); ++i) {
+      const sweep::SweepRow& x = a.rows[i];
+      const sweep::SweepRow& y = b.rows[i];
+      ASSERT_EQ(x.cell.solver, y.cell.solver);
+      EXPECT_EQ(x.skipped, y.skipped);
+      EXPECT_EQ(x.matching_size, y.matching_size) << x.cell.solver;
+      EXPECT_EQ(x.matching_weight, y.matching_weight) << x.cell.solver;
+      EXPECT_EQ(x.cost.passes, y.cost.passes) << x.cell.solver;
+      EXPECT_EQ(x.cost.rounds, y.cost.rounds) << x.cell.solver;
+      EXPECT_EQ(x.cost.memory_peak_words, y.cost.memory_peak_words)
+          << x.cell.solver;
+      EXPECT_EQ(x.cost.communication_words, y.cost.communication_words)
+          << x.cell.solver;
+      EXPECT_EQ(x.cost.bb_invocations, y.cost.bb_invocations)
+          << x.cell.solver;
+      EXPECT_EQ(x.cost.bb_max_invocation_cost, y.cost.bb_max_invocation_cost)
+          << x.cell.solver;
+    }
+  }
+  // The metering fix: reduction-hk's semi-streaming storage reports.
+  for (const sweep::SweepRow& row : a.rows) {
+    if (row.cell.solver == "reduction-hk" && !row.skipped) {
+      EXPECT_GT(row.cost.memory_peak_words, 0u) << row.instance_name;
+    }
   }
 }
 
