@@ -8,15 +8,28 @@
 //       comparison table — or, with --json, one JSON object per solver
 //       (each carrying the normalized CostReport).
 //
-//   wmatch_cli bench --preset=ci|e1|e2|e5 [axis overrides] [--json[=path]]
+//   wmatch_cli bench --preset=ci|e1..e5|e7 [axis overrides] [--json[=path]]
 //   wmatch_cli bench --algo=LIST --gen=LIST [grid flags] [--json[=path]]
 //       Run a declarative sweep (solvers x instance families x epsilon x
 //       threads x seeds) through the sweep engine and print the per-cell
 //       table (--summary aggregates the seed axis). --json writes the
 //       schema-versioned BENCH_<name>.json the CI regression gate diffs.
 //
-// Unknown --algo / --gen / --preset names, malformed flag values, and
-// unknown flags all exit 2 with a one-line error; runtime failures exit 1.
+//   wmatch_cli batch --file=JOBS.jsonl | --stdin [--jobs=N] [--threads=T]
+//       Execute a JSONL job stream through the service Scheduler (--jobs
+//       concurrent jobs over the shared pool, instances deduplicated by
+//       the InstanceCache) and print one CostReport JSON object per job,
+//       in submission order; the throughput/latency/cache summary goes to
+//       stderr. --json writes the batch BENCH document the CI per-job
+//       counter gate diffs. Exits 1 when any job failed.
+//
+//   wmatch_cli serve --stdin
+//       Long-lived session: one job JSON per input line, one result JSON
+//       per output line (flushed), instance cache warm across requests.
+//
+// Unknown --algo / --gen / --preset names, malformed flag values or job
+// lines, unreadable or malformed --input files, and unknown flags all
+// exit 2 with a one-line error; runtime failures exit 1.
 //
 // Instance flags:
 //   --gen=erdos_renyi|bipartite|barabasi_albert|geometric|path|cycle
@@ -36,11 +49,13 @@
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "api/api.h"
 #include "exact/blossom.h"
 #include "graph/io.h"
+#include "service/service.h"
 #include "sweep/presets.h"
 #include "sweep/sweep.h"
 #include "util/json.h"
@@ -76,6 +91,8 @@ void print_help() {
       "  list                     print registered solvers\n"
       "  solve --algo=A[,B,...]   run solvers on one instance\n"
       "  bench                    sweep a solver x instance grid\n"
+      "  batch                    run a JSONL job stream via the service\n"
+      "  serve --stdin            long-lived one-job-per-line session\n"
       "  help                     this text\n"
       "\n"
       "instance flags (solve):\n"
@@ -108,19 +125,35 @@ void print_help() {
       "  --with-optimum   also run exact Blossom, report ratios\n"
       "\n"
       "bench flags:\n"
-      "  --preset=NAME    ci | e1 | e2 | e5 (named grids; --algo/\n"
-      "                   --epsilon/--threads/--seeds/--reps/--warmup\n"
-      "                   override the preset's axes, but its instance\n"
-      "                   list is fixed: --gen and the instance shape\n"
-      "                   flags are rejected alongside --preset)\n"
+      "  --preset=NAME    ci | e1 | e2 | e3 | e4 | e5 | e7 (named grids;\n"
+      "                   --algo/--epsilon/--threads/--seeds/--reps/\n"
+      "                   --warmup override the preset's axes, but its\n"
+      "                   instance list is fixed: --gen and the instance\n"
+      "                   shape flags are rejected alongside --preset)\n"
       "  --algo=LIST      comma-separated solver axis\n"
       "  --gen=LIST       comma-separated generator axis (instance shape\n"
       "                   comes from the instance flags above)\n"
       "  --epsilon=LIST --threads=LIST --seeds=LIST   grid axes\n"
+      "  --jobs=N         concurrent grid cells via the service scheduler\n"
       "  --reps=R --warmup=W   timed / untimed runs per cell\n"
       "  --delta=D --with-optimum --name=ID\n"
       "  --summary        aggregate the seed axis in the table\n"
-      "  --json[=path]    write schema-versioned BENCH_<name>.json\n";
+      "  --json[=path]    write schema-versioned BENCH_<name>.json\n"
+      "\n"
+      "batch flags:\n"
+      "  --file=PATH      JSONL job file (see DESIGN.md section 6 for the\n"
+      "                   job schema); --stdin reads the stream instead\n"
+      "  --jobs=N         concurrent jobs (default 1, 0 = hw threads)\n"
+      "  --threads=T      override every job's solver thread count\n"
+      "  --cache=N        resident InstanceCache entries (default 16)\n"
+      "  --queue=N        bounded job-queue capacity (default 256)\n"
+      "  --name=ID        BENCH document id (default \"batch\")\n"
+      "  --summary        also print the per-job table to stderr\n"
+      "  --json[=path]    write BENCH_<name>.json for the CI per-job gate\n"
+      "\n"
+      "serve flags:\n"
+      "  --stdin          required; one job JSON in, one result JSON out\n"
+      "  --threads=T --cache=N   as for batch\n";
 }
 
 bool consume(const std::string& arg, const char* flag, std::string* value) {
@@ -328,9 +361,16 @@ int cmd_solve(int argc, char** argv) {
 
   api::Instance inst;
   if (!opt.input_path.empty()) {
-    inst = api::make_instance(io::load_graph(opt.input_path), opt.gen.order,
-                              api::stream_seed_for(opt.gen.seed),
-                              opt.input_path);
+    // An unreadable or malformed input file is a usage error like any
+    // other bad flag value: exit 2 with the loader's diagnostic (path or
+    // line number) instead of surfacing as a generic runtime failure.
+    try {
+      inst = api::make_instance(io::load_graph(opt.input_path), opt.gen.order,
+                                api::stream_seed_for(opt.gen.seed),
+                                opt.input_path);
+    } catch (const std::exception& e) {
+      usage_error("--input=" + opt.input_path + ": " + e.what());
+    }
   } else {
     inst = api::generate_instance(opt.gen);
   }
@@ -387,6 +427,8 @@ struct BenchOptions {
   std::vector<double> epsilons;
   std::vector<std::size_t> threads;
   std::vector<std::uint64_t> seeds;
+  std::size_t jobs = 0;
+  bool jobs_set = false;
   std::size_t reps = 0, warmup = 0;
   bool reps_set = false, warmup_set = false;
   double delta = 0.0;
@@ -449,6 +491,9 @@ BenchOptions parse_bench_flags(int argc, char** argv) {
       for (const std::string& s : split_list(v)) {
         opt.seeds.push_back(parse_size("--seeds", s));
       }
+    } else if (consume(arg, "--jobs", &v)) {
+      opt.jobs = parse_size("--jobs", v);
+      opt.jobs_set = true;
     } else if (consume(arg, "--reps", &v)) {
       opt.reps = parse_size("--reps", v);
       opt.reps_set = true;
@@ -508,6 +553,7 @@ int cmd_bench(int argc, char** argv) {
   if (!opt.epsilons.empty()) spec.epsilons = opt.epsilons;
   if (!opt.threads.empty()) spec.threads = opt.threads;
   if (!opt.seeds.empty()) spec.seeds = opt.seeds;
+  if (opt.jobs_set) spec.jobs = opt.jobs;
   if (opt.reps_set) spec.repetitions = opt.reps;
   if (opt.warmup_set) spec.warmup = opt.warmup;
   if (opt.delta_set) spec.delta = opt.delta;
@@ -539,6 +585,179 @@ int cmd_bench(int argc, char** argv) {
   return 0;
 }
 
+// ---- batch / serve: the service layer's CLI surface ----
+
+struct BatchOptionsCli {
+  std::string file_path;
+  bool use_stdin = false;
+  service::SchedulerConfig sched;
+  std::size_t queue_capacity = 256;
+  std::string name = "batch";
+  bool summary = false;
+  bool json = false;
+  std::string json_path;
+};
+
+BatchOptionsCli parse_batch_flags(int argc, char** argv, bool serve) {
+  BatchOptionsCli opt;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    std::string v;
+    if (!serve && consume(arg, "--file", &v)) {
+      opt.file_path = v;
+    } else if (arg == "--stdin") {
+      opt.use_stdin = true;
+    } else if (!serve && consume(arg, "--jobs", &v)) {
+      opt.sched.jobs = parse_size("--jobs", v);
+    } else if (consume(arg, "--threads", &v)) {
+      opt.sched.threads_override = parse_size("--threads", v);
+    } else if (consume(arg, "--cache", &v)) {
+      opt.sched.cache_capacity = parse_size("--cache", v);
+    } else if (!serve && consume(arg, "--queue", &v)) {
+      opt.queue_capacity = parse_size("--queue", v);
+    } else if (!serve && consume(arg, "--name", &v)) {
+      opt.name = v;
+    } else if (!serve && arg == "--summary") {
+      opt.summary = true;
+    } else if (!serve && arg == "--json") {
+      opt.json = true;
+    } else if (!serve && consume(arg, "--json", &v)) {
+      opt.json = true;
+      opt.json_path = v;
+    } else {
+      usage_error(std::string("unknown ") + (serve ? "serve" : "batch") +
+                  " flag '" + arg + "'");
+    }
+  }
+  if (serve && !opt.use_stdin) {
+    usage_error("serve requires --stdin");
+  }
+  if (!serve && opt.file_path.empty() && !opt.use_stdin) {
+    usage_error("batch requires --file=JOBS.jsonl or --stdin");
+  }
+  if (!serve && !opt.file_path.empty() && opt.use_stdin) {
+    usage_error("--file and --stdin are mutually exclusive");
+  }
+  return opt;
+}
+
+int cmd_batch(int argc, char** argv) {
+  const BatchOptionsCli opt = parse_batch_flags(argc, argv, /*serve=*/false);
+
+  std::ifstream file;
+  if (!opt.file_path.empty()) {
+    file.open(opt.file_path);
+    if (!file.good()) {
+      usage_error("--file: cannot open '" + opt.file_path + "' for reading");
+    }
+  }
+  std::istream& in = opt.file_path.empty() ? std::cin : file;
+  const std::string source =
+      opt.file_path.empty() ? "<stdin>" : opt.file_path;
+
+  // Producer thread parses and feeds the bounded queue (backpressure
+  // against unbounded piped streams); the main thread joins the worker
+  // set via run_stream. A malformed line is a usage error: the producer
+  // stops feeding and discards the queued backlog (running jobs finish,
+  // nothing new starts), and the process exits 2 without printing
+  // partial results.
+  service::Scheduler scheduler(opt.sched);
+  service::JobQueue queue(opt.queue_capacity);
+  std::string parse_error;
+  std::thread producer([&] {
+    std::string line;
+    std::size_t line_no = 0, index = 0;
+    while (std::getline(in, line)) {
+      ++line_no;
+      service::Submission s;
+      s.index = index;
+      try {
+        if (!service::parse_job_line(line, source, line_no, index, &s.job)) {
+          continue;
+        }
+      } catch (const std::exception& e) {
+        parse_error = e.what();
+        break;
+      }
+      ++index;
+      if (!queue.push(std::move(s))) break;
+    }
+    queue.close(/*discard_pending=*/!parse_error.empty());
+  });
+
+  service::BatchResult result;
+  try {
+    result = scheduler.run_stream(queue);
+  } catch (...) {
+    // Unblock and join the producer before unwinding — destroying a
+    // joinable std::thread would std::terminate instead of reporting the
+    // failure through the normal exit-1 path.
+    queue.close(/*discard_pending=*/true);
+    producer.join();
+    throw;
+  }
+  producer.join();
+  if (!parse_error.empty()) usage_error(parse_error);
+
+  for (const service::JobResult& r : result.results) {
+    service::print_job_json(std::cout, r);
+  }
+  if (opt.summary) {
+    result.table().print(std::cerr);
+    std::cerr << "\n";
+  }
+  result.summary_table().print(std::cerr);
+
+  if (opt.json) {
+    const std::string path = opt.json_path.empty()
+                                 ? "BENCH_" + opt.name + ".json"
+                                 : opt.json_path;
+    std::ofstream os(path);
+    result.print_bench_json(os, opt.name);
+    os.flush();
+    if (!os.good()) {
+      std::cerr << "error: could not write " << path << "\n";
+      return 1;
+    }
+    std::cerr << "wrote " << path << "\n";
+  }
+  if (result.failed() > 0) {
+    std::cerr << "error: " << result.failed() << " job(s) failed\n";
+    return 1;
+  }
+  return 0;
+}
+
+int cmd_serve(int argc, char** argv) {
+  const BatchOptionsCli opt = parse_batch_flags(argc, argv, /*serve=*/true);
+  service::Scheduler scheduler(opt.sched);
+
+  // One request per line, processed synchronously so responses come back
+  // in request order; the scheduler's InstanceCache stays warm across the
+  // whole session. A malformed request answers with an error object
+  // instead of killing the session.
+  std::string line;
+  std::size_t line_no = 0, index = 0;
+  while (std::getline(std::cin, line)) {
+    ++line_no;
+    service::JobSpec job;
+    try {
+      if (!service::parse_job_line(line, "<stdin>", line_no, index, &job)) {
+        continue;
+      }
+    } catch (const std::exception& e) {
+      std::cout << "{\"error\":";
+      util::write_json_string(std::cout, e.what());
+      std::cout << "}\n" << std::flush;
+      continue;
+    }
+    service::JobResult r = scheduler.run_job(job, index++);
+    service::print_job_json(std::cout, r);
+    std::cout << std::flush;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -566,6 +785,8 @@ int main(int argc, char** argv) {
     }
     if (cmd == "solve") return cmd_solve(argc, argv);
     if (cmd == "bench") return cmd_bench(argc, argv);
+    if (cmd == "batch") return cmd_batch(argc, argv);
+    if (cmd == "serve") return cmd_serve(argc, argv);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;

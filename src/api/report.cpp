@@ -17,12 +17,6 @@ void key(std::ostream& os, const char* name, bool& first) {
   os << ':';
 }
 
-std::string fmt_double(double x) {
-  std::ostringstream ss;
-  ss << x;
-  return ss.str();
-}
-
 /// The solver's registered objective; unregistered algorithms (external
 /// SolveResults) default to weight.
 bool is_cardinality(const std::string& algorithm) {
@@ -67,9 +61,9 @@ void print_json(std::ostream& os, const SolveResult& result,
     os << '{';
     bool f = true;
     key(os, "epsilon", f);
-    os << fmt_double(spec.epsilon);
+    os << util::json_number(spec.epsilon);
     key(os, "delta", f);
-    os << fmt_double(spec.delta);
+    os << util::json_number(spec.delta);
     key(os, "seed", f);
     os << spec.seed;
     key(os, "threads", f);
@@ -87,7 +81,7 @@ void print_json(std::ostream& os, const SolveResult& result,
     os << result.matching.weight();
     if (optimum >= 0.0) {
       key(os, "ratio", f);
-      os << fmt_double(optimum == 0.0 ? 1.0
+      os << util::json_number(optimum == 0.0 ? 1.0
                                       : achieved_value(result) / optimum);
     }
     os << '}';
@@ -113,7 +107,7 @@ void print_json(std::ostream& os, const SolveResult& result,
     key(os, "bb_max_invocation_cost", f);
     os << c.bb_max_invocation_cost;
     key(os, "wall_ms", f);
-    os << fmt_double(c.wall_ms);
+    os << util::json_number(c.wall_ms);
     os << '}';
   }
 
@@ -123,7 +117,7 @@ void print_json(std::ostream& os, const SolveResult& result,
     bool f = true;
     for (const auto& [name, value] : result.stats) {
       key(os, name.c_str(), f);
-      os << fmt_double(value);
+      os << util::json_number(value);
     }
     os << '}';
   }

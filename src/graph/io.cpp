@@ -116,13 +116,17 @@ Matching read_matching(std::istream& is, const Graph& g) {
 
 void save_graph(const std::string& path, const Graph& g) {
   std::ofstream os(path);
-  WMATCH_REQUIRE(os.good(), "cannot open file for writing");
+  if (!os.good()) {
+    throw std::invalid_argument("cannot open '" + path + "' for writing");
+  }
   write_graph(os, g);
 }
 
 Graph load_graph(const std::string& path) {
   std::ifstream is(path);
-  WMATCH_REQUIRE(is.good(), "cannot open file for reading");
+  if (!is.good()) {
+    throw std::invalid_argument("cannot open '" + path + "' for reading");
+  }
   return read_graph(is);
 }
 

@@ -1,0 +1,106 @@
+// Bounded MPMC job queue feeding the Scheduler's streaming path.
+//
+// Producers (the CLI's job-file / stdin reader thread) block once
+// `capacity` submissions are in flight, so a piped stream of millions of
+// jobs never holds more than `capacity` parsed JobSpecs at once (the
+// per-job *results* still accumulate in the BatchResult until the batch
+// ends — emitting them as jobs finish is a ROADMAP follow-up); consumers
+// (Scheduler workers on the runtime pool) block while the queue is
+// empty. `close()` wakes everyone: pushes start failing, pops drain the
+// backlog and then return nullopt — or drop it, with `discard_pending`,
+// when the producer aborted and the queued work should not burn CPU.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+#include "service/job.h"
+
+namespace wmatch::service {
+
+/// A job plus its submission index (stamped by the producer), so results
+/// re-assemble in submission order no matter which worker ran what.
+struct Submission {
+  std::size_t index = 0;
+  JobSpec job;
+};
+
+class JobQueue {
+ public:
+  explicit JobQueue(std::size_t capacity)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  JobQueue(const JobQueue&) = delete;
+  JobQueue& operator=(const JobQueue&) = delete;
+
+  /// Blocks while the queue is full. Returns false (dropping the job) when
+  /// the queue was closed.
+  bool push(Submission s) {
+    std::unique_lock<std::mutex> lk(mu_);
+    not_full_.wait(lk, [&] { return closed_ || q_.size() < capacity_; });
+    if (closed_) return false;
+    q_.push_back(std::move(s));
+    lk.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocks while the queue is empty and open. Returns nullopt once the
+  /// queue is closed AND drained.
+  std::optional<Submission> pop() {
+    std::unique_lock<std::mutex> lk(mu_);
+    not_empty_.wait(lk, [&] { return closed_ || !q_.empty(); });
+    if (q_.empty()) return std::nullopt;
+    Submission s = std::move(q_.front());
+    q_.pop_front();
+    lk.unlock();
+    not_full_.notify_one();
+    return s;
+  }
+
+  /// Non-blocking pop: nullopt when the queue is currently empty (open or
+  /// closed). The Scheduler's chunk assembly uses this so only the
+  /// coordinating thread ever blocks on the queue.
+  std::optional<Submission> try_pop() {
+    std::unique_lock<std::mutex> lk(mu_);
+    if (q_.empty()) return std::nullopt;
+    Submission s = std::move(q_.front());
+    q_.pop_front();
+    lk.unlock();
+    not_full_.notify_one();
+    return s;
+  }
+
+  /// `discard_pending` additionally drops everything still queued, so
+  /// workers see nullopt as soon as their current job finishes (used when
+  /// a producer parse error aborts the batch).
+  void close(bool discard_pending = false) {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      closed_ = true;
+      if (discard_pending) q_.clear();
+    }
+    not_full_.notify_all();
+    not_empty_.notify_all();
+  }
+
+  std::size_t capacity() const { return capacity_; }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return q_.size();
+  }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable not_full_, not_empty_;
+  std::deque<Submission> q_;
+  bool closed_ = false;
+};
+
+}  // namespace wmatch::service

@@ -1,0 +1,51 @@
+// JSONL job files for `wmatch_cli batch` / `serve` (ISSUE 5).
+//
+// One job per line, mirroring the solve CLI's flag vocabulary:
+//
+//   {"id":"a","algo":"reduction-hk","gen":{"generator":"erdos_renyi",
+//    "n":200,"m":800},"seed":3,"epsilon":0.2,"threads":2}
+//   {"algo":"exact-hungarian","input":{"path":"g.dimacs","order":"random"},
+//    "seed":7}
+//
+// Keys: exactly one of "gen" (GenSpec object, or a generator-name string
+// shorthand) and "input" (FileSource object, or a path string shorthand);
+// "algo" is required. Optional: "id", "seed" (drives generation AND the
+// solver, like --seed), "epsilon", "delta", "threads", "reps", "warmup",
+// "with_optimum", the MPC knobs "machines"/"mem_words", and the
+// random-arrival knobs "p"/"beta" (the two knob sets are mutually
+// exclusive, as on the CLI). Inside "gen": "generator", "n", "m",
+// "attach", "radius", "aug_length", "beta", "weights", "max_weight",
+// "order". Unknown keys anywhere are errors — a typo must not silently
+// run a default job. Blank lines and lines starting with '#' are skipped.
+//
+// All parse and validation failures throw std::invalid_argument with the
+// offending line number, which the CLI maps onto the exit-2 usage-error
+// contract.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "service/job.h"
+
+namespace wmatch::service {
+
+/// Parses one JSON job object (no surrounding whitespace requirements).
+JobSpec parse_job(const std::string& line);
+
+/// One line of a JSONL job stream — the helper parse_jobs, the batch
+/// producer, and the serve loop all share: returns false for blank and
+/// '#'-comment lines, otherwise parses the job into *out, stamping
+/// "job-<index>" when no id was given. Parse failures rethrow as
+/// "<source_name>:<line_no>: <what>".
+bool parse_job_line(const std::string& line, const std::string& source_name,
+                    std::size_t line_no, std::size_t index, JobSpec* out);
+
+/// Parses a whole JSONL stream; `source_name` prefixes error messages
+/// ("jobs.jsonl:3: ..."). Jobs with an empty "id" are stamped
+/// "job-<job-index>" so ids are always present and stable.
+std::vector<JobSpec> parse_jobs(std::istream& is,
+                                const std::string& source_name);
+
+}  // namespace wmatch::service

@@ -1,0 +1,102 @@
+// The batch-solving Scheduler (tentpole of ISSUE 5).
+//
+// Executes many solve jobs concurrently on the existing work-stealing
+// runtime::ThreadPool: job-level parallelism (`jobs` concurrent jobs)
+// composes with each solver's own intra-solver parallelism
+// (SolverSpec::runtime.num_threads) because the pool is nested-safe — a
+// pool worker running a job simply helps drain the sub-batches its solver
+// submits. Every job owns its solver state (per-job MpcContext /
+// MemoryMeter inside the adapters, randomness from Rng(spec.seed)), so
+// per-job CostReports are bit-identical to serial runs for any
+// jobs × threads combination; only wall clock varies.
+//
+// Two entry points: `run` for a materialized job list (the sweep layer's
+// grid cells, `wmatch_cli batch --file`), and `run_stream` for a bounded
+// JobQueue fed by a producer thread (`wmatch_cli batch` on a pipe). Both
+// share one InstanceCache, which also outlives batches — a long `serve`
+// session amortizes generation across requests.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "service/instance_cache.h"
+#include "service/job.h"
+#include "service/job_queue.h"
+#include "util/table.h"
+
+namespace wmatch::service {
+
+/// Schema version of the batch BENCH JSON document; kept in lockstep with
+/// sweep::kBenchSchemaVersion so scripts/check_bench_regression.py diffs
+/// either document kind.
+inline constexpr int kBatchSchemaVersion = 1;
+
+struct SchedulerConfig {
+  /// Concurrent jobs: 1 = sequential (default), 0 = one per hardware
+  /// thread. This is the thread count of the pool jobs are fanned out on.
+  std::size_t jobs = 1;
+  /// Resident instances in the shared InstanceCache.
+  std::size_t cache_capacity = 16;
+  /// Override every job's SolverSpec::runtime.num_threads (0 = keep each
+  /// job's own setting) — the CLI's --threads knob.
+  std::size_t threads_override = 0;
+};
+
+/// Aggregated outcome of one batch: per-job results in submission order
+/// plus throughput/latency and cache accounting.
+struct BatchResult {
+  std::vector<JobResult> results;
+  CacheStats cache;
+  double wall_ms_total = 0.0;  ///< batch wall clock (submission to drain)
+
+  std::size_t succeeded() const;
+  std::size_t skipped() const;
+  std::size_t failed() const;
+  double throughput_jobs_per_sec() const;
+  /// Mean / max per-job wall clock (median over each job's repetitions).
+  double latency_ms_mean() const;
+  double latency_ms_max() const;
+
+  /// One row per job: id, solver, instance, exact counters, wall ms.
+  Table table() const;
+  /// Throughput / latency / cache summary rows ("metric", "value").
+  Table summary_table() const;
+  /// Schema-versioned BENCH JSON ({"bench","schema_version","service",
+  /// "results"}) compatible with scripts/check_bench_regression.py: one
+  /// results entry per job keyed by (algorithm, generator, family=index,
+  /// instance=id, n, m, epsilon, threads, seed) with exact counters, plus
+  /// a "service" object carrying the throughput and cache summary.
+  void print_bench_json(std::ostream& os, const std::string& name) const;
+};
+
+class Scheduler {
+ public:
+  explicit Scheduler(SchedulerConfig config = {});
+
+  /// Executes one job on the calling thread (through the shared cache).
+  /// Exceptions are captured into JobResult::error — run_job never throws.
+  JobResult run_job(const JobSpec& job, std::size_t index = 0);
+
+  /// Fans the jobs out on the pool; results come back in submission order.
+  BatchResult run(const std::vector<JobSpec>& jobs);
+
+  /// Streaming variant: the caller pops the queue, assembling chunks of
+  /// up to `jobs` submissions and fanning each chunk out on the pool
+  /// (only the caller ever blocks on the queue — pool tasks stay finite,
+  /// see scheduler.cpp). The queue must be fed (and eventually closed)
+  /// by ANOTHER thread, or this call waits on an empty queue forever.
+  BatchResult run_stream(JobQueue& queue);
+
+  const SchedulerConfig& config() const { return config_; }
+  const InstanceCache& cache() const { return cache_; }
+  InstanceCache& cache() { return cache_; }
+
+ private:
+  SchedulerConfig config_;
+  InstanceCache cache_;
+};
+
+}  // namespace wmatch::service

@@ -1,0 +1,10 @@
+// Umbrella header for the batch-solving service layer: jobs, the bounded
+// queue, the instance cache, the scheduler, and the JSONL job-file
+// parser. `#include "service/service.h"` is all a client needs.
+#pragma once
+
+#include "service/instance_cache.h"  // IWYU pragma: export
+#include "service/job.h"             // IWYU pragma: export
+#include "service/job_queue.h"       // IWYU pragma: export
+#include "service/jobfile.h"         // IWYU pragma: export
+#include "service/scheduler.h"       // IWYU pragma: export

@@ -1,6 +1,7 @@
 #include "sweep/presets.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "util/require.h"
 
@@ -69,6 +70,54 @@ SweepSpec e2_preset() {
   s.instances = {er_uniform, er_exp, ba, geo};
   s.seeds = seed_range(2000, 5);
   s.with_optimum = true;
+  return s;
+}
+
+/// E3 / Lemmas 3.3, 3.15 — semi-streaming memory on random-order
+/// streams: the local-ratio stack S and threshold set T of
+/// Rand-Arr-Matching hold O(n polylog n) edges w.h.p., far below
+/// m = n^1.5. The memory_peak_words column is the stored peak; |S| and
+/// |T| ride along as stat columns.
+SweepSpec e3_preset() {
+  SweepSpec s;
+  s.name = "E3";
+  s.solvers = {"rand-arrival"};
+  for (std::size_t n : {512u, 1024u, 2048u, 4096u, 8192u}) {
+    api::GenSpec g;
+    g.n = n;
+    g.m = static_cast<std::size_t>(
+        std::pow(static_cast<double>(n), 1.5));
+    g.max_weight = 1 << 20;
+    s.instances.push_back(g);
+  }
+  s.seeds = seed_range(3000, 3);
+  s.stat_columns = {"stack_size", "t_size"};
+  return s;
+}
+
+/// E4 / Theorems 1.2, 4.1 (multipass streaming) — (1-eps) weighted
+/// matching in Oe(1) passes: the reduction run to convergence across the
+/// eps ladder and instance sizes, ratio against the exact optimum. The
+/// realized pass count stays orders of magnitude below the worst-case
+/// f(eps) cap and is driven by convergence, not the eps budget (the
+/// gain-based stopping rule dominates the fixed iteration count,
+/// DESIGN.md §2), while the ratio clears 1-eps at every rung.
+SweepSpec e4_preset() {
+  SweepSpec s;
+  s.name = "E4";
+  s.solvers = {"reduction-hk"};
+  for (std::size_t n : {256u, 512u, 1024u}) {
+    api::GenSpec g;
+    g.n = n;
+    g.m = 6 * n;
+    g.weights = gen::WeightDist::kExponential;
+    g.max_weight = 1 << 12;
+    s.instances.push_back(g);
+  }
+  s.epsilons = {0.3, 0.2, 0.1};
+  s.seeds = seed_range(4000, 3);
+  s.with_optimum = true;
+  s.stat_columns = {"iterations", "bb_total_cost"};
   return s;
 }
 
@@ -157,8 +206,8 @@ SweepSpec e7_preset() {
 }  // namespace
 
 const std::vector<std::string>& preset_names() {
-  static const std::vector<std::string> names = {"ci", "e1", "e2", "e5",
-                                                 "e7"};
+  static const std::vector<std::string> names = {"ci", "e1", "e2", "e3",
+                                                 "e4", "e5", "e7"};
   return names;
 }
 
@@ -171,10 +220,12 @@ SweepSpec preset(const std::string& name) {
   if (name == "ci") return ci_preset();
   if (name == "e1") return e1_preset();
   if (name == "e2") return e2_preset();
+  if (name == "e3") return e3_preset();
+  if (name == "e4") return e4_preset();
   if (name == "e5") return e5_preset();
   if (name == "e7") return e7_preset();
   WMATCH_REQUIRE(false, "unknown bench preset '" + name +
-                            "' (known: ci, e1, e2, e5, e7)");
+                            "' (known: ci, e1, e2, e3, e4, e5, e7)");
   return {};  // unreachable
 }
 

@@ -6,73 +6,15 @@
 #include <map>
 #include <ostream>
 #include <sstream>
+#include <stdexcept>
 
-#include "exact/blossom.h"
+#include "runtime/runtime.h"
+#include "service/scheduler.h"
 #include "util/json.h"
 #include "util/require.h"
 #include "util/stats.h"
 
 namespace wmatch::sweep {
-
-namespace {
-
-std::string fmt_double(double x) {
-  // Exact integers (optima, weights, integral stats) must serialize
-  // losslessly — the default 6-significant-digit double format would
-  // round e.g. a Blossom optimum of 2124337 to 2.12434e+06 in the BENCH
-  // artifact. Non-integral values (ratios, wall ms) keep the compact
-  // default format.
-  if (std::floor(x) == x && std::abs(x) < 1e15) {
-    return std::to_string(static_cast<long long>(x));
-  }
-  std::ostringstream ss;
-  ss << x;
-  return ss.str();
-}
-
-bool is_cardinality(const std::string& solver) {
-  return api::Registry::instance().info(solver).objective == "cardinality";
-}
-
-bool all_unit_weights(const Graph& g) {
-  return std::all_of(g.edges().begin(), g.edges().end(),
-                     [](const Edge& e) { return e.w == 1; });
-}
-
-/// Per-(family, seed) state shared by every cell that uses the instance:
-/// the instance itself plus lazily computed optima per objective.
-struct InstanceSlot {
-  api::Instance inst;
-  double weight_opt = -1.0;
-  double card_opt = -1.0;
-};
-
-InstanceSlot build_slot(const api::GenSpec& gen, const SweepSpec& spec,
-                        bool need_cardinality) {
-  InstanceSlot slot;
-  slot.inst = api::generate_instance(gen);
-  // On unit-weight instances the weight optimum IS the cardinality
-  // optimum, so one exact solve (or a planted optimum) serves both
-  // objectives — e.g. the e1 preset's families need no second Blossom.
-  const bool unit =
-      need_cardinality && all_unit_weights(slot.inst.graph);
-  if (slot.inst.has_known_optimum()) {
-    slot.weight_opt = static_cast<double>(slot.inst.known_optimal_weight);
-  }
-  if (spec.with_optimum && slot.weight_opt < 0.0) {
-    slot.weight_opt = static_cast<double>(
-        exact::blossom_max_weight(slot.inst.graph).weight());
-  }
-  if (unit) {
-    slot.card_opt = slot.weight_opt;
-  } else if (spec.with_optimum && need_cardinality) {
-    slot.card_opt = static_cast<double>(
-        exact::blossom_max_weight(slot.inst.graph, true).size());
-  }
-  return slot;
-}
-
-}  // namespace
 
 std::vector<SweepCell> expand_grid(const SweepSpec& spec) {
   WMATCH_REQUIRE(!spec.solvers.empty(), "sweep needs at least one solver");
@@ -117,66 +59,66 @@ SweepResult run_sweep(const SweepSpec& spec) {
     WMATCH_REQUIRE(registry.contains(solver),
                    "unknown solver '" + solver + "' in sweep spec");
   }
-  const bool need_cardinality =
-      std::any_of(spec.solvers.begin(), spec.solvers.end(), is_cardinality);
 
   SweepResult result;
   result.spec = spec;
   const std::vector<SweepCell> cells = expand_grid(spec);
-  result.rows.reserve(cells.size());
 
-  // Cells arrive instance-major, so one slot at a time is live.
-  std::pair<std::size_t, std::size_t> slot_key{~0u, ~0u};
-  InstanceSlot slot;
-  const std::size_t reps = std::max<std::size_t>(1, spec.repetitions);
+  // The sweep is the service layer's first internal client: every grid
+  // cell becomes one job and the Scheduler fans them out over the shared
+  // runtime pool (spec.jobs concurrent cells, composing with each cell's
+  // own --threads). The InstanceCache replaces the old one-live-slot
+  // regeneration logic: cells arrive instance-major, so a capacity of a
+  // few entries per concurrent job keeps every (family, seed) instance
+  // and its lazily computed optima resident exactly while cells need it.
+  service::SchedulerConfig cfg;
+  cfg.jobs = spec.jobs;
+  cfg.cache_capacity =
+      std::max<std::size_t>(2, 2 * runtime::resolve_num_threads(spec.jobs));
+  service::Scheduler scheduler(cfg);
 
+  std::vector<service::JobSpec> jobs;
+  jobs.reserve(cells.size());
   for (const SweepCell& cell : cells) {
-    if (slot_key != std::make_pair(cell.instance_idx, cell.seed_idx)) {
-      slot = build_slot(cell.gen, spec, need_cardinality);
-      slot_key = {cell.instance_idx, cell.seed_idx};
+    service::JobSpec job;
+    job.id = "cell-" + std::to_string(jobs.size());
+    job.solver = cell.solver;
+    job.source = cell.gen;
+    job.spec.epsilon = cell.epsilon;
+    job.spec.delta = spec.delta;
+    job.spec.seed = cell.seed;
+    job.spec.runtime.num_threads = cell.threads;
+    job.repetitions = spec.repetitions;
+    job.warmup = spec.warmup;
+    job.with_optimum = spec.with_optimum;
+    jobs.push_back(std::move(job));
+  }
+
+  const service::BatchResult batch = scheduler.run(jobs);
+  result.rows.reserve(cells.size());
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const service::JobResult& jr = batch.results[i];
+    // Pre-service behaviour: a failing cell aborted the whole sweep.
+    if (!jr.ok()) {
+      throw std::runtime_error("sweep cell '" + cells[i].solver + "' on '" +
+                               cells[i].gen.generator + "': " + jr.error);
     }
     SweepRow row;
-    row.cell = cell;
-    row.instance_name = slot.inst.name;
-    row.n = slot.inst.num_vertices();
-    row.m = slot.inst.num_edges();
-
-    const api::SolverInfo& info = registry.info(cell.solver);
-    if (info.bipartite_only && !slot.inst.is_bipartite()) {
-      row.skipped = true;
-      result.rows.push_back(std::move(row));
-      continue;
+    row.cell = cells[i];
+    row.instance_name = jr.instance_name;
+    row.n = jr.n;
+    row.m = jr.m;
+    row.skipped = jr.skipped;
+    if (!jr.skipped) {
+      row.cost = jr.cost;
+      row.wall_ms_median = jr.wall_ms_median;
+      row.wall_ms_min = jr.wall_ms_min;
+      row.matching_size = jr.matching_size;
+      row.matching_weight = jr.matching_weight;
+      row.achieved = jr.achieved;
+      row.optimum = jr.optimum;
+      row.stats = jr.stats;
     }
-
-    api::SolverSpec solver_spec;
-    solver_spec.epsilon = cell.epsilon;
-    solver_spec.delta = spec.delta;
-    solver_spec.seed = cell.seed;
-    solver_spec.runtime.num_threads = cell.threads;
-
-    const api::Solver solver(cell.solver);
-    for (std::size_t w = 0; w < spec.warmup; ++w) {
-      (void)solver.solve(slot.inst, solver_spec);
-    }
-    std::vector<double> wall;
-    wall.reserve(reps);
-    api::SolveResult r;
-    for (std::size_t rep = 0; rep < reps; ++rep) {
-      r = solver.solve(slot.inst, solver_spec);
-      wall.push_back(r.cost.wall_ms);
-    }
-
-    row.cost = r.cost;
-    row.wall_ms_median = median(wall);
-    row.wall_ms_min = *std::min_element(wall.begin(), wall.end());
-    row.cost.wall_ms = row.wall_ms_median;
-    row.matching_size = r.matching.size();
-    row.matching_weight = r.matching.weight();
-    const bool cardinality = info.objective == "cardinality";
-    row.achieved = cardinality ? static_cast<double>(row.matching_size)
-                               : static_cast<double>(row.matching_weight);
-    row.optimum = cardinality ? slot.card_opt : slot.weight_opt;
-    row.stats = std::move(r.stats);
     result.rows.push_back(std::move(row));
   }
   return result;
@@ -337,7 +279,7 @@ void SweepResult::print_bench_json(std::ostream& os) const {
   os << ",\"schema_version\":" << kBenchSchemaVersion;
 
   os << ",\"spec\":{\"repetitions\":" << std::max<std::size_t>(1, spec.repetitions)
-     << ",\"warmup\":" << spec.warmup << ",\"delta\":" << fmt_double(spec.delta)
+     << ",\"warmup\":" << spec.warmup << ",\"delta\":" << util::json_number(spec.delta)
      << ",\"with_optimum\":" << (spec.with_optimum ? "true" : "false");
   os << ",\"solvers\":[";
   for (std::size_t i = 0; i < spec.solvers.size(); ++i) {
@@ -347,7 +289,7 @@ void SweepResult::print_bench_json(std::ostream& os) const {
   os << "],\"epsilons\":[";
   for (std::size_t i = 0; i < spec.epsilons.size(); ++i) {
     if (i) os << ',';
-    os << fmt_double(spec.epsilons[i]);
+    os << util::json_number(spec.epsilons[i]);
   }
   os << "],\"threads\":[";
   for (std::size_t i = 0; i < spec.threads.size(); ++i) {
@@ -391,7 +333,7 @@ void SweepResult::print_bench_json(std::ostream& os) const {
     os << ",\"family\":" << r.cell.instance_idx << ",\"weights\":";
     util::write_json_string(os, api::to_string(r.cell.gen.weights));
     os << ",\"n\":" << r.n << ",\"m\":" << r.m
-       << ",\"epsilon\":" << fmt_double(r.cell.epsilon)
+       << ",\"epsilon\":" << util::json_number(r.cell.epsilon)
        << ",\"threads\":" << r.cell.threads << ",\"seed\":" << r.cell.seed
        << ",\"skipped\":" << (r.skipped ? "true" : "false");
     if (!r.skipped) {
@@ -405,18 +347,18 @@ void SweepResult::print_bench_json(std::ostream& os) const {
          << ",\"matching_size\":" << r.matching_size
          << ",\"matching_weight\":" << r.matching_weight << '}';
       if (r.has_ratio()) {
-        os << ",\"optimum\":" << fmt_double(r.optimum)
-           << ",\"ratio\":" << fmt_double(r.ratio());
+        os << ",\"optimum\":" << util::json_number(r.optimum)
+           << ",\"ratio\":" << util::json_number(r.ratio());
       }
-      os << ",\"wall_ms\":{\"median\":" << fmt_double(r.wall_ms_median)
-         << ",\"min\":" << fmt_double(r.wall_ms_min) << '}';
+      os << ",\"wall_ms\":{\"median\":" << util::json_number(r.wall_ms_median)
+         << ",\"min\":" << util::json_number(r.wall_ms_min) << '}';
       os << ",\"stats\":{";
       bool first = true;
       for (const auto& [name, value] : r.stats) {
         if (!first) os << ',';
         first = false;
         util::write_json_string(os, name);
-        os << ':' << fmt_double(value);
+        os << ':' << util::json_number(value);
       }
       os << '}';
     }

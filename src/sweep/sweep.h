@@ -44,6 +44,12 @@ struct SweepSpec {
   std::vector<double> epsilons = {0.1};
   std::vector<std::size_t> threads = {1};
   std::vector<std::uint64_t> seeds = {1};
+  /// Concurrent grid cells: the sweep submits its cells as jobs to the
+  /// service Scheduler, so cell-level parallelism composes with each
+  /// solver's own --threads parallelism. 1 = sequential (default, the
+  /// bit-identical reference order), 0 = one job per hardware thread;
+  /// counters are invariant under this knob either way.
+  std::size_t jobs = 1;
   std::size_t repetitions = 1;  ///< timed runs per cell (median/min wall ms)
   std::size_t warmup = 0;       ///< untimed runs per cell before timing
   double delta = 0.0;           ///< SolverSpec::delta for every cell

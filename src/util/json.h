@@ -3,11 +3,30 @@
 // never parses JSON.
 #pragma once
 
+#include <cmath>
 #include <cstdio>
 #include <ostream>
+#include <sstream>
+#include <string>
 #include <string_view>
 
 namespace wmatch::util {
+
+/// Formats a number for JSON emission, losslessly for exact integers:
+/// integral values (counters, optima, weights carried as doubles) print
+/// as plain integers — the default 6-significant-digit format would
+/// round e.g. a Blossom optimum of 2124337 to 2.12434e+06 in a BENCH
+/// artifact — while non-integral values (ratios, wall ms) keep the
+/// compact default format. Shared by the api / sweep / service JSON
+/// writers so their documents stay byte-compatible.
+inline std::string json_number(double x) {
+  if (std::floor(x) == x && std::abs(x) < 1e15) {
+    return std::to_string(static_cast<long long>(x));
+  }
+  std::ostringstream ss;
+  ss << x;
+  return ss.str();
+}
 
 /// Writes `s` as a JSON string literal, escaping quotes, backslashes, and
 /// every control character (RFC 8259 requires \u00XX for bytes < 0x20).

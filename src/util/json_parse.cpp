@@ -1,0 +1,311 @@
+#include "util/json_parse.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <stdexcept>
+#include <utility>
+
+namespace wmatch::util {
+
+namespace {
+
+const char* type_name(JsonValue::Type t) {
+  switch (t) {
+    case JsonValue::Type::kNull: return "null";
+    case JsonValue::Type::kBool: return "bool";
+    case JsonValue::Type::kNumber: return "number";
+    case JsonValue::Type::kString: return "string";
+    case JsonValue::Type::kArray: return "array";
+    case JsonValue::Type::kObject: return "object";
+  }
+  return "?";
+}
+
+[[noreturn]] void type_error(const char* want, JsonValue::Type got) {
+  throw std::invalid_argument(std::string("JSON value is ") +
+                              type_name(got) + ", expected " + want);
+}
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  JsonValue parse() {
+    JsonValue v = value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing characters after JSON value");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    throw std::invalid_argument("JSON parse error at offset " +
+                                std::to_string(pos_) + ": " + what);
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+            text_[pos_] == '\n' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "', got '" +
+                          text_[pos_] + "'");
+    ++pos_;
+  }
+
+  bool consume_keyword(std::string_view kw) {
+    if (text_.substr(pos_, kw.size()) != kw) return false;
+    pos_ += kw.size();
+    return true;
+  }
+
+  JsonValue value() {
+    skip_ws();
+    const char c = peek();
+    if (c == '{') return object();
+    if (c == '[') return array();
+    if (c == '"') return JsonValue::make_string(string());
+    if (c == 't') {
+      if (!consume_keyword("true")) fail("invalid literal");
+      return JsonValue::make_bool(true);
+    }
+    if (c == 'f') {
+      if (!consume_keyword("false")) fail("invalid literal");
+      return JsonValue::make_bool(false);
+    }
+    if (c == 'n') {
+      if (!consume_keyword("null")) fail("invalid literal");
+      return JsonValue();
+    }
+    if (c == '-' || (c >= '0' && c <= '9')) return number();
+    fail(std::string("unexpected character '") + c + "'");
+  }
+
+  JsonValue number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    if (pos_ >= text_.size() || !std::isdigit(static_cast<unsigned char>(
+                                    text_[pos_]))) {
+      fail("malformed number");
+    }
+    if (text_[pos_] == '0' && pos_ + 1 < text_.size() &&
+        std::isdigit(static_cast<unsigned char>(text_[pos_ + 1]))) {
+      fail("malformed number (leading zero)");
+    }
+    while (pos_ < text_.size() &&
+           std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      ++pos_;
+      if (pos_ >= text_.size() || !std::isdigit(static_cast<unsigned char>(
+                                      text_[pos_]))) {
+        fail("malformed number (digits must follow '.')");
+      }
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      if (pos_ >= text_.size() || !std::isdigit(static_cast<unsigned char>(
+                                      text_[pos_]))) {
+        fail("malformed number (digits must follow exponent)");
+      }
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+    }
+    const std::string token(text_.substr(start, pos_ - start));
+    return JsonValue::make_number(std::strtod(token.c_str(), nullptr));
+  }
+
+  std::string string() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      char c = text_[pos_++];
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) {
+        fail("unescaped control character in string");
+      }
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("unterminated escape");
+      char e = text_[pos_++];
+      switch (e) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else fail("invalid \\u escape digit");
+          }
+          // Strictness over silent corruption: decoding a non-ASCII code
+          // unit would require UTF-8 (and surrogate-pair) handling no job
+          // file needs — truncating it to a byte would mangle ids/paths.
+          if (code > 0x7f) fail("unsupported non-ASCII \\u escape");
+          out.push_back(static_cast<char>(code));
+          break;
+        }
+        default: fail("unknown escape sequence");
+      }
+    }
+  }
+
+  JsonValue array() {
+    expect('[');
+    std::vector<JsonValue> items;
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return JsonValue::make_array(std::move(items));
+    }
+    for (;;) {
+      items.push_back(value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return JsonValue::make_array(std::move(items));
+    }
+  }
+
+  JsonValue object() {
+    expect('{');
+    std::vector<std::pair<std::string, JsonValue>> members;
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return JsonValue::make_object(std::move(members));
+    }
+    for (;;) {
+      skip_ws();
+      std::string key = string();
+      for (const auto& [existing, unused] : members) {
+        (void)unused;
+        if (existing == key) fail("duplicate object key \"" + key + "\"");
+      }
+      skip_ws();
+      expect(':');
+      members.emplace_back(std::move(key), value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return JsonValue::make_object(std::move(members));
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+bool JsonValue::as_bool() const {
+  if (type_ != Type::kBool) type_error("bool", type_);
+  return bool_;
+}
+
+double JsonValue::as_number() const {
+  if (type_ != Type::kNumber) type_error("number", type_);
+  return number_;
+}
+
+const std::string& JsonValue::as_string() const {
+  if (type_ != Type::kString) type_error("string", type_);
+  return string_;
+}
+
+const std::vector<JsonValue>& JsonValue::as_array() const {
+  if (type_ != Type::kArray) type_error("array", type_);
+  return array_;
+}
+
+const std::vector<std::pair<std::string, JsonValue>>& JsonValue::as_object()
+    const {
+  if (type_ != Type::kObject) type_error("object", type_);
+  return object_;
+}
+
+const JsonValue* JsonValue::find(std::string_view key) const {
+  if (type_ != Type::kObject) return nullptr;
+  for (const auto& [name, value] : object_) {
+    if (name == key) return &value;
+  }
+  return nullptr;
+}
+
+JsonValue JsonValue::make_bool(bool b) {
+  JsonValue v;
+  v.type_ = Type::kBool;
+  v.bool_ = b;
+  return v;
+}
+
+JsonValue JsonValue::make_number(double x) {
+  JsonValue v;
+  v.type_ = Type::kNumber;
+  v.number_ = x;
+  return v;
+}
+
+JsonValue JsonValue::make_string(std::string s) {
+  JsonValue v;
+  v.type_ = Type::kString;
+  v.string_ = std::move(s);
+  return v;
+}
+
+JsonValue JsonValue::make_array(std::vector<JsonValue> items) {
+  JsonValue v;
+  v.type_ = Type::kArray;
+  v.array_ = std::move(items);
+  return v;
+}
+
+JsonValue JsonValue::make_object(
+    std::vector<std::pair<std::string, JsonValue>> members) {
+  JsonValue v;
+  v.type_ = Type::kObject;
+  v.object_ = std::move(members);
+  return v;
+}
+
+JsonValue parse_json(std::string_view text) { return Parser(text).parse(); }
+
+}  // namespace wmatch::util

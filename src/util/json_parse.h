@@ -1,0 +1,68 @@
+// Minimal strict JSON parser for the service layer's JSONL job files
+// (util/json.h remains the write side). Supports the full RFC 8259 value
+// grammar except non-ASCII \uXXXX escapes, which are REJECTED rather
+// than decoded (job files are ASCII; truncating a code point to a byte
+// would silently corrupt ids and paths). Parsing is strict: trailing
+// garbage, comments, duplicate keys, and unquoted keys all throw
+// std::invalid_argument with a character offset, so a malformed job line
+// surfaces as a usage error (exit 2) in the CLI rather than a crash.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace wmatch::util {
+
+/// One parsed JSON value. Objects preserve insertion order (the job-file
+/// parser reports unknown keys by name, and deterministic iteration keeps
+/// error messages stable).
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() = default;  // null
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  /// Typed accessors; throw std::invalid_argument when the value holds a
+  /// different type (the message names the expected and actual types).
+  bool as_bool() const;
+  double as_number() const;
+  const std::string& as_string() const;
+  const std::vector<JsonValue>& as_array() const;
+  const std::vector<std::pair<std::string, JsonValue>>& as_object() const;
+
+  /// Object member lookup; nullptr when absent (or not an object).
+  const JsonValue* find(std::string_view key) const;
+
+  static JsonValue make_bool(bool b);
+  static JsonValue make_number(double x);
+  static JsonValue make_string(std::string s);
+  static JsonValue make_array(std::vector<JsonValue> items);
+  static JsonValue make_object(
+      std::vector<std::pair<std::string, JsonValue>> members);
+
+ private:
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::vector<std::pair<std::string, JsonValue>> object_;
+};
+
+/// Parses exactly one JSON value spanning the whole input (leading and
+/// trailing whitespace allowed, anything else after the value throws).
+JsonValue parse_json(std::string_view text);
+
+}  // namespace wmatch::util

@@ -67,9 +67,39 @@ expect_error 2 "unknown generator 'nope'" bench --algo=greedy --gen=nope
 expect_error 2 "requires --preset" bench --algo=greedy
 expect_error 2 "cannot override a preset" bench --preset=ci --gen=erdos_renyi
 
+# --input hardening (ISSUE 5 satellite): unreadable or malformed DIMACS
+# files are usage errors (exit 2) with a diagnostic naming the file / line.
+expect_error 2 "cannot open '/nonexistent/x.graph'" \
+  solve --algo=greedy --input=/nonexistent/x.graph
+tmpdir=$(mktemp -d)
+trap 'rm -rf "$tmpdir"' EXIT
+printf 'p wmatch 4 2\ne 0 1\n' > "$tmpdir/malformed.graph"
+expect_error 2 "parse error at line" \
+  solve --algo=greedy --input="$tmpdir/malformed.graph"
+printf 'not a graph at all\n' > "$tmpdir/garbage.graph"
+expect_error 2 "parse error" \
+  solve --algo=greedy --input="$tmpdir/garbage.graph"
+
+# batch / serve (ISSUE 5): flag misuse and malformed JSONL job lines are
+# usage errors; a valid job file runs clean.
+expect_error 2 "batch requires --file" batch
+expect_error 2 "unknown batch flag" batch --stdin --frobnicate=1
+expect_error 2 "mutually exclusive" batch --file=x.jsonl --stdin
+expect_error 2 "cannot open 'no-such.jsonl'" batch --file=no-such.jsonl
+printf '{"gen":"path"}\n' > "$tmpdir/noalgo.jsonl"
+expect_error 2 'needs "algo"' batch --file="$tmpdir/noalgo.jsonl"
+printf '{"algo":"greedy","gen":"path",}\n' > "$tmpdir/badjson.jsonl"
+expect_error 2 "badjson.jsonl:1:" batch --file="$tmpdir/badjson.jsonl"
+printf '{"algo":"nope","gen":"path"}\n' > "$tmpdir/badsolver.jsonl"
+expect_error 2 "unknown solver 'nope'" batch --file="$tmpdir/badsolver.jsonl"
+expect_error 2 "requires --stdin" serve
+
 expect_ok list
 expect_ok solve --algo=greedy --n=20 --m=40 --seed=3
 expect_ok bench --algo=greedy --gen=hard-greedy-trap --n=16 --seeds=1
+printf '# two jobs, one shared instance\n{"algo":"greedy","gen":{"generator":"erdos_renyi","n":20,"m":40},"seed":3}\n{"algo":"local-ratio","gen":{"generator":"erdos_renyi","n":20,"m":40},"seed":3}\n' \
+  > "$tmpdir/ok.jsonl"
+expect_ok batch --file="$tmpdir/ok.jsonl" --jobs=2
 
 if [ "$failures" -ne 0 ]; then
   echo "$failures CLI error-path check(s) failed"

@@ -4,7 +4,9 @@
 #include <numeric>
 #include <set>
 #include <sstream>
+#include <stdexcept>
 
+#include "util/json_parse.h"
 #include "util/rng.h"
 #include "util/stats.h"
 #include "util/table.h"
@@ -159,6 +161,61 @@ TEST(Table, PrintJsonEscapesStringCells) {
   EXPECT_EQ(s.back(), '\n');
   for (std::size_t i = 0; i + 1 < s.size(); ++i) {
     EXPECT_GE(static_cast<unsigned char>(s[i]), 0x20u) << "index " << i;
+  }
+}
+
+// ---- util/json_parse.h (ISSUE 5: JSONL job files) ----
+
+TEST(JsonParse, ParsesScalarsArraysAndNestedObjects) {
+  const util::JsonValue v = util::parse_json(
+      R"({"name":"a b","n":42,"x":-1.5e2,"ok":true,"none":null,)"
+      R"("list":[1,2,3],"nested":{"k":"v"}})");
+  ASSERT_TRUE(v.is_object());
+  EXPECT_EQ(v.find("name")->as_string(), "a b");
+  EXPECT_EQ(v.find("n")->as_number(), 42.0);
+  EXPECT_EQ(v.find("x")->as_number(), -150.0);
+  EXPECT_TRUE(v.find("ok")->as_bool());
+  EXPECT_TRUE(v.find("none")->is_null());
+  ASSERT_EQ(v.find("list")->as_array().size(), 3u);
+  EXPECT_EQ(v.find("list")->as_array()[2].as_number(), 3.0);
+  EXPECT_EQ(v.find("nested")->find("k")->as_string(), "v");
+  EXPECT_EQ(v.find("missing"), nullptr);
+}
+
+TEST(JsonParse, DecodesStringEscapes) {
+  const util::JsonValue v =
+      util::parse_json(R"("quote \" slash \\ nl \n tab \t u A")");
+  EXPECT_EQ(v.as_string(), "quote \" slash \\ nl \n tab \t u A");
+  // ASCII \u escapes decode; non-ASCII ones are rejected rather than
+  // truncated to a byte (raw UTF-8 bytes in strings pass through).
+  EXPECT_EQ(util::parse_json(R"("\u0041z")").as_string(), "Az");
+  EXPECT_THROW(util::parse_json(R"("snow \u2603 man")"),
+               std::invalid_argument);
+  EXPECT_THROW(util::parse_json(R"("caf\u00e9")"), std::invalid_argument);
+  EXPECT_EQ(util::parse_json("\"caf\xc3\xa9\"").as_string(), "caf\xc3\xa9");
+}
+
+TEST(JsonParse, RejectsMalformedInput) {
+  EXPECT_THROW(util::parse_json(""), std::invalid_argument);
+  EXPECT_THROW(util::parse_json("{"), std::invalid_argument);
+  EXPECT_THROW(util::parse_json("{\"a\":1,}"), std::invalid_argument);
+  EXPECT_THROW(util::parse_json("{\"a\":1} trailing"),
+               std::invalid_argument);
+  EXPECT_THROW(util::parse_json("{'a':1}"), std::invalid_argument);
+  EXPECT_THROW(util::parse_json("{\"a\":01}"), std::invalid_argument);
+  EXPECT_THROW(util::parse_json("nul"), std::invalid_argument);
+  EXPECT_THROW(util::parse_json("{\"a\":1,\"a\":2}"), std::invalid_argument);
+  EXPECT_THROW(util::parse_json("\"unterminated"), std::invalid_argument);
+}
+
+TEST(JsonParse, TypeMismatchThrowsWithTypeNames) {
+  const util::JsonValue v = util::parse_json("{\"a\":1}");
+  try {
+    v.find("a")->as_string();
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("number"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("string"), std::string::npos);
   }
 }
 
