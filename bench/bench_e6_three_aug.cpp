@@ -1,17 +1,38 @@
 // E6 — Lemma 3.1: Unw-3-Aug-Paths recovers >= (beta^2/32)|M| vertex-
 // disjoint 3-augmenting paths in O(|M|) space when beta|M| are planted.
+//
+// Two sections, following the e7 wrapper pattern. First, a thin wrapper
+// over the sweep engine: the "e6" preset (greedy vs the three-branch
+// streaming algorithm on hard-planted-augs across the beta ladder,
+// cardinality ratios against the planted optimum), so
+// `wmatch_cli bench --preset=e6` reproduces that table exactly. Second,
+// the structural witness measurement the lemma itself makes: feeding
+// Unw-3-Aug-Paths directly and comparing the recovered path count
+// against the (beta^2/32)|M| bound.
+// Flags: --threads=N, --json[=path] (JSON carries the sweep section).
 #include "bench_common.h"
 
 #include "core/unw_three_aug.h"
 #include "gen/hard_instances.h"
+#include "sweep/presets.h"
 
 int main(int argc, char** argv) {
   using namespace wmatch;
   const bench::Args args = bench::parse_args(argc, argv);
   bench::header("E6 / Lemma 3.1",
-                "Unw-3-Aug-Paths on planted instances (|M| = 2000): "
-                "recovered paths vs the lemma's (beta^2/32)|M| bound.");
+                "Planted 3-augmentations: streaming recovery through the "
+                "solver registry (sweep preset e6, |M| = 2000) and the "
+                "lemma's (beta^2/32)|M| witness bound.");
 
+  sweep::SweepSpec spec = sweep::preset("e6");
+  spec.threads = {args.threads};
+  const sweep::SweepResult result = sweep::run_sweep(spec);
+  result.summary_table().print(std::cout);
+  const bool wrote = bench::maybe_write_json(args, "E6", result);
+
+  // --- Lemma 3.1 witness: recovered vertex-disjoint 3-augmenting paths
+  // against the (beta^2/32)|M| bound, from a direct Unw-3-Aug-Paths
+  // feed (no solver wrapper, so support size is observable too). ---
   const std::size_t m_size = 2000;
   const int kSeeds = 5;
   Table t({"beta", "planted", "recovered", "bound (b^2/32)|M|",
@@ -39,9 +60,10 @@ int main(int argc, char** argv) {
                Table::fmt(support.mean(), 2)});
   }
   t.print(std::cout);
-  bench::maybe_write_json(args, "E6", t);
   bench::footer(
-      "recovered >> the worst-case bound at every beta (planted instances "
-      "are benign: recovery is near-perfect), and support stays O(|M|).");
-  return 0;
+      "the registry solver closes most of the planted gap while greedy "
+      "leaves it open; in the witness section recovered >> the worst-case "
+      "bound at every beta (planted instances are benign: recovery is "
+      "near-perfect), and support stays O(|M|).");
+  return wrote ? 0 : 1;
 }

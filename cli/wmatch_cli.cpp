@@ -8,7 +8,7 @@
 //       comparison table — or, with --json, one JSON object per solver
 //       (each carrying the normalized CostReport).
 //
-//   wmatch_cli bench --preset=ci|e1..e5|e7 [axis overrides] [--json[=path]]
+//   wmatch_cli bench --preset=ci|e1..e7 [axis overrides] [--json[=path]]
 //   wmatch_cli bench --algo=LIST --gen=LIST [grid flags] [--json[=path]]
 //       Run a declarative sweep (solvers x instance families x epsilon x
 //       threads x seeds) through the sweep engine and print the per-cell
@@ -26,6 +26,13 @@
 //   wmatch_cli serve --stdin
 //       Long-lived session: one job JSON per input line, one result JSON
 //       per output line (flushed), instance cache warm across requests.
+//       Each served job also logs one structured progress line to stderr,
+//       and the input line "metrics" answers with an obs registry
+//       snapshot instead of a job result.
+//
+// Every command takes --trace=FILE to record a Chrome/Perfetto trace of
+// the run (spans over solver rounds, HK phases, pool tasks, scheduler
+// jobs, and cache builds — see src/obs/ and DESIGN.md section 7).
 //
 // Unknown --algo / --gen / --preset names, malformed flag values or job
 // lines, unreadable or malformed --input files, and unknown flags all
@@ -55,6 +62,7 @@
 #include "api/api.h"
 #include "exact/blossom.h"
 #include "graph/io.h"
+#include "obs/obs.h"
 #include "service/service.h"
 #include "sweep/presets.h"
 #include "sweep/sweep.h"
@@ -75,6 +83,7 @@ struct CliOptions {
   bool arrival_knobs_set = false;
   bool json = false;
   bool with_optimum = false;
+  std::string trace_path;
 };
 
 [[noreturn]] void usage_error(const std::string& msg) {
@@ -82,6 +91,42 @@ struct CliOptions {
             << "\nrun `wmatch_cli help` for the flag reference\n";
   std::exit(2);
 }
+
+/// RAII-ish session behind --trace=FILE, shared by every command: opens
+/// the output up front (an unwritable path is a usage error, exit 2, like
+/// any other bad flag value), arms the span tracer, and on finish() stops
+/// recording and writes the Chrome/Perfetto trace-event document.
+class TraceSession {
+ public:
+  void open(const std::string& path) {
+    os_.open(path);
+    if (!os_.good()) {
+      usage_error("--trace: cannot open '" + path + "' for writing");
+    }
+    path_ = path;
+    obs::set_thread_name("main");
+    obs::reset_tracing();
+    obs::start_tracing();
+  }
+
+  /// Returns the command's exit code contribution (1 on write failure).
+  int finish() {
+    if (path_.empty()) return 0;
+    obs::stop_tracing();
+    obs::write_chrome_trace(os_);
+    os_.flush();
+    if (!os_.good()) {
+      std::cerr << "error: could not write trace " << path_ << "\n";
+      return 1;
+    }
+    std::cerr << "wrote trace " << path_ << "\n";
+    return 0;
+  }
+
+ private:
+  std::ofstream os_;
+  std::string path_;
+};
 
 void print_help() {
   std::cout <<
@@ -123,9 +168,12 @@ void print_help() {
       "output flags (solve):\n"
       "  --json           one JSON object per solver on stdout\n"
       "  --with-optimum   also run exact Blossom, report ratios\n"
+      "  --trace=FILE     write a Chrome/Perfetto trace-event JSON of the\n"
+      "                   run (also on bench / batch / serve)\n"
       "\n"
       "bench flags:\n"
-      "  --preset=NAME    ci | e1 | e2 | e3 | e4 | e5 | e7 (named grids;\n"
+      "  --preset=NAME    ci | e1 | e2 | e3 | e4 | e5 | e6 | e7 (named\n"
+      "                   grids;\n"
       "                   --algo/--epsilon/--threads/--seeds/--reps/\n"
       "                   --warmup override the preset's axes, but its\n"
       "                   instance list is fixed: --gen and the instance\n"
@@ -139,6 +187,7 @@ void print_help() {
       "  --delta=D --with-optimum --name=ID\n"
       "  --summary        aggregate the seed axis in the table\n"
       "  --json[=path]    write schema-versioned BENCH_<name>.json\n"
+      "  --trace=FILE     Chrome/Perfetto trace of the whole sweep\n"
       "\n"
       "batch flags:\n"
       "  --file=PATH      JSONL job file (see DESIGN.md section 6 for the\n"
@@ -150,10 +199,15 @@ void print_help() {
       "  --name=ID        BENCH document id (default \"batch\")\n"
       "  --summary        also print the per-job table to stderr\n"
       "  --json[=path]    write BENCH_<name>.json for the CI per-job gate\n"
+      "                   (includes a \"metrics\" registry snapshot block)\n"
+      "  --trace=FILE     Chrome/Perfetto trace of the whole batch\n"
       "\n"
       "serve flags:\n"
-      "  --stdin          required; one job JSON in, one result JSON out\n"
-      "  --threads=T --cache=N   as for batch\n";
+      "  --stdin          required; one job JSON in, one result JSON out,\n"
+      "                   plus one structured progress line per job on\n"
+      "                   stderr; the input line \"metrics\" answers with a\n"
+      "                   metrics registry snapshot JSON object\n"
+      "  --threads=T --cache=N --trace=FILE   as for batch\n";
 }
 
 bool consume(const std::string& arg, const char* flag, std::string* value) {
@@ -309,6 +363,8 @@ CliOptions parse_solve_flags(int argc, char** argv) {
       opt.json = true;
     } else if (arg == "--with-optimum") {
       opt.with_optimum = true;
+    } else if (consume(arg, "--trace", &v)) {
+      opt.trace_path = v;
     } else {
       usage_error("unknown flag '" + arg + "'");
     }
@@ -356,6 +412,8 @@ int cmd_list(bool json) {
 int cmd_solve(int argc, char** argv) {
   CliOptions opt = parse_solve_flags(argc, argv);
   for (const std::string& algo : opt.algos) require_known_solver(algo);
+  TraceSession trace;
+  if (!opt.trace_path.empty()) trace.open(opt.trace_path);
   if (opt.mpc_knobs_set) opt.spec.knobs = opt.mpc;
   if (opt.arrival_knobs_set) opt.spec.knobs = opt.arrival;
 
@@ -413,7 +471,7 @@ int cmd_solve(int argc, char** argv) {
               << opt.gen.seed << "\n\n";
     api::result_table(results, opt_weight, opt_size).print(std::cout);
   }
-  return 0;
+  return trace.finish();
 }
 
 // ---- bench: declarative sweeps over the sweep engine ----
@@ -438,6 +496,7 @@ struct BenchOptions {
   bool summary = false;
   bool json = false;
   std::string json_path;
+  std::string trace_path;
 };
 
 BenchOptions parse_bench_flags(int argc, char** argv) {
@@ -514,6 +573,8 @@ BenchOptions parse_bench_flags(int argc, char** argv) {
     } else if (consume(arg, "--json", &v)) {
       opt.json = true;
       opt.json_path = v;
+    } else if (consume(arg, "--trace", &v)) {
+      opt.trace_path = v;
     } else {
       usage_error("unknown bench flag '" + arg + "'");
     }
@@ -560,6 +621,8 @@ int cmd_bench(int argc, char** argv) {
   if (opt.with_optimum) spec.with_optimum = true;
   if (!opt.name.empty()) spec.name = opt.name;
 
+  TraceSession trace;
+  if (!opt.trace_path.empty()) trace.open(opt.trace_path);
   const sweep::SweepRunner runner(spec);
   std::cout << "sweep '" << spec.name << "': " << runner.grid_size()
             << " cells (" << spec.solvers.size() << " solvers x "
@@ -582,7 +645,7 @@ int cmd_bench(int argc, char** argv) {
     }
     std::cout << "\nwrote " << path << "\n";
   }
-  return 0;
+  return trace.finish();
 }
 
 // ---- batch / serve: the service layer's CLI surface ----
@@ -596,6 +659,7 @@ struct BatchOptionsCli {
   bool summary = false;
   bool json = false;
   std::string json_path;
+  std::string trace_path;
 };
 
 BatchOptionsCli parse_batch_flags(int argc, char** argv, bool serve) {
@@ -624,6 +688,8 @@ BatchOptionsCli parse_batch_flags(int argc, char** argv, bool serve) {
     } else if (!serve && consume(arg, "--json", &v)) {
       opt.json = true;
       opt.json_path = v;
+    } else if (consume(arg, "--trace", &v)) {
+      opt.trace_path = v;
     } else {
       usage_error(std::string("unknown ") + (serve ? "serve" : "batch") +
                   " flag '" + arg + "'");
@@ -643,6 +709,8 @@ BatchOptionsCli parse_batch_flags(int argc, char** argv, bool serve) {
 
 int cmd_batch(int argc, char** argv) {
   const BatchOptionsCli opt = parse_batch_flags(argc, argv, /*serve=*/false);
+  TraceSession trace;
+  if (!opt.trace_path.empty()) trace.open(opt.trace_path);
 
   std::ifstream file;
   if (!opt.file_path.empty()) {
@@ -721,25 +789,50 @@ int cmd_batch(int argc, char** argv) {
     }
     std::cerr << "wrote " << path << "\n";
   }
+  const int trace_rc = trace.finish();
   if (result.failed() > 0) {
     std::cerr << "error: " << result.failed() << " job(s) failed\n";
     return 1;
   }
-  return 0;
+  return trace_rc;
+}
+
+/// One structured stderr line per served job, so a piped `serve --stdin`
+/// session is no longer silent: progress, cache behavior, and latency are
+/// observable without parsing the stdout result stream.
+void print_serve_log_line(const service::JobResult& r) {
+  const char* status = !r.ok() ? "error" : (r.skipped ? "skipped" : "ok");
+  std::cerr << "serve: job=" << r.id << " status=" << status
+            << " cache=" << (r.cache_hit ? "hit" : "miss")
+            << " queue_wait_ms=" << util::json_number(r.queue_wait_ms)
+            << " solve_ms=" << util::json_number(r.wall_ms_median) << "\n";
 }
 
 int cmd_serve(int argc, char** argv) {
   const BatchOptionsCli opt = parse_batch_flags(argc, argv, /*serve=*/true);
+  TraceSession trace;
+  if (!opt.trace_path.empty()) trace.open(opt.trace_path);
   service::Scheduler scheduler(opt.sched);
 
   // One request per line, processed synchronously so responses come back
   // in request order; the scheduler's InstanceCache stays warm across the
   // whole session. A malformed request answers with an error object
-  // instead of killing the session.
+  // instead of killing the session. The literal line "metrics" is a
+  // control request: it answers with one obs registry snapshot JSON
+  // object instead of a job result.
   std::string line;
   std::size_t line_no = 0, index = 0;
   while (std::getline(std::cin, line)) {
     ++line_no;
+    const std::size_t first = line.find_first_not_of(" \t\r");
+    const std::size_t last = line.find_last_not_of(" \t\r");
+    const std::string trimmed =
+        first == std::string::npos ? "" : line.substr(first, last - first + 1);
+    if (trimmed == "metrics") {
+      obs::write_metrics_json(std::cout);
+      std::cout << "\n" << std::flush;
+      continue;
+    }
     service::JobSpec job;
     try {
       if (!service::parse_job_line(line, "<stdin>", line_no, index, &job)) {
@@ -754,8 +847,9 @@ int cmd_serve(int argc, char** argv) {
     service::JobResult r = scheduler.run_job(job, index++);
     service::print_job_json(std::cout, r);
     std::cout << std::flush;
+    print_serve_log_line(r);
   }
-  return 0;
+  return trace.finish();
 }
 
 }  // namespace

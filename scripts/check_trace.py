@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""Validate a Chrome/Perfetto trace-event JSON written by --trace=FILE
+(ISSUE 6 satellite; CI runs this on the batch and sweep traces).
+
+Usage:
+  check_trace.py TRACE.json [--require=NAME ...]
+
+Checks, exiting 1 with a diagnostic on the first violation:
+
+  - the file parses and has the {"displayTimeUnit", "traceEvents",
+    "otherData"} envelope obs::write_chrome_trace emits;
+  - per (pid, tid), duration events obey stack discipline: every "E"
+    pops the innermost open "B". An "E" with an empty name is the
+    writer's force-close of a span still open when recording stopped
+    and matches any open span; a named "E" must match the name it pops;
+  - timestamps are non-decreasing per thread (events are emitted in
+    per-thread program order);
+  - every open span is eventually closed (the writer guarantees this);
+  - each --require=NAME span occurs at least once somewhere.
+
+Prints the per-name span counts on success so CI logs double as a
+coverage summary.
+"""
+
+import json
+import sys
+from collections import Counter, defaultdict
+
+
+def fail(msg):
+    print(f"check_trace: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main(argv):
+    required = []
+    paths = []
+    for arg in argv[1:]:
+        if arg.startswith("--require="):
+            required.append(arg[len("--require="):])
+        else:
+            paths.append(arg)
+    if len(paths) != 1:
+        raise SystemExit(__doc__)
+
+    try:
+        with open(paths[0]) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"{paths[0]}: {e}")
+
+    for key in ("displayTimeUnit", "traceEvents", "otherData"):
+        if key not in doc:
+            fail(f"missing top-level key '{key}'")
+    events = doc["traceEvents"]
+    if not isinstance(events, list):
+        fail("traceEvents is not a list")
+
+    stacks = defaultdict(list)   # (pid, tid) -> [span names]
+    last_ts = {}                 # (pid, tid) -> last timestamp
+    counts = Counter()
+    for i, ev in enumerate(events):
+        ph = ev.get("ph")
+        if ph == "M":
+            continue
+        if ph not in ("B", "E"):
+            fail(f"event {i}: unexpected phase {ph!r}")
+        key = (ev.get("pid"), ev.get("tid"))
+        ts = ev.get("ts")
+        if not isinstance(ts, (int, float)):
+            fail(f"event {i}: non-numeric ts {ts!r}")
+        if ts < last_ts.get(key, float("-inf")):
+            fail(f"event {i}: ts went backwards on tid {key[1]} "
+                 f"({last_ts[key]} -> {ts})")
+        last_ts[key] = ts
+        name = ev.get("name", "")
+        if ph == "B":
+            if not name:
+                fail(f"event {i}: begin event without a name")
+            stacks[key].append(name)
+            counts[name] += 1
+        else:
+            if not stacks[key]:
+                fail(f"event {i}: end event with no open span on "
+                     f"tid {key[1]}")
+            opened = stacks[key].pop()
+            if name and name != opened:
+                fail(f"event {i}: end '{name}' does not match open "
+                     f"'{opened}' on tid {key[1]}")
+
+    for key, stack in stacks.items():
+        if stack:
+            fail(f"tid {key[1]}: {len(stack)} span(s) left open "
+                 f"(innermost '{stack[-1]}')")
+
+    for name in required:
+        if counts[name] == 0:
+            fail(f"required span '{name}' never occurs")
+
+    total = sum(counts.values())
+    dropped = doc["otherData"].get("dropped_events", 0)
+    print(f"check_trace: OK: {total} spans, {dropped} dropped")
+    for name, c in sorted(counts.items()):
+        print(f"  {name}: {c}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

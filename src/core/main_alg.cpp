@@ -4,6 +4,7 @@
 #include <cmath>
 #include <memory>
 
+#include "obs/obs.h"
 #include "runtime/parallel.h"
 #include "runtime/thread_pool.h"
 #include "streaming/memory_meter.h"
@@ -69,6 +70,7 @@ Weight improve_matching_once(const Graph& g, Matching& m,
 
   std::vector<SingleClassResult> results(k);
   auto run_class = [&](std::size_t i, UnweightedMatcher& class_matcher) {
+    obs::Span class_span("solver.class", static_cast<std::int64_t>(i));
     Rng class_rng(runtime::task_seed(round_base, 2 * i));
     results[i] = find_class_augmentations(g, m, ladder[i], cfg.tau, opts,
                                           class_matcher, class_rng);
@@ -153,7 +155,10 @@ MainAlgResult maximum_weight_matching(const Graph& g,
   // single empty round is weak evidence of convergence; stop only after
   // several consecutive stalls (or the eps-determined round budget).
   std::size_t stalls = 0;
+  obs::Counter& round_counter = obs::counter("solver.rounds");
   for (std::size_t it = 0; it < iters && stalls < cfg.stall_patience; ++it) {
+    obs::Span round_span("solver.round", static_cast<std::int64_t>(it));
+    round_counter.add();
     std::size_t max_cost = 0;
     std::size_t round_words = 0;
     Weight gain = improve_matching_once(g, result.matching, cfg, matcher,

@@ -5,6 +5,7 @@
 #include <queue>
 #include <utility>
 
+#include "obs/obs.h"
 #include "runtime/parallel.h"
 #include "runtime/thread_pool.h"
 #include "util/require.h"
@@ -246,7 +247,19 @@ HopcroftKarpResult hopcroft_karp(const Graph& g, const std::vector<char>& side,
   };
 
   std::size_t phases = 0;
-  while ((max_phases == 0 || phases < max_phases) && bfs()) {
+  obs::Counter& phase_counter = obs::counter("hk.phases");
+  while (max_phases == 0 || phases < max_phases) {
+    // One phase under a span; the layering BFS and the batched DFS get
+    // sub-spans of their own. Spans and the hk.phases counter observe the
+    // loop without changing it (the loop structure is the old
+    // `while (... && bfs())` unrolled so each part can be wrapped).
+    obs::Span phase_span("hk.phase", static_cast<std::int64_t>(phases));
+    bool layered;
+    {
+      obs::Span bfs_span("hk.bfs");
+      layered = bfs();
+    }
+    if (!layered) break;
     // Batch the free roots: speculate candidate paths for all of them
     // concurrently against the phase-start snapshot, then commit serially
     // in root index order, falling back to a live serial DFS for roots
@@ -256,44 +269,48 @@ HopcroftKarpResult hopcroft_karp(const Graph& g, const std::vector<char>& side,
     // either augments or proves no disjoint path remains, so the committed
     // set is maximal — exactly the per-phase invariant Hopcroft-Karp's
     // bounds (and Fact 1.3) rely on.
-    std::vector<Vertex> roots;
-    for (Vertex v = 0; v < n; ++v) {
-      if (in_left[v] && match_edge[v] == kNoEdge && dist[v] == 0) {
-        roots.push_back(v);
-      }
-    }
-    std::vector<std::vector<std::uint32_t>> candidate(roots.size());
-    runtime::parallel_for(
-        pool, roots.size(), kDfsGrain, [&](std::size_t lo, std::size_t hi) {
-          std::vector<char> dead(n, 0);  // shared across the chunk's roots
-          for (std::size_t i = lo; i < hi; ++i) {
-            candidate[i] = speculate(roots[i], dead);
-          }
-        });
-
-    std::fill(claimed.begin(), claimed.end(), 0);
     bool any = false;
-    for (std::size_t i = 0; i < roots.size(); ++i) {
-      const std::vector<std::uint32_t>& path = candidate[i];
-      if (path.empty()) continue;  // no path in the (larger) snapshot space
-      bool clean = true;
-      for (std::uint32_t ei : path) {
-        const Edge& e = g.edge(ei);
-        if (claimed[e.u] || claimed[e.v]) {
-          clean = false;
-          break;
+    {
+      obs::Span dfs_span("hk.dfs");
+      std::vector<Vertex> roots;
+      for (Vertex v = 0; v < n; ++v) {
+        if (in_left[v] && match_edge[v] == kNoEdge && dist[v] == 0) {
+          roots.push_back(v);
         }
       }
-      if (!clean) {
-        const std::vector<std::uint32_t> rerun = retry(roots[i]);
-        if (rerun.empty()) continue;
-        commit(rerun);
-      } else {
-        commit(path);
+      std::vector<std::vector<std::uint32_t>> candidate(roots.size());
+      runtime::parallel_for(
+          pool, roots.size(), kDfsGrain, [&](std::size_t lo, std::size_t hi) {
+            std::vector<char> dead(n, 0);  // shared across the chunk's roots
+            for (std::size_t i = lo; i < hi; ++i) {
+              candidate[i] = speculate(roots[i], dead);
+            }
+          });
+
+      std::fill(claimed.begin(), claimed.end(), 0);
+      for (std::size_t i = 0; i < roots.size(); ++i) {
+        const std::vector<std::uint32_t>& path = candidate[i];
+        if (path.empty()) continue;  // no path in the (larger) snapshot space
+        bool clean = true;
+        for (std::uint32_t ei : path) {
+          const Edge& e = g.edge(ei);
+          if (claimed[e.u] || claimed[e.v]) {
+            clean = false;
+            break;
+          }
+        }
+        if (!clean) {
+          const std::vector<std::uint32_t> rerun = retry(roots[i]);
+          if (rerun.empty()) continue;
+          commit(rerun);
+        } else {
+          commit(path);
+        }
+        any = true;
       }
-      any = true;
     }
     ++phases;
+    phase_counter.add();
     if (!any) break;
   }
 

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "exact/hopcroft_karp.h"
+#include "obs/obs.h"
 #include "runtime/parallel.h"
 #include "runtime/thread_pool.h"
 #include "util/require.h"
@@ -57,67 +58,76 @@ MpcMatchingResult mpc_bipartite_matching(const Graph& g,
     runtime::ThreadPool& round_pool =
         active_total >= kInlineCutoff ? pool : seq_pool;
     // One round: every machine samples its shard and sends the sample to
-    // the coordinator.
-    ctx.begin_round();
+    // the coordinator. (Scoped so the mpc.sample span closes before the
+    // sibling mpc.filter span of the broadcast round opens.)
     const bool take_all = active_total <= sample_budget;
-    const double p = take_all ? 1.0
-                              : static_cast<double>(sample_budget) /
-                                    static_cast<double>(active_total);
-    std::vector<std::vector<Edge>> sample(gamma);
-    runtime::parallel_for(round_pool, gamma, 1, [&](std::size_t lo, std::size_t hi) {
-      for (std::size_t mach = lo; mach < hi; ++mach) {
-        if (take_all) {
-          sample[mach] = shard[mach];
-        } else {
-          Rng mrng(runtime::task_seed(master_seed,
-                                      filter_round * gamma + mach));
-          for (const Edge& e : shard[mach]) {
-            if (mrng.next_bool(p)) sample[mach].push_back(e);
+    {
+      obs::Span sample_span("mpc.sample",
+                            static_cast<std::int64_t>(filter_round));
+      ctx.begin_round();
+      const double p = take_all ? 1.0
+                                : static_cast<double>(sample_budget) /
+                                      static_cast<double>(active_total);
+      std::vector<std::vector<Edge>> sample(gamma);
+      runtime::parallel_for(round_pool, gamma, 1, [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t mach = lo; mach < hi; ++mach) {
+          if (take_all) {
+            sample[mach] = shard[mach];
+          } else {
+            Rng mrng(runtime::task_seed(master_seed,
+                                        filter_round * gamma + mach));
+            for (const Edge& e : shard[mach]) {
+              if (mrng.next_bool(p)) sample[mach].push_back(e);
+            }
+          }
+          ctx.charge_communication(sample[mach].size());
+        }
+      });
+      std::size_t sample_count = 0;
+      for (const auto& s : sample) sample_count += s.size();
+      if (sample_count == 0) {
+        // Degenerate case (tiny p): ship one deterministic representative so
+        // the round always makes progress.
+        for (std::size_t mach = 0; mach < gamma; ++mach) {
+          if (!shard[mach].empty()) {
+            sample[mach].push_back(shard[mach].front());
+            ctx.charge_communication(1);
+            sample_count = 1;
+            break;
           }
         }
-        ctx.charge_communication(sample[mach].size());
       }
-    });
-    std::size_t sample_count = 0;
-    for (const auto& s : sample) sample_count += s.size();
-    if (sample_count == 0) {
-      // Degenerate case (tiny p): ship one deterministic representative so
-      // the round always makes progress.
-      for (std::size_t mach = 0; mach < gamma; ++mach) {
-        if (!shard[mach].empty()) {
-          sample[mach].push_back(shard[mach].front());
-          ctx.charge_communication(1);
-          sample_count = 1;
-          break;
+      // Coordinator: greedy matching over the samples in machine order.
+      ctx.charge_memory(0, sample_count);
+      for (const auto& s : sample) {
+        for (const Edge& e : s) {
+          if (!m.is_matched(e.u) && !m.is_matched(e.v)) m.add(e);
         }
       }
+      ctx.release_memory(0, sample_count);
     }
-    // Coordinator: greedy matching over the samples in machine order.
-    ctx.charge_memory(0, sample_count);
-    for (const auto& s : sample) {
-      for (const Edge& e : s) {
-        if (!m.is_matched(e.u) && !m.is_matched(e.v)) m.add(e);
-      }
-    }
-    ctx.release_memory(0, sample_count);
 
     // One round: broadcast the matching; machines drop dead edges in
     // parallel (the matching is read-only past this barrier).
-    ctx.begin_round();
-    ctx.charge_communication(2 * m.size());
-    runtime::parallel_for(round_pool, gamma, 1, [&](std::size_t lo, std::size_t hi) {
-      for (std::size_t mach = lo; mach < hi; ++mach) {
-        auto& sh = shard[mach];
-        sh.erase(std::remove_if(sh.begin(), sh.end(),
-                                [&](const Edge& e) {
-                                  return m.is_matched(e.u) ||
-                                         m.is_matched(e.v);
-                                }),
-                 sh.end());
-      }
-    });
     std::size_t next_total = 0;
-    for (const auto& sh : shard) next_total += sh.size();
+    {
+      obs::Span filter_span("mpc.filter",
+                            static_cast<std::int64_t>(filter_round));
+      ctx.begin_round();
+      ctx.charge_communication(2 * m.size());
+      runtime::parallel_for(round_pool, gamma, 1, [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t mach = lo; mach < hi; ++mach) {
+          auto& sh = shard[mach];
+          sh.erase(std::remove_if(sh.begin(), sh.end(),
+                                  [&](const Edge& e) {
+                                    return m.is_matched(e.u) ||
+                                           m.is_matched(e.v);
+                                  }),
+                   sh.end());
+        }
+      });
+      for (const auto& sh : shard) next_total += sh.size();
+    }
     // If the whole active set fit into memory and did not shrink, the
     // matching is maximal and we are done.
     if (next_total == active_total && take_all) break;

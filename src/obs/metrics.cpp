@@ -1,0 +1,197 @@
+#include "obs/metrics.h"
+
+#include <chrono>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+
+#include "util/json.h"
+
+namespace wmatch::obs {
+
+std::uint64_t monotonic_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+double Histogram::bucket_upper_bound(std::size_t i) {
+  if (i + 1 >= kNumBuckets) return -1.0;  // overflow bucket: unbounded
+  double b = 0.001;
+  for (std::size_t k = 0; k < i; ++k) b *= 2.0;
+  return b;
+}
+
+void Histogram::observe(double x) {
+  std::size_t i = 0;
+  double bound = 0.001;
+  while (i + 1 < kNumBuckets && x > bound) {
+    bound *= 2.0;
+    ++i;
+  }
+  buckets_[i].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  double s = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(s, s + x, std::memory_order_relaxed)) {
+  }
+}
+
+std::uint64_t Histogram::count() const {
+  return count_.load(std::memory_order_relaxed);
+}
+
+double Histogram::sum() const { return sum_.load(std::memory_order_relaxed); }
+
+double Histogram::percentile(double q) const {
+  std::array<std::uint64_t, kNumBuckets> counts;
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < kNumBuckets; ++i) {
+    counts[i] = buckets_[i].load(std::memory_order_relaxed);
+    total += counts[i];
+  }
+  if (total == 0) return 0.0;
+  const double target = q * static_cast<double>(total);
+  double cum = 0.0;
+  for (std::size_t i = 0; i < kNumBuckets; ++i) {
+    if (counts[i] == 0) continue;
+    const double next = cum + static_cast<double>(counts[i]);
+    if (next >= target) {
+      const double lower = i == 0 ? 0.0 : bucket_upper_bound(i - 1);
+      const double upper = bucket_upper_bound(i);
+      if (upper < 0.0) return lower;  // unbounded overflow bucket
+      const double frac =
+          (target - cum) / static_cast<double>(counts[i]);
+      return lower + (upper - lower) * frac;
+    }
+    cum = next;
+  }
+  return bucket_upper_bound(kNumBuckets - 2);  // unreachable in practice
+}
+
+void Histogram::reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+}
+
+namespace {
+
+/// Name-keyed instrument stores. std::map keeps addresses stable across
+/// inserts and iteration sorted for deterministic snapshots/JSON.
+struct Registry {
+  std::mutex mu;
+  std::map<std::string, std::unique_ptr<Counter>> counters;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms;
+};
+
+Registry& registry() {
+  static Registry* r = new Registry();  // leaked: instruments outlive threads
+  return *r;
+}
+
+template <typename T>
+T& lookup(std::map<std::string, std::unique_ptr<T>>& store,
+          const std::string& name) {
+  auto& slot = store[name];
+  if (!slot) slot = std::make_unique<T>();
+  return *slot;
+}
+
+}  // namespace
+
+Counter& counter(const std::string& name) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lk(r.mu);
+  return lookup(r.counters, name);
+}
+
+Gauge& gauge(const std::string& name) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lk(r.mu);
+  return lookup(r.gauges, name);
+}
+
+Histogram& histogram(const std::string& name) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lk(r.mu);
+  return lookup(r.histograms, name);
+}
+
+MetricsSnapshot metrics_snapshot() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lk(r.mu);
+  MetricsSnapshot snap;
+  for (const auto& [name, c] : r.counters) {
+    snap.counters.push_back({name, c->value()});
+  }
+  for (const auto& [name, g] : r.gauges) {
+    snap.gauges.push_back({name, g->value(), g->max()});
+  }
+  for (const auto& [name, h] : r.histograms) {
+    MetricsSnapshot::HistogramValue v;
+    v.name = name;
+    v.count = h->count();
+    v.sum = h->sum();
+    v.p50 = h->percentile(0.50);
+    v.p95 = h->percentile(0.95);
+    v.p99 = h->percentile(0.99);
+    for (std::size_t i = 0; i < Histogram::kNumBuckets; ++i) {
+      const std::uint64_t c = h->bucket_count(i);
+      if (c > 0) v.buckets.emplace_back(Histogram::bucket_upper_bound(i), c);
+    }
+    snap.histograms.push_back(std::move(v));
+  }
+  return snap;
+}
+
+void write_metrics_json(std::ostream& os) {
+  const MetricsSnapshot snap = metrics_snapshot();
+  os << "{\"counters\":{";
+  bool first = true;
+  for (const auto& c : snap.counters) {
+    if (!first) os << ',';
+    first = false;
+    util::write_json_string(os, c.name);
+    os << ':' << c.value;
+  }
+  os << "},\"gauges\":{";
+  first = true;
+  for (const auto& g : snap.gauges) {
+    if (!first) os << ',';
+    first = false;
+    util::write_json_string(os, g.name);
+    os << ":{\"value\":" << g.value << ",\"max\":" << g.max << '}';
+  }
+  os << "},\"histograms\":{";
+  first = true;
+  for (const auto& h : snap.histograms) {
+    if (!first) os << ',';
+    first = false;
+    util::write_json_string(os, h.name);
+    os << ":{\"count\":" << h.count
+       << ",\"sum\":" << util::json_number(h.sum)
+       << ",\"p50\":" << util::json_number(h.p50)
+       << ",\"p95\":" << util::json_number(h.p95)
+       << ",\"p99\":" << util::json_number(h.p99) << ",\"buckets\":[";
+    for (std::size_t i = 0; i < h.buckets.size(); ++i) {
+      if (i) os << ',';
+      os << '[' << util::json_number(h.buckets[i].first) << ','
+         << h.buckets[i].second << ']';
+    }
+    os << "]}";
+  }
+  os << "}}";
+}
+
+void reset_metrics() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lk(r.mu);
+  for (auto& [name, c] : r.counters) c->reset();
+  for (auto& [name, g] : r.gauges) g->reset();
+  for (auto& [name, h] : r.histograms) h->reset();
+}
+
+}  // namespace wmatch::obs

@@ -1,0 +1,148 @@
+// Process-wide metrics registry (tentpole of ISSUE 6).
+//
+// Three instrument kinds, all safe for concurrent use from pool workers:
+//
+//   Counter   — monotonically increasing uint64 (relaxed atomic add).
+//   Gauge     — last-set int64 plus the maximum ever set (queue depths).
+//   Histogram — fixed geometric buckets over a nonnegative double
+//               (latencies in ms): upper bound of bucket i is
+//               0.001 * 2^i ms, the last bucket is unbounded. p50/p95/p99
+//               are estimated by linear interpolation inside the bucket
+//               the target rank falls in, so the estimate is always
+//               within one bucket (a factor of 2) of the true value.
+//
+// Instruments are created on first lookup by name and live for the
+// process (stable addresses — hot paths cache the returned reference).
+// Unlike the tracer, metrics are always on: an update is a relaxed
+// atomic RMW, cheap at the task/job granularity everything here is
+// instrumented at. Instrument updates never feed back into solver
+// counters, so CostReports stay bit-identical whether or not anything
+// reads the registry.
+//
+// The registry is surfaced three ways: the `metrics` block of the batch
+// BENCH JSON, the `wmatch_cli serve` on-demand snapshot (input line
+// "metrics"), and obs::write_metrics_json for tests/tools. The emitted
+// document round-trips through util::parse_json (asserted in
+// tests/test_obs.cpp).
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace wmatch::obs {
+
+/// Monotonic nanosecond clock for duration metrics (steady_clock; only
+/// differences are meaningful).
+std::uint64_t monotonic_ns();
+
+class Counter {
+ public:
+  void add(std::uint64_t delta = 1) {
+    v_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+  void reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+class Gauge {
+ public:
+  /// Sets the current value and folds it into the running maximum.
+  void set(std::int64_t v) {
+    v_.store(v, std::memory_order_relaxed);
+    std::int64_t m = max_.load(std::memory_order_relaxed);
+    while (v > m &&
+           !max_.compare_exchange_weak(m, v, std::memory_order_relaxed)) {
+    }
+  }
+  std::int64_t value() const { return v_.load(std::memory_order_relaxed); }
+  std::int64_t max() const { return max_.load(std::memory_order_relaxed); }
+  void reset() {
+    v_.store(0, std::memory_order_relaxed);
+    max_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::int64_t> v_{0};
+  std::atomic<std::int64_t> max_{0};
+};
+
+class Histogram {
+ public:
+  /// 36 buckets: (0, 0.001], (0.001, 0.002], ... doubling, last +inf.
+  static constexpr std::size_t kNumBuckets = 36;
+
+  /// Upper bound of bucket i in ms; the last bucket has no finite bound
+  /// and reports a negative sentinel.
+  static double bucket_upper_bound(std::size_t i);
+
+  void observe(double x);
+
+  std::uint64_t count() const;
+  double sum() const;
+  std::uint64_t bucket_count(std::size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+
+  /// Estimated q-quantile (q in [0,1]) by linear interpolation inside the
+  /// bucket where rank q*count falls; 0 when the histogram is empty. The
+  /// overflow bucket reports its (finite) lower bound.
+  double percentile(double q) const;
+
+  void reset();
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kNumBuckets> buckets_{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// Named lookup; creates the instrument on first use. References stay
+/// valid for the process lifetime — cache them on hot paths.
+Counter& counter(const std::string& name);
+Gauge& gauge(const std::string& name);
+Histogram& histogram(const std::string& name);
+
+/// Point-in-time copy of every registered instrument, sorted by name.
+struct MetricsSnapshot {
+  struct CounterValue {
+    std::string name;
+    std::uint64_t value;
+  };
+  struct GaugeValue {
+    std::string name;
+    std::int64_t value, max;
+  };
+  struct HistogramValue {
+    std::string name;
+    std::uint64_t count;
+    double sum, p50, p95, p99;
+    /// (upper_bound_ms, count) for every nonempty bucket; the overflow
+    /// bucket's bound is -1 (unbounded).
+    std::vector<std::pair<double, std::uint64_t>> buckets;
+  };
+  std::vector<CounterValue> counters;
+  std::vector<GaugeValue> gauges;
+  std::vector<HistogramValue> histograms;
+};
+
+MetricsSnapshot metrics_snapshot();
+
+/// One JSON object (no trailing newline):
+/// {"counters":{...},"gauges":{"g":{"value":V,"max":M}},
+///  "histograms":{"h":{"count":N,"sum":S,"p50":..,"p95":..,"p99":..,
+///                     "buckets":[[le_ms,count],...]}}}
+/// Parses cleanly with util::parse_json.
+void write_metrics_json(std::ostream& os);
+
+/// Zeroes every registered instrument (names stay registered). Tests
+/// isolate themselves with this; production code never resets.
+void reset_metrics();
+
+}  // namespace wmatch::obs

@@ -1,0 +1,21 @@
+// Umbrella header for the observability subsystem (ISSUE 6): the
+// runtime-gated span tracer (obs/trace.h) and the always-on metrics
+// registry (obs/metrics.h). Instrumented layers include this one header.
+//
+// Span / metric taxonomy (see DESIGN.md section 7):
+//   pool.*     runtime::ThreadPool   — pool.task spans; tasks_run, steals,
+//              busy_ns, idle_ns counters; queue_depth gauge
+//   service.*  service::Scheduler    — service.job / service.solve spans;
+//              jobs_* counters; solve_ms, queue_wait_ms,
+//              backpressure_wait_ms histograms
+//   cache.*    service::InstanceCache — cache.build spans; hits, misses,
+//              evictions, inserts counters; build_ms histogram
+//   solver.*   core::improve_matching_once — solver.round / solver.class
+//              spans; rounds counter
+//   hk.*       exact::hopcroft_karp  — hk.phase / hk.bfs / hk.dfs spans;
+//              phases counter
+//   mpc.*      mpc_bipartite_matching — mpc.sample / mpc.filter spans
+#pragma once
+
+#include "obs/metrics.h"  // IWYU pragma: export
+#include "obs/trace.h"    // IWYU pragma: export

@@ -1,0 +1,231 @@
+#include "obs/trace.h"
+
+#include <chrono>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "util/json.h"
+
+namespace wmatch::obs {
+
+namespace detail {
+
+std::atomic<bool> g_trace_enabled{false};
+
+/// Nanoseconds of the trace epoch on the steady clock; 0 = not set. Set
+/// once per timeline (first start_tracing after a reset) so repeated
+/// start/stop cycles stay on one time axis.
+namespace {
+std::atomic<std::uint64_t> g_epoch_ns{0};
+
+std::uint64_t now_since_epoch() {
+  const std::uint64_t epoch = g_epoch_ns.load(std::memory_order_relaxed);
+  const std::uint64_t now = monotonic_ns();
+  return now >= epoch ? now - epoch : 0;
+}
+}  // namespace
+
+/// Per-thread event ring. Owned jointly by the owning thread's
+/// thread_local slot and the global registry (shared_ptr), so events
+/// survive thread exit until the trace is written. The mutex serializes
+/// the owner's appends against the writer/reset — uncontended in steady
+/// state, so the enabled-path cost stays two clock reads + one lock.
+class ThreadBuffer {
+ public:
+  /// Hard cap per thread: ~8M events x 40 B ~= 320 MB worst case is never
+  /// reached in practice (CI traces run ~1e4 events); begins past the cap
+  /// are dropped and counted, ends of recorded begins always fit (the
+  /// overshoot is bounded by the open-span depth).
+  static constexpr std::size_t kCapacity = 1u << 23;
+
+  std::mutex mu;
+  std::vector<TraceEvent> events;
+  std::uint64_t dropped = 0;
+  std::string name;
+  std::uint64_t tid = 0;
+};
+
+namespace {
+
+struct TraceRegistry {
+  std::mutex mu;
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+};
+
+TraceRegistry& trace_registry() {
+  static TraceRegistry* r = new TraceRegistry();  // outlives all threads
+  return *r;
+}
+
+std::shared_ptr<ThreadBuffer> make_registered_buffer() {
+  auto buf = std::make_shared<ThreadBuffer>();
+  TraceRegistry& reg = trace_registry();
+  std::lock_guard<std::mutex> lk(reg.mu);
+  buf->tid = reg.buffers.size() + 1;
+  buf->name = "thread-" + std::to_string(buf->tid);
+  reg.buffers.push_back(buf);
+  return buf;
+}
+
+}  // namespace
+
+ThreadBuffer& thread_buffer() {
+  thread_local std::shared_ptr<ThreadBuffer> tls = make_registered_buffer();
+  return *tls;
+}
+
+bool record_begin(ThreadBuffer& buf, const char* name, std::int64_t arg,
+                  bool has_arg) {
+  const std::uint64_t ts = now_since_epoch();
+  std::lock_guard<std::mutex> lk(buf.mu);
+  if (buf.events.size() >= ThreadBuffer::kCapacity) {
+    ++buf.dropped;
+    return false;
+  }
+  buf.events.push_back({name, arg, ts, 'B', has_arg});
+  return true;
+}
+
+void record_end(ThreadBuffer& buf, const char* name) {
+  const std::uint64_t ts = now_since_epoch();
+  std::lock_guard<std::mutex> lk(buf.mu);
+  // Ends of recorded begins always append (even past the cap), so every
+  // recorded 'B' gets its 'E' and the emitted document pairs up exactly.
+  buf.events.push_back({name, 0, ts, 'E', false});
+}
+
+}  // namespace detail
+
+void start_tracing() {
+  std::uint64_t expected = 0;
+  detail::g_epoch_ns.compare_exchange_strong(expected, monotonic_ns(),
+                                             std::memory_order_relaxed);
+  detail::g_trace_enabled.store(true, std::memory_order_relaxed);
+}
+
+void stop_tracing() {
+  detail::g_trace_enabled.store(false, std::memory_order_relaxed);
+}
+
+void reset_tracing() {
+  detail::g_trace_enabled.store(false, std::memory_order_relaxed);
+  detail::TraceRegistry& reg = detail::trace_registry();
+  std::lock_guard<std::mutex> lk(reg.mu);
+  for (auto& buf : reg.buffers) {
+    std::lock_guard<std::mutex> blk(buf->mu);
+    buf->events.clear();
+    buf->dropped = 0;
+  }
+  detail::g_epoch_ns.store(0, std::memory_order_relaxed);
+}
+
+void set_thread_name(const std::string& name) {
+  detail::ThreadBuffer& buf = detail::thread_buffer();
+  std::lock_guard<std::mutex> lk(buf.mu);
+  buf.name = name;
+}
+
+std::uint64_t dropped_events() {
+  detail::TraceRegistry& reg = detail::trace_registry();
+  std::lock_guard<std::mutex> lk(reg.mu);
+  std::uint64_t total = 0;
+  for (auto& buf : reg.buffers) {
+    std::lock_guard<std::mutex> blk(buf->mu);
+    total += buf->dropped;
+  }
+  return total;
+}
+
+namespace {
+
+/// Microseconds with ns precision, as Chrome's "ts" expects.
+void write_ts_us(std::ostream& os, std::uint64_t ts_ns) {
+  os << ts_ns / 1000;
+  const unsigned frac = static_cast<unsigned>(ts_ns % 1000);
+  if (frac != 0) {
+    char buf[8];
+    std::snprintf(buf, sizeof(buf), ".%03u", frac);
+    os << buf;
+  }
+}
+
+void write_event(std::ostream& os, bool& first, const detail::TraceEvent& ev,
+                 std::uint64_t tid) {
+  if (!first) os << ',';
+  first = false;
+  os << "{\"name\":";
+  util::write_json_string(os, ev.name);
+  os << ",\"cat\":\"wmatch\",\"ph\":\"" << ev.phase
+     << "\",\"pid\":1,\"tid\":" << tid << ",\"ts\":";
+  write_ts_us(os, ev.ts_ns);
+  if (ev.phase == 'B' && ev.has_arg) {
+    os << ",\"args\":{\"arg\":" << ev.arg << '}';
+  }
+  os << '}';
+}
+
+}  // namespace
+
+void write_chrome_trace(std::ostream& os) {
+  // Snapshot the registry, then each buffer under its own lock, so late
+  // end-events from still-parked pool workers cannot race the writer.
+  std::vector<std::shared_ptr<detail::ThreadBuffer>> buffers;
+  {
+    detail::TraceRegistry& reg = detail::trace_registry();
+    std::lock_guard<std::mutex> lk(reg.mu);
+    buffers = reg.buffers;
+  }
+
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  std::uint64_t dropped = 0;
+  for (auto& bufp : buffers) {
+    std::vector<detail::TraceEvent> events;
+    std::string name;
+    std::uint64_t tid;
+    {
+      std::lock_guard<std::mutex> lk(bufp->mu);
+      events = bufp->events;
+      name = bufp->name;
+      tid = bufp->tid;
+      dropped += bufp->dropped;
+    }
+    if (events.empty()) continue;
+    if (!first) os << ',';
+    first = false;
+    os << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":" << tid
+       << ",\"args\":{\"name\":";
+    util::write_json_string(os, name);
+    os << "}}";
+
+    // Per-thread events are appended in program order, so begins/ends are
+    // already properly nested; repair the two truncation cases — an 'E'
+    // whose 'B' predates a reset is skipped, and begins left open when
+    // recording stopped are closed at the buffer's final timestamp.
+    std::vector<std::size_t> stack;
+    std::uint64_t last_ts = 0;
+    for (const detail::TraceEvent& ev : events) {
+      last_ts = ev.ts_ns > last_ts ? ev.ts_ns : last_ts;
+      if (ev.phase == 'B') {
+        stack.push_back(1);
+        write_event(os, first, ev, tid);
+      } else if (!stack.empty()) {
+        stack.pop_back();
+        write_event(os, first, ev, tid);
+      }
+    }
+    for (std::size_t i = stack.size(); i > 0; --i) {
+      detail::TraceEvent close;
+      close.name = "";
+      close.ts_ns = last_ts;
+      close.phase = 'E';
+      write_event(os, first, close, tid);
+    }
+  }
+  os << "],\"otherData\":{\"dropped_events\":" << dropped << "}}\n";
+}
+
+}  // namespace wmatch::obs

@@ -1,0 +1,123 @@
+// Low-overhead span tracer (tentpole of ISSUE 6).
+//
+// Instrumented code opens RAII obs::Span objects around its phase-shaped
+// regions (scheduler jobs, pool tasks, solver rounds, Hopcroft-Karp
+// BFS/DFS phases, MPC rounds). Spans record begin/end events into
+// per-thread ring buffers; obs::write_chrome_trace drains every buffer
+// into one Chrome/Perfetto trace-event JSON document (`wmatch_cli
+// ... --trace=FILE`), so a batch run can be opened in chrome://tracing /
+// ui.perfetto.dev and read as nested slices per thread.
+//
+// Cost model: tracing is compiled in but runtime-gated behind one relaxed
+// atomic flag. With tracing disabled a Span is a single relaxed load and
+// a branch (~1 ns) — cheap enough to leave in every solver hot loop. With
+// tracing enabled a span is two steady_clock reads and two ring-buffer
+// stores; no locks are taken on the hot path (each thread owns its
+// buffer; the registry mutex is touched once per thread lifetime).
+//
+// Determinism contract: tracing reads clocks and writes to obs-private
+// buffers only — it never touches solver state, RNG streams, or counter
+// accounting, so every CostReport is bit-identical with tracing on or
+// off (asserted in tests/test_obs.cpp and gated in CI).
+//
+// Span names must be string literals (or otherwise outlive the trace):
+// events store the pointer, not a copy. Dynamic identity (round index,
+// class index, job index) travels in the optional integer argument.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+namespace wmatch::obs {
+
+namespace detail {
+
+extern std::atomic<bool> g_trace_enabled;
+
+struct TraceEvent {
+  const char* name = nullptr;  ///< static string; identifies the span
+  std::int64_t arg = 0;        ///< caller-chosen payload (index, size, ...)
+  std::uint64_t ts_ns = 0;     ///< nanoseconds since the trace epoch
+  char phase = 'B';            ///< 'B' begin | 'E' end
+  bool has_arg = false;
+};
+
+class ThreadBuffer;
+
+/// The calling thread's buffer, created and registered on first use.
+ThreadBuffer& thread_buffer();
+
+/// Appends a begin event; returns false when the buffer is saturated (the
+/// matching end event must then be suppressed, keeping B/E pairs exact).
+bool record_begin(ThreadBuffer& buf, const char* name, std::int64_t arg,
+                  bool has_arg);
+void record_end(ThreadBuffer& buf, const char* name);
+
+}  // namespace detail
+
+inline constexpr std::int64_t kNoArg = 0;
+
+/// True while spans are being recorded. The relaxed load is the entire
+/// disabled-path cost of a Span.
+inline bool tracing_enabled() {
+  return detail::g_trace_enabled.load(std::memory_order_relaxed);
+}
+
+/// Starts recording. The trace epoch (ts 0) is set on the first start
+/// after a reset, so repeated start/stop cycles share one timeline.
+void start_tracing();
+
+/// Stops recording. Already-open spans on other threads stop recording
+/// their end events; the writer closes any dangling begins itself, so
+/// the emitted document always pairs up.
+void stop_tracing();
+
+/// Drops every recorded event and clears the epoch (the next
+/// start_tracing begins a fresh timeline). Buffers stay registered.
+void reset_tracing();
+
+/// Names the calling thread in the trace ("main", "pool-worker-3", ...).
+void set_thread_name(const std::string& name);
+
+/// Total events dropped across all threads because a ring buffer
+/// saturated (reported in the trace document's metadata as well).
+std::uint64_t dropped_events();
+
+/// Writes the Chrome trace-event JSON document ({"traceEvents":[...]},
+/// "B"/"E" pairs per thread plus thread-name metadata), loadable by
+/// chrome://tracing and ui.perfetto.dev. Call after stop_tracing(); a
+/// begin whose end was never recorded (span still open, or recording
+/// stopped mid-span) is closed at the latest observed timestamp so the
+/// document still nests.
+void write_chrome_trace(std::ostream& os);
+
+/// RAII span: records begin at construction, end at destruction. A span
+/// constructed while tracing is disabled records nothing, and a span
+/// whose begin was dropped (saturated buffer) suppresses its end.
+class Span {
+ public:
+  explicit Span(const char* name) : Span(name, 0, false) {}
+  Span(const char* name, std::int64_t arg) : Span(name, arg, true) {}
+
+  ~Span() {
+    if (buf_ != nullptr) detail::record_end(*buf_, name_);
+  }
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  Span(const char* name, std::int64_t arg, bool has_arg) : name_(name) {
+    if (tracing_enabled()) {
+      detail::ThreadBuffer& buf = detail::thread_buffer();
+      if (detail::record_begin(buf, name, arg, has_arg)) buf_ = &buf;
+    }
+  }
+
+  const char* name_;
+  detail::ThreadBuffer* buf_ = nullptr;
+};
+
+}  // namespace wmatch::obs

@@ -3,11 +3,30 @@
 #include <limits>
 #include <map>
 
+#include "obs/obs.h"
+
 namespace wmatch::runtime {
 
 namespace {
 
 constexpr std::size_t kNotAWorker = std::numeric_limits<std::size_t>::max();
+
+/// Pool instrumentation (obs/). References are resolved once; updates are
+/// relaxed atomics, and the pool.task span costs one relaxed load when
+/// tracing is off. None of it feeds back into task scheduling, so
+/// results and counters are unchanged by observation.
+struct PoolMetrics {
+  obs::Counter& tasks_run = obs::counter("pool.tasks_run");
+  obs::Counter& steals = obs::counter("pool.steals");
+  obs::Counter& busy_ns = obs::counter("pool.busy_ns");
+  obs::Counter& idle_ns = obs::counter("pool.idle_ns");
+  obs::Gauge& queue_depth = obs::gauge("pool.queue_depth");
+};
+
+PoolMetrics& pool_metrics() {
+  static PoolMetrics m;
+  return m;
+}
 
 /// Identifies the pool/worker the current thread belongs to, so nested
 /// run_batch calls push to their own deque and help from it.
@@ -76,7 +95,8 @@ void ThreadPool::push_task(std::size_t queue_hint, std::function<void()> fn) {
     std::lock_guard<std::mutex> lk(w.mu);
     w.q.push_back(std::move(fn));
   }
-  pending_.fetch_add(1);
+  pool_metrics().queue_depth.set(
+      static_cast<std::int64_t>(pending_.fetch_add(1) + 1));
   {
     // Fence against a worker that evaluated the sleep predicate before the
     // pending_ increment but has not released sleep_mu_ into the wait yet.
@@ -88,6 +108,7 @@ void ThreadPool::push_task(std::size_t queue_hint, std::function<void()> fn) {
 bool ThreadPool::try_run_one(std::size_t self) {
   std::function<void()> fn;
   const std::size_t k = queues_.size();
+  bool stolen = false;
   if (self < k) {
     WorkerQueue& w = *queues_[self];
     std::lock_guard<std::mutex> lk(w.mu);
@@ -104,21 +125,35 @@ bool ThreadPool::try_run_one(std::size_t self) {
       if (!w.q.empty()) {
         fn = std::move(w.q.front());
         w.q.pop_front();
+        stolen = true;
       }
     }
   }
   if (!fn) return false;
   pending_.fetch_sub(1);
-  fn();
+  PoolMetrics& m = pool_metrics();
+  m.tasks_run.add();
+  if (stolen) m.steals.add();
+  const std::uint64_t t0 = obs::monotonic_ns();
+  {
+    obs::Span span("pool.task");
+    fn();
+  }
+  m.busy_ns.add(obs::monotonic_ns() - t0);
   return true;
 }
 
 void ThreadPool::worker_loop(std::size_t self) {
   tls_identity = {this, self};
+  obs::set_thread_name("pool-worker-" + std::to_string(self));
   for (;;) {
     if (try_run_one(self)) continue;
-    std::unique_lock<std::mutex> lk(sleep_mu_);
-    sleep_cv_.wait(lk, [&] { return stop_.load() || pending_.load() > 0; });
+    const std::uint64_t t0 = obs::monotonic_ns();
+    {
+      std::unique_lock<std::mutex> lk(sleep_mu_);
+      sleep_cv_.wait(lk, [&] { return stop_.load() || pending_.load() > 0; });
+    }
+    pool_metrics().idle_ns.add(obs::monotonic_ns() - t0);
     if (stop_.load() && pending_.load() == 0) return;
   }
 }

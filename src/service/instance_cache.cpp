@@ -4,9 +4,30 @@
 #include <utility>
 
 #include "exact/blossom.h"
+#include "obs/obs.h"
 #include "util/require.h"
 
 namespace wmatch::service {
+
+namespace {
+
+/// Cache instrumentation: mirrors CacheStats into the process-wide obs
+/// registry (CacheStats stays per-cache; the registry aggregates across
+/// every InstanceCache in the process).
+struct CacheMetrics {
+  obs::Counter& hits = obs::counter("cache.hits");
+  obs::Counter& misses = obs::counter("cache.misses");
+  obs::Counter& evictions = obs::counter("cache.evictions");
+  obs::Counter& inserts = obs::counter("cache.inserts");
+  obs::Histogram& build_ms = obs::histogram("cache.build_ms");
+};
+
+CacheMetrics& cache_metrics() {
+  static CacheMetrics m;
+  return m;
+}
+
+}  // namespace
 
 CachedInstance::CachedInstance(api::Instance inst) : inst_(std::move(inst)) {
   const auto& edges = inst_.graph.edges();
@@ -62,6 +83,7 @@ void InstanceCache::evict_excess() {
     lru_.pop_back();
     entries_.erase(victim);
     ++stats_.evictions;
+    cache_metrics().evictions.add();
   }
 }
 
@@ -73,6 +95,7 @@ std::shared_ptr<const CachedInstance> InstanceCache::get_or_build(
     if (it == entries_.end()) break;  // miss: this caller builds
     if (it->second.value) {
       ++stats_.hits;
+      cache_metrics().hits.add();
       touch(it->second, key);
       if (hit) *hit = true;
       return it->second.value;
@@ -84,12 +107,17 @@ std::shared_ptr<const CachedInstance> InstanceCache::get_or_build(
     built_cv_.wait(lk);
   }
   ++stats_.misses;
+  cache_metrics().misses.add();
   entries_[key].building = true;
   lk.unlock();
 
   std::shared_ptr<const CachedInstance> value;
   try {
+    obs::Span build_span("cache.build");
+    const std::uint64_t t0 = obs::monotonic_ns();
     value = std::make_shared<const CachedInstance>(build());
+    cache_metrics().build_ms.observe(
+        static_cast<double>(obs::monotonic_ns() - t0) / 1e6);
   } catch (...) {
     lk.lock();
     entries_.erase(key);
@@ -104,6 +132,7 @@ std::shared_ptr<const CachedInstance> InstanceCache::get_or_build(
   lru_.push_front(key);
   e.lru_pos = lru_.begin();
   ++stats_.inserts;
+  cache_metrics().inserts.add();
   evict_excess();
   built_cv_.notify_all();
   if (hit) *hit = false;

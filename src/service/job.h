@@ -90,6 +90,9 @@ struct JobResult {
   double optimum = -1.0;
   double achieved = 0.0;  ///< weight or cardinality, per the objective
   double wall_ms_median = 0.0, wall_ms_min = 0.0;
+  /// Time the submission sat in the JobQueue before a worker picked it up
+  /// (streaming path only; 0 for materialized batches and direct run_job).
+  double queue_wait_ms = 0.0;
   std::vector<std::pair<std::string, double>> stats;
 
   bool ok() const { return error.empty(); }

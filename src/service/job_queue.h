@@ -13,11 +13,13 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <mutex>
 #include <optional>
 #include <utility>
 
+#include "obs/obs.h"
 #include "service/job.h"
 
 namespace wmatch::service {
@@ -27,6 +29,9 @@ namespace wmatch::service {
 struct Submission {
   std::size_t index = 0;
   JobSpec job;
+  /// Stamped by JobQueue::push; the Scheduler turns it into the job's
+  /// queue-wait metric when a worker picks the submission up.
+  std::uint64_t enqueue_ns = 0;
 };
 
 class JobQueue {
@@ -38,11 +43,21 @@ class JobQueue {
   JobQueue& operator=(const JobQueue&) = delete;
 
   /// Blocks while the queue is full. Returns false (dropping the job) when
-  /// the queue was closed.
+  /// the queue was closed. Blocking time is published as the
+  /// service.backpressure_wait_ms histogram (plus a waits counter).
   bool push(Submission s) {
     std::unique_lock<std::mutex> lk(mu_);
-    not_full_.wait(lk, [&] { return closed_ || q_.size() < capacity_; });
+    if (!closed_ && q_.size() >= capacity_) {
+      static obs::Counter& waits = obs::counter("service.backpressure_waits");
+      static obs::Histogram& wait_ms =
+          obs::histogram("service.backpressure_wait_ms");
+      const std::uint64_t t0 = obs::monotonic_ns();
+      not_full_.wait(lk, [&] { return closed_ || q_.size() < capacity_; });
+      waits.add();
+      wait_ms.observe(static_cast<double>(obs::monotonic_ns() - t0) / 1e6);
+    }
     if (closed_) return false;
+    s.enqueue_ns = obs::monotonic_ns();
     q_.push_back(std::move(s));
     lk.unlock();
     not_empty_.notify_one();

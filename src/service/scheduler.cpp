@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "graph/io.h"
+#include "obs/obs.h"
 #include "runtime/thread_pool.h"
 #include "util/json.h"
 #include "util/require.h"
@@ -23,14 +24,34 @@ double elapsed_ms(std::chrono::steady_clock::time_point t0) {
       .count();
 }
 
+/// Scheduler instrumentation; purely observational (DESIGN.md section 7).
+struct ServiceMetrics {
+  obs::Counter& jobs_total = obs::counter("service.jobs_total");
+  obs::Counter& jobs_failed = obs::counter("service.jobs_failed");
+  obs::Counter& jobs_skipped = obs::counter("service.jobs_skipped");
+  obs::Histogram& solve_ms = obs::histogram("service.solve_ms");
+  obs::Histogram& queue_wait_ms = obs::histogram("service.queue_wait_ms");
+};
+
+ServiceMetrics& service_metrics() {
+  static ServiceMetrics m;
+  return m;
+}
+
 }  // namespace
 
 Scheduler::Scheduler(SchedulerConfig config)
     : config_(config), cache_(config.cache_capacity) {}
 
-JobResult Scheduler::run_job(const JobSpec& job, std::size_t index) {
+JobResult Scheduler::run_job(const JobSpec& job, std::size_t index,
+                             double queue_wait_ms) {
+  obs::Span job_span("service.job", static_cast<std::int64_t>(index));
+  ServiceMetrics& metrics = service_metrics();
+  metrics.jobs_total.add();
+  if (queue_wait_ms > 0.0) metrics.queue_wait_ms.observe(queue_wait_ms);
   JobResult r;
   r.index = index;
+  r.queue_wait_ms = queue_wait_ms;
   r.id = job.id.empty() ? "job-" + std::to_string(index) : job.id;
   r.solver = job.solver;
   r.generator = job.is_generated() ? job.gen().generator : "file";
@@ -61,6 +82,7 @@ JobResult Scheduler::run_job(const JobSpec& job, std::size_t index) {
 
     if (info.bipartite_only && !inst.is_bipartite()) {
       r.skipped = true;
+      metrics.jobs_skipped.add();
       return r;
     }
 
@@ -77,9 +99,12 @@ JobResult Scheduler::run_job(const JobSpec& job, std::size_t index) {
     std::vector<double> wall;
     wall.reserve(reps);
     api::SolveResult solve;
-    for (std::size_t rep = 0; rep < reps; ++rep) {
-      solve = solver.solve(inst, spec);
-      wall.push_back(solve.cost.wall_ms);
+    {
+      obs::Span solve_span("service.solve", static_cast<std::int64_t>(index));
+      for (std::size_t rep = 0; rep < reps; ++rep) {
+        solve = solver.solve(inst, spec);
+        wall.push_back(solve.cost.wall_ms);
+      }
     }
 
     r.cost = solve.cost;
@@ -95,6 +120,11 @@ JobResult Scheduler::run_job(const JobSpec& job, std::size_t index) {
     r.stats = std::move(solve.stats);
   } catch (const std::exception& e) {
     r.error = e.what();
+  }
+  if (!r.ok()) {
+    metrics.jobs_failed.add();
+  } else {
+    metrics.solve_ms.observe(r.wall_ms_median);
   }
   return r;
 }
@@ -140,7 +170,11 @@ BatchResult Scheduler::run_stream(JobQueue& queue) {
     const std::size_t base = batch.results.size();
     batch.results.resize(base + chunk.size());
     pool.run_batch(chunk.size(), [&](std::size_t i) {
-      batch.results[base + i] = run_job(chunk[i].job, chunk[i].index);
+      const std::uint64_t enq = chunk[i].enqueue_ns;
+      const double wait_ms =
+          enq == 0 ? 0.0
+                   : static_cast<double>(obs::monotonic_ns() - enq) / 1e6;
+      batch.results[base + i] = run_job(chunk[i].job, chunk[i].index, wait_ms);
     });
   }
   // Chunks preserve queue order, but a multi-producer queue may have
@@ -249,6 +283,11 @@ void BatchResult::print_bench_json(std::ostream& os,
      << ",\"evictions\":" << cache.evictions
      << ",\"inserts\":" << cache.inserts << ",\"size\":" << cache.size
      << "}}";
+  // Process-wide obs registry snapshot. An extra top-level key is safe for
+  // scripts/check_bench_regression.py, which only reads schema_version,
+  // results, and service.
+  os << ",\"metrics\":";
+  obs::write_metrics_json(os);
   os << ",\"results\":[";
   for (std::size_t i = 0; i < results.size(); ++i) {
     const JobResult& r = results[i];

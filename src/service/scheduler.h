@@ -78,7 +78,10 @@ class Scheduler {
 
   /// Executes one job on the calling thread (through the shared cache).
   /// Exceptions are captured into JobResult::error — run_job never throws.
-  JobResult run_job(const JobSpec& job, std::size_t index = 0);
+  /// `queue_wait_ms` (streaming path) is echoed into the result and the
+  /// service.queue_wait_ms histogram; it does not affect execution.
+  JobResult run_job(const JobSpec& job, std::size_t index = 0,
+                    double queue_wait_ms = 0.0);
 
   /// Fans the jobs out on the pool; results come back in submission order.
   BatchResult run(const std::vector<JobSpec>& jobs);

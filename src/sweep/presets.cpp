@@ -180,6 +180,30 @@ SweepSpec ci_preset() {
   return s;
 }
 
+/// E6 / Lemma 3.1 — recovering planted 3-augmentations: greedy vs the
+/// three-branch streaming algorithm on hard-planted-augs (|M| = n/4 =
+/// 2000 planted matchings, wing density beta), cardinality ratios
+/// against the planted optimum (no Blossom run: the optimum is known by
+/// construction). The bespoke bench_e6 binary wraps this preset and adds
+/// the lemma's structural (beta^2/32)|M| witness section on top.
+SweepSpec e6_preset() {
+  SweepSpec s;
+  s.name = "E6";
+  s.solvers = {"greedy", "unw-rand-arrival"};
+  for (double beta : {0.1, 0.25, 0.5, 1.0}) {
+    api::GenSpec g;
+    g.generator = "hard-planted-augs";
+    g.n = 8000;  // planted_three_augs builds |M| = n/4 matched edges
+    g.beta = beta;
+    g.weights = gen::WeightDist::kUnit;
+    s.instances.push_back(g);
+  }
+  s.seeds = seed_range(6000, 5);
+  s.with_optimum = true;
+  s.stat_columns = {"augmentations"};
+  return s;
+}
+
 /// E7 / Lemma 4.9, Theorem 4.7 — the short-augmentation structure the
 /// reduction's per-class loop exploits: (1-eps) reductions across the eps
 /// ladder on the E7 instance family (n = 400, m = 2400, exponential
@@ -207,7 +231,7 @@ SweepSpec e7_preset() {
 
 const std::vector<std::string>& preset_names() {
   static const std::vector<std::string> names = {"ci", "e1", "e2", "e3",
-                                                 "e4", "e5", "e7"};
+                                                 "e4", "e5", "e6", "e7"};
   return names;
 }
 
@@ -223,9 +247,10 @@ SweepSpec preset(const std::string& name) {
   if (name == "e3") return e3_preset();
   if (name == "e4") return e4_preset();
   if (name == "e5") return e5_preset();
+  if (name == "e6") return e6_preset();
   if (name == "e7") return e7_preset();
   WMATCH_REQUIRE(false, "unknown bench preset '" + name +
-                            "' (known: ci, e1, e2, e3, e4, e5, e7)");
+                            "' (known: ci, e1, e2, e3, e4, e5, e6, e7)");
   return {};  // unreachable
 }
 

@@ -94,7 +94,20 @@ printf '{"algo":"nope","gen":"path"}\n' > "$tmpdir/badsolver.jsonl"
 expect_error 2 "unknown solver 'nope'" batch --file="$tmpdir/badsolver.jsonl"
 expect_error 2 "requires --stdin" serve
 
+# --trace hardening (ISSUE 6): an unwritable trace path is a usage error
+# up front, before any solve work runs; a writable one produces a file.
+expect_error 2 "cannot open '/nonexistent/dir/x.json'" \
+  solve --algo=greedy --n=10 --m=20 --trace=/nonexistent/dir/x.json
+expect_error 2 "cannot open '/nonexistent/dir/x.json'" \
+  batch --stdin --trace=/nonexistent/dir/x.json
+
 expect_ok list
+expect_ok solve --algo=greedy --n=20 --m=40 --seed=3 \
+  --trace="$tmpdir/solve-trace.json"
+test -s "$tmpdir/solve-trace.json" || {
+  echo "FAIL: --trace did not write $tmpdir/solve-trace.json"
+  failures=$((failures + 1))
+}
 expect_ok solve --algo=greedy --n=20 --m=40 --seed=3
 expect_ok bench --algo=greedy --gen=hard-greedy-trap --n=16 --seeds=1
 printf '# two jobs, one shared instance\n{"algo":"greedy","gen":{"generator":"erdos_renyi","n":20,"m":40},"seed":3}\n{"algo":"local-ratio","gen":{"generator":"erdos_renyi","n":20,"m":40},"seed":3}\n' \

@@ -1,0 +1,322 @@
+// Tests for the observability subsystem (ISSUE 6): histogram percentile
+// math on known inputs, trace-event documents that parse as strict JSON
+// with properly nested begin/end pairs, the metrics snapshot JSON
+// round-tripping through util::parse_json, and the determinism contract —
+// per-job counters bit-identical with tracing on vs off across
+// jobs x threads combinations.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <map>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/obs.h"
+#include "service/service.h"
+#include "util/json_parse.h"
+
+namespace wmatch {
+namespace {
+
+/// Every test that records spans must leave the tracer disabled and
+/// empty, or later tests would see this test's events.
+struct TracingGuard {
+  ~TracingGuard() { obs::reset_tracing(); }
+};
+
+// ---- Counter / Gauge basics ----
+
+TEST(Metrics, CounterAndGaugeBasics) {
+  obs::Counter& c = obs::counter("test.obs.counter");
+  c.reset();
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+
+  obs::Gauge& g = obs::gauge("test.obs.gauge");
+  g.reset();
+  g.set(7);
+  g.set(3);
+  EXPECT_EQ(g.value(), 3);
+  EXPECT_EQ(g.max(), 7);
+  g.reset();
+  EXPECT_EQ(g.max(), 0);
+}
+
+TEST(Metrics, LookupReturnsStableInstancePerName) {
+  obs::Counter& a = obs::counter("test.obs.stable");
+  obs::Counter& b = obs::counter("test.obs.stable");
+  EXPECT_EQ(&a, &b);
+}
+
+// ---- Histogram percentile math ----
+
+TEST(Metrics, HistogramBucketBoundsDouble) {
+  EXPECT_DOUBLE_EQ(obs::Histogram::bucket_upper_bound(0), 0.001);
+  EXPECT_DOUBLE_EQ(obs::Histogram::bucket_upper_bound(1), 0.002);
+  EXPECT_DOUBLE_EQ(obs::Histogram::bucket_upper_bound(10), 1.024);
+  // Last bucket is unbounded (negative sentinel).
+  EXPECT_LT(
+      obs::Histogram::bucket_upper_bound(obs::Histogram::kNumBuckets - 1),
+      0.0);
+}
+
+TEST(Metrics, HistogramPercentilesOnKnownInputs) {
+  obs::Histogram& h = obs::histogram("test.obs.hist.known");
+  h.reset();
+  // 100 observations, all exactly representable in one bucket each:
+  // 50 into (0.002, 0.004] (bucket 2), 30 into (0.004, 0.008] (bucket 3),
+  // 20 into (0.008, 0.016] (bucket 4).
+  for (int i = 0; i < 50; ++i) h.observe(0.003);
+  for (int i = 0; i < 30; ++i) h.observe(0.006);
+  for (int i = 0; i < 20; ++i) h.observe(0.012);
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_NEAR(h.sum(), 50 * 0.003 + 30 * 0.006 + 20 * 0.012, 1e-12);
+
+  // Linear interpolation inside the target bucket:
+  // p50: target rank 50 lands exactly at the end of bucket 2
+  //   -> 0.002 + (0.004-0.002) * 50/50 = 0.004.
+  EXPECT_NEAR(h.percentile(0.50), 0.004, 1e-12);
+  // p95: target 95; cumulative before bucket 4 is 80, so fraction
+  //   (95-80)/20 = 0.75 of (0.008, 0.016] -> 0.008 + 0.75*0.008 = 0.014.
+  EXPECT_NEAR(h.percentile(0.95), 0.014, 1e-12);
+  // p99: (99-80)/20 = 0.95 -> 0.008 + 0.95*0.008 = 0.0156.
+  EXPECT_NEAR(h.percentile(0.99), 0.0156, 1e-12);
+  // p0 and p100 stay within the populated range.
+  EXPECT_GE(h.percentile(0.0), 0.0);
+  EXPECT_NEAR(h.percentile(1.0), 0.016, 1e-12);
+}
+
+TEST(Metrics, HistogramEmptyAndSingleton) {
+  obs::Histogram& h = obs::histogram("test.obs.hist.edge");
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.percentile(0.5), 0.0);
+  h.observe(0.5);  // lands in (0.256, 0.512]
+  // All mass in one bucket: every percentile interpolates inside it.
+  EXPECT_GT(h.percentile(0.5), 0.256);
+  EXPECT_LE(h.percentile(0.99), 0.512);
+}
+
+TEST(Metrics, HistogramOverflowBucketReportsItsLowerBound) {
+  obs::Histogram& h = obs::histogram("test.obs.hist.overflow");
+  h.reset();
+  h.observe(1e9);  // way past the last finite bound
+  const double last_finite =
+      obs::Histogram::bucket_upper_bound(obs::Histogram::kNumBuckets - 2);
+  EXPECT_DOUBLE_EQ(h.percentile(0.5), last_finite);
+}
+
+// ---- Metrics JSON round-trip ----
+
+TEST(Metrics, SnapshotJsonRoundTripsThroughStrictParser) {
+  obs::counter("test.obs.rt.counter").add(3);
+  obs::gauge("test.obs.rt.gauge").set(11);
+  obs::histogram("test.obs.rt.hist").observe(0.5);
+
+  std::ostringstream os;
+  obs::write_metrics_json(os);
+  const util::JsonValue doc = util::parse_json(os.str());
+
+  ASSERT_TRUE(doc.is_object());
+  const util::JsonValue* counters = doc.find("counters");
+  ASSERT_NE(counters, nullptr);
+  const util::JsonValue* c = counters->find("test.obs.rt.counter");
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(c->as_number(), 3.0);
+
+  const util::JsonValue* gauges = doc.find("gauges");
+  ASSERT_NE(gauges, nullptr);
+  const util::JsonValue* g = gauges->find("test.obs.rt.gauge");
+  ASSERT_NE(g, nullptr);
+  EXPECT_EQ(g->find("value")->as_number(), 11.0);
+  EXPECT_EQ(g->find("max")->as_number(), 11.0);
+
+  const util::JsonValue* hists = doc.find("histograms");
+  ASSERT_NE(hists, nullptr);
+  const util::JsonValue* h = hists->find("test.obs.rt.hist");
+  ASSERT_NE(h, nullptr);
+  EXPECT_GE(h->find("count")->as_number(), 1.0);
+  for (const char* key : {"sum", "p50", "p95", "p99"}) {
+    ASSERT_NE(h->find(key), nullptr) << key;
+    EXPECT_TRUE(h->find(key)->is_number()) << key;
+  }
+  const util::JsonValue* buckets = h->find("buckets");
+  ASSERT_NE(buckets, nullptr);
+  ASSERT_TRUE(buckets->is_array());
+  for (const util::JsonValue& pair : buckets->as_array()) {
+    ASSERT_TRUE(pair.is_array());
+    ASSERT_EQ(pair.as_array().size(), 2u);  // [upper_bound_ms, count]
+  }
+}
+
+// ---- Tracer ----
+
+service::JobSpec small_job(const std::string& solver, std::uint64_t seed,
+                           std::size_t threads) {
+  service::JobSpec job;
+  job.id = solver + "-" + std::to_string(seed);
+  job.solver = solver;
+  api::GenSpec g;
+  g.n = 60;
+  g.m = 180;
+  g.seed = seed;
+  job.source = g;
+  job.spec.epsilon = 0.3;
+  job.spec.seed = seed;
+  job.spec.runtime.num_threads = threads;
+  return job;
+}
+
+std::vector<service::JobSpec> mixed_jobs(std::size_t threads) {
+  // reduction-hk exercises solver.round + hk.* spans; reduction-mpc the
+  // mpc.* spans; greedy the cheap streaming path.
+  return {small_job("greedy", 1, threads),
+          small_job("reduction-hk", 2, threads),
+          small_job("reduction-mpc", 3, threads),
+          small_job("reduction-hk", 2, threads)};  // cache hit
+}
+
+TEST(Trace, DisabledTracerRecordsNothing) {
+  TracingGuard guard;
+  obs::reset_tracing();
+  {
+    obs::Span span("test.obs.disabled");
+  }
+  std::ostringstream os;
+  obs::write_chrome_trace(os);
+  EXPECT_EQ(os.str().find("test.obs.disabled"), std::string::npos);
+}
+
+TEST(Trace, DocumentIsValidJsonWithProperlyNestedSpans) {
+  TracingGuard guard;
+  obs::reset_tracing();
+  obs::start_tracing();
+  {
+    service::Scheduler scheduler({/*jobs=*/2});
+    (void)scheduler.run(mixed_jobs(/*threads=*/2));
+  }
+  obs::stop_tracing();
+
+  std::ostringstream os;
+  obs::write_chrome_trace(os);
+  const util::JsonValue doc = util::parse_json(os.str());
+
+  const util::JsonValue* events = doc.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+
+  // Per-tid stack discipline: every E pops the innermost open B with the
+  // same name (empty-name E = writer's force-close, matches anything).
+  std::map<double, std::vector<std::string>> stack;
+  std::map<double, double> last_ts;
+  std::map<std::string, int> begins;
+  for (const util::JsonValue& ev : events->as_array()) {
+    const std::string& ph = ev.find("ph")->as_string();
+    if (ph == "M") continue;
+    const double tid = ev.find("tid")->as_number();
+    const double ts = ev.find("ts")->as_number();
+    if (last_ts.count(tid)) {
+      EXPECT_GE(ts, last_ts[tid]);
+    }
+    last_ts[tid] = ts;
+    const std::string& name = ev.find("name")->as_string();
+    if (ph == "B") {
+      stack[tid].push_back(name);
+      ++begins[name];
+    } else {
+      ASSERT_EQ(ph, "E");
+      ASSERT_FALSE(stack[tid].empty());
+      if (!name.empty()) {
+        EXPECT_EQ(name, stack[tid].back());
+      }
+      stack[tid].pop_back();
+    }
+  }
+  for (const auto& [tid, open] : stack) {
+    EXPECT_TRUE(open.empty()) << "tid " << tid << " left spans open";
+  }
+
+  // The instrumented layers all contributed spans.
+  for (const char* name : {"service.job", "service.solve", "cache.build",
+                           "solver.round", "solver.class", "hk.phase",
+                           "hk.bfs", "hk.dfs", "mpc.sample", "mpc.filter",
+                           "pool.task"}) {
+    EXPECT_GE(begins[name], 1) << name;
+  }
+  EXPECT_EQ(doc.find("otherData")->find("dropped_events")->as_number(), 0.0);
+}
+
+TEST(Trace, SpanArgsAreCarried) {
+  TracingGuard guard;
+  obs::reset_tracing();
+  obs::start_tracing();
+  {
+    obs::Span outer("test.obs.outer", 42);
+    obs::Span inner("test.obs.inner");
+  }
+  obs::stop_tracing();
+  std::ostringstream os;
+  obs::write_chrome_trace(os);
+  const util::JsonValue doc = util::parse_json(os.str());
+  bool saw_arg = false;
+  for (const util::JsonValue& ev : doc.find("traceEvents")->as_array()) {
+    if (ev.find("ph")->as_string() == "B" &&
+        ev.find("name")->as_string() == "test.obs.outer") {
+      const util::JsonValue* args = ev.find("args");
+      ASSERT_NE(args, nullptr);
+      EXPECT_EQ(args->find("arg")->as_number(), 42.0);
+      saw_arg = true;
+    }
+  }
+  EXPECT_TRUE(saw_arg);
+}
+
+// ---- Determinism: tracing must not perturb solver counters ----
+
+std::string counter_fingerprint(const service::BatchResult& batch) {
+  std::ostringstream os;
+  for (const service::JobResult& r : batch.results) {
+    os << r.id << ':' << r.cost.passes << ',' << r.cost.rounds << ','
+       << r.cost.memory_peak_words << ',' << r.cost.communication_words
+       << ',' << r.cost.bb_invocations << ','
+       << r.cost.bb_max_invocation_cost << ',' << r.matching_size << ','
+       << r.matching_weight << ';';
+  }
+  return os.str();
+}
+
+TEST(Trace, CountersBitIdenticalWithTracingOnAndOff) {
+  TracingGuard guard;
+  // Reference: serial, tracing off.
+  obs::reset_tracing();
+  service::Scheduler ref_sched({/*jobs=*/1});
+  const std::string reference =
+      counter_fingerprint(ref_sched.run(mixed_jobs(/*threads=*/1)));
+
+  const std::size_t hw = std::thread::hardware_concurrency();
+  for (std::size_t jobs : {std::size_t{1}, std::size_t{2}, std::size_t{8}}) {
+    for (std::size_t threads :
+         {std::size_t{1}, std::size_t{2}, std::size_t{8}}) {
+      if ((jobs > 2 || threads > 2) && hw < 4) continue;  // tiny runners
+      for (const bool tracing : {false, true}) {
+        obs::reset_tracing();
+        if (tracing) obs::start_tracing();
+        service::Scheduler sched({jobs});
+        const std::string got = counter_fingerprint(sched.run(mixed_jobs(threads)));
+        obs::stop_tracing();
+        EXPECT_EQ(got, reference)
+            << "jobs=" << jobs << " threads=" << threads
+            << " tracing=" << tracing;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace wmatch
