@@ -28,6 +28,9 @@ Two modes:
 Baseline refresh (after an intentional behaviour change):
   ./build/wmatch_cli bench --preset=ci --json=bench/baselines/ci_baseline.json
 and commit the diff with a sentence on why the counters moved.
+
+This gate's verdicts are themselves unit-tested on crafted BENCH
+documents in tests/test_scripts.py (ctest target `script_gates`).
 """
 
 import json

@@ -19,7 +19,9 @@ Checks, exiting 1 with a diagnostic on the first violation:
   - each --require=NAME span occurs at least once somewhere.
 
 Prints the per-name span counts on success so CI logs double as a
-coverage summary.
+coverage summary. The rejection paths (bad nesting, backwards
+timestamps, missing --require spans) are unit-tested on crafted traces
+in tests/test_scripts.py (ctest target `script_gates`).
 """
 
 import json

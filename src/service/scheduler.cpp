@@ -1,7 +1,6 @@
 #include "service/scheduler.h"
 
 #include <algorithm>
-#include <chrono>
 #include <cmath>
 #include <ostream>
 #include <sstream>
@@ -18,10 +17,11 @@ namespace wmatch::service {
 
 namespace {
 
-double elapsed_ms(std::chrono::steady_clock::time_point t0) {
-  return std::chrono::duration<double, std::milli>(
-             std::chrono::steady_clock::now() - t0)
-      .count();
+/// Milliseconds since a monotonic_ns() reading. Batch timing flows
+/// through obs/ like every other clock read (lint_invariants.py's
+/// determinism check keeps <chrono> out of the service layer).
+double elapsed_ms(std::uint64_t t0_ns) {
+  return static_cast<double>(obs::monotonic_ns() - t0_ns) / 1e6;
 }
 
 /// Scheduler instrumentation; purely observational (DESIGN.md section 7).
@@ -130,7 +130,7 @@ JobResult Scheduler::run_job(const JobSpec& job, std::size_t index,
 }
 
 BatchResult Scheduler::run(const std::vector<JobSpec>& jobs) {
-  const auto t0 = std::chrono::steady_clock::now();
+  const std::uint64_t t0 = obs::monotonic_ns();
   BatchResult batch;
   batch.results.resize(jobs.size());
   runtime::ThreadPool& pool =
@@ -144,7 +144,7 @@ BatchResult Scheduler::run(const std::vector<JobSpec>& jobs) {
 }
 
 BatchResult Scheduler::run_stream(JobQueue& queue) {
-  const auto t0 = std::chrono::steady_clock::now();
+  const std::uint64_t t0 = obs::monotonic_ns();
   BatchResult batch;
   runtime::ThreadPool& pool =
       runtime::pool_for(runtime::RuntimeConfig{config_.jobs});

@@ -227,11 +227,63 @@ SweepSpec e7_preset() {
   return s;
 }
 
+/// E8 / Section 1.1.2 — augmenting cycles: the four-cycle family's planted
+/// perfect matching can only be improved through cycles, so the layered
+/// repeated-cycle walk is what separates the reductions from greedy here.
+/// Family sizes map k cycles onto n = 4k vertices; the planted optimum
+/// makes ratios exact without a Blossom run. The bespoke bench_e8 binary
+/// wraps this preset and adds the path-only ablation
+/// (ReductionConfig::enable_cycles = false) on top — that knob is an
+/// ablation switch, deliberately not a SolverSpec axis.
+SweepSpec e8_preset() {
+  SweepSpec s;
+  s.name = "E8";
+  s.solvers = {"greedy", "reduction-exact", "reduction-hk"};
+  for (std::size_t k : {4u, 16u, 64u}) {
+    api::GenSpec g;
+    g.generator = "hard-four-cycle";
+    g.n = 4 * k;
+    g.max_weight = 4;  // base 2, gap 2: cycle gain is half the base weight
+    s.instances.push_back(g);
+  }
+  s.epsilons = {0.1};
+  s.seeds = seed_range(8000, 3);
+  s.stat_columns = {"iterations"};
+  return s;
+}
+
+/// E9 / Figures 1-2 — the filtering technique across weight regimes:
+/// solvers whose augmentation branches rely on tau filtering
+/// (rand-arrival, the reductions) vs greedy/local-ratio on uniform,
+/// exponential, and polynomial weights (the heavier the tail, the more a
+/// weight-oblivious augmentation can lose). The bespoke bench_e9 binary
+/// wraps this preset and adds the direct Wgt-Aug-Paths
+/// filtered-vs-unfiltered ablation (WgtAugPathsConfig::filtering = false).
+SweepSpec e9_preset() {
+  SweepSpec s;
+  s.name = "E9";
+  s.solvers = {"greedy", "local-ratio", "rand-arrival", "reduction-hk"};
+  for (gen::WeightDist dist :
+       {gen::WeightDist::kUniform, gen::WeightDist::kExponential,
+        gen::WeightDist::kPolynomial}) {
+    api::GenSpec g;
+    g.n = 600;
+    g.m = 4800;
+    g.weights = dist;
+    g.max_weight = 1 << 12;
+    s.instances.push_back(g);
+  }
+  s.epsilons = {0.2};
+  s.seeds = seed_range(9000, 3);
+  s.with_optimum = true;
+  return s;
+}
+
 }  // namespace
 
 const std::vector<std::string>& preset_names() {
-  static const std::vector<std::string> names = {"ci", "e1", "e2", "e3",
-                                                 "e4", "e5", "e6", "e7"};
+  static const std::vector<std::string> names = {
+      "ci", "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9"};
   return names;
 }
 
@@ -249,8 +301,11 @@ SweepSpec preset(const std::string& name) {
   if (name == "e5") return e5_preset();
   if (name == "e6") return e6_preset();
   if (name == "e7") return e7_preset();
-  WMATCH_REQUIRE(false, "unknown bench preset '" + name +
-                            "' (known: ci, e1, e2, e3, e4, e5, e6, e7)");
+  if (name == "e8") return e8_preset();
+  if (name == "e9") return e9_preset();
+  WMATCH_REQUIRE(false,
+                 "unknown bench preset '" + name +
+                     "' (known: ci, e1, e2, e3, e4, e5, e6, e7, e8, e9)");
   return {};  // unreachable
 }
 

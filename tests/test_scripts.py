@@ -1,0 +1,327 @@
+#!/usr/bin/env python3
+"""Unit tests for the CI gate scripts (ISSUE 7 satellite; run by ctest as
+`script_gates` and by the lint CI job).
+
+The gates in scripts/ are load-bearing: a bug that makes
+check_bench_regression.py accept a counter regression or check_trace.py
+accept a malformed trace silently voids the determinism contract. Each
+test crafts a minimal BENCH / trace document and asserts the verdict
+(exit code AND the diagnostic the CI log would show).
+"""
+
+import copy
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import unittest
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SCRIPTS = os.path.join(REPO, "scripts")
+
+
+def run(script, *args):
+    """Run scripts/<script> with args; return (exit_code, stdout+stderr)."""
+    proc = subprocess.run(
+        [sys.executable, os.path.join(SCRIPTS, script), *args],
+        capture_output=True, text=True, cwd=REPO)
+    return proc.returncode, proc.stdout + proc.stderr
+
+
+def bench_result(**overrides):
+    r = {
+        "algorithm": "greedy", "generator": "erdos_renyi", "family": 0,
+        "instance": 0, "n": 200, "m": 800, "epsilon": 0.2, "threads": 1,
+        "seed": 1, "skipped": False,
+        "counters": {
+            "passes": 1, "rounds": 0, "memory_peak_words": 800,
+            "communication_words": 0, "bb_invocations": 0,
+            "bb_max_invocation_cost": 0,
+            "matching_size": 90, "matching_weight": 4200,
+        },
+        "wall_ms": {"median": 1.5},
+    }
+    counters = overrides.pop("counters", {})
+    r.update(overrides)
+    r["counters"].update(counters)
+    return r
+
+
+def bench_doc(*results):
+    return {"schema_version": 1, "results": list(results)}
+
+
+class TempJson:
+    """Write docs to temp files; hand back their paths."""
+
+    def __enter__(self):
+        self.dir = tempfile.TemporaryDirectory()
+        return self
+
+    def __exit__(self, *exc):
+        self.dir.cleanup()
+
+    def write(self, name, doc):
+        path = os.path.join(self.dir.name, name)
+        with open(path, "w") as f:
+            json.dump(doc, f)
+        return path
+
+
+class GateTest(unittest.TestCase):
+    """check_bench_regression.py gate CURRENT BASELINE."""
+
+    def run_gate(self, current, baseline):
+        with TempJson() as t:
+            return run("check_bench_regression.py", "gate",
+                       t.write("current.json", current),
+                       t.write("baseline.json", baseline))
+
+    def test_identical_runs_pass(self):
+        doc = bench_doc(bench_result())
+        code, out = self.run_gate(doc, copy.deepcopy(doc))
+        self.assertEqual(code, 0, out)
+        self.assertIn("no counter regressions", out)
+
+    def test_cost_counter_increase_fails(self):
+        base = bench_doc(bench_result())
+        cur = bench_doc(bench_result(counters={"passes": 2}))
+        code, out = self.run_gate(cur, base)
+        self.assertEqual(code, 1, out)
+        self.assertIn("passes regressed 1 -> 2", out)
+
+    def test_quality_counter_decrease_fails(self):
+        base = bench_doc(bench_result())
+        cur = bench_doc(bench_result(counters={"matching_weight": 4100}))
+        code, out = self.run_gate(cur, base)
+        self.assertEqual(code, 1, out)
+        self.assertIn("matching_weight regressed 4200 -> 4100", out)
+
+    def test_improvement_passes_and_asks_for_refresh(self):
+        base = bench_doc(bench_result(counters={"rounds": 5},
+                                      algorithm="reduction-mpc"))
+        cur = bench_doc(bench_result(counters={"rounds": 3},
+                                     algorithm="reduction-mpc"))
+        code, out = self.run_gate(cur, base)
+        self.assertEqual(code, 0, out)
+        self.assertIn("rounds improved 5 -> 3", out)
+        self.assertIn("refresh the baseline", out)
+
+    def test_unmetered_memory_becoming_metered_is_informational(self):
+        # memory_peak_words is in UNMETERED_OK: 0 -> N is a metering fix.
+        base = bench_doc(bench_result(counters={"memory_peak_words": 0}))
+        cur = bench_doc(bench_result(counters={"memory_peak_words": 640}))
+        code, out = self.run_gate(cur, base)
+        self.assertEqual(code, 0, out)
+        self.assertIn("memory_peak_words now metered (0 -> 640)", out)
+
+    def test_nonzero_memory_increase_still_gated(self):
+        # UNMETERED_OK only forgives a zero baseline; 800 -> 900 is real.
+        base = bench_doc(bench_result())
+        cur = bench_doc(bench_result(counters={"memory_peak_words": 900}))
+        code, out = self.run_gate(cur, base)
+        self.assertEqual(code, 1, out)
+        self.assertIn("memory_peak_words regressed 800 -> 900", out)
+
+    def test_missing_baseline_entry_fails(self):
+        base = bench_doc(bench_result(), bench_result(seed=2))
+        cur = bench_doc(bench_result())
+        code, out = self.run_gate(cur, base)
+        self.assertEqual(code, 1, out)
+        self.assertIn("missing from the current run", out)
+
+    def test_new_entry_is_informational(self):
+        base = bench_doc(bench_result())
+        cur = bench_doc(bench_result(), bench_result(seed=2))
+        code, out = self.run_gate(cur, base)
+        self.assertEqual(code, 0, out)
+        self.assertIn("new benchmark (not in baseline)", out)
+
+    def test_skipped_flag_flip_fails(self):
+        base = bench_doc(bench_result())
+        cur = bench_doc(bench_result(skipped=True))
+        code, out = self.run_gate(cur, base)
+        self.assertEqual(code, 1, out)
+        self.assertIn("skipped flag changed", out)
+
+    def test_schema_version_mismatch_fails(self):
+        base = bench_doc(bench_result())
+        cur = bench_doc(bench_result())
+        cur["schema_version"] = 2
+        code, out = self.run_gate(cur, base)
+        self.assertNotEqual(code, 0, out)
+        self.assertIn("schema_version mismatch", out)
+
+
+class InvarianceTest(unittest.TestCase):
+    """check_bench_regression.py invariance A B."""
+
+    def run_inv(self, a, b):
+        with TempJson() as t:
+            return run("check_bench_regression.py", "invariance",
+                       t.write("a.json", a), t.write("b.json", b))
+
+    def test_identical_counters_across_thread_counts_pass(self):
+        a = bench_doc(bench_result(threads=1))
+        b = bench_doc(bench_result(threads=8))
+        b["results"][0]["wall_ms"]["median"] = 0.4  # wall clock ignored
+        code, out = self.run_inv(a, b)
+        self.assertEqual(code, 0, out)
+        self.assertIn("bit-identical", out)
+
+    def test_any_counter_difference_fails(self):
+        a = bench_doc(bench_result(threads=1))
+        b = bench_doc(bench_result(
+            threads=8, counters={"matching_size": 91}))
+        code, out = self.run_inv(a, b)
+        self.assertEqual(code, 1, out)
+        self.assertIn("matching_size differs (90 vs 91)", out)
+        self.assertIn("thread-determinism violation", out)
+
+    def test_different_grids_fail(self):
+        a = bench_doc(bench_result())
+        b = bench_doc(bench_result(seed=2))
+        code, out = self.run_inv(a, b)
+        self.assertNotEqual(code, 0, out)
+        self.assertIn("different grids", out)
+
+
+def trace_doc(events, dropped=0):
+    return {"displayTimeUnit": "ns",
+            "otherData": {"dropped_events": dropped},
+            "traceEvents": events}
+
+
+def ev(ph, name, ts, tid=1):
+    return {"ph": ph, "name": name, "ts": ts, "pid": 1, "tid": tid}
+
+
+class TraceTest(unittest.TestCase):
+    """check_trace.py TRACE [--require=NAME ...]."""
+
+    def run_trace(self, doc, *args):
+        with TempJson() as t:
+            return run("check_trace.py", t.write("trace.json", doc), *args)
+
+    def test_well_nested_trace_passes_and_counts_spans(self):
+        doc = trace_doc([
+            ev("B", "service.job", 10), ev("B", "pool.task", 11),
+            ev("E", "pool.task", 15), ev("E", "service.job", 20),
+            ev("B", "pool.task", 5, tid=2), ev("E", "pool.task", 9, tid=2),
+        ])
+        code, out = self.run_trace(doc, "--require=service.job")
+        self.assertEqual(code, 0, out)
+        self.assertIn("3 spans", out)
+        self.assertIn("pool.task: 2", out)
+
+    def test_mismatched_end_name_fails(self):
+        doc = trace_doc([
+            ev("B", "outer", 1), ev("B", "inner", 2),
+            ev("E", "outer", 3), ev("E", "inner", 4),
+        ])
+        code, out = self.run_trace(doc)
+        self.assertEqual(code, 1, out)
+        self.assertIn("does not match open 'inner'", out)
+
+    def test_end_without_open_span_fails(self):
+        doc = trace_doc([ev("E", "orphan", 1)])
+        code, out = self.run_trace(doc)
+        self.assertEqual(code, 1, out)
+        self.assertIn("end event with no open span", out)
+
+    def test_span_left_open_fails(self):
+        doc = trace_doc([ev("B", "leaked", 1)])
+        code, out = self.run_trace(doc)
+        self.assertEqual(code, 1, out)
+        self.assertIn("left open", out)
+
+    def test_unnamed_end_force_closes_any_open_span(self):
+        # The writer emits an empty-name "E" for spans still open when
+        # recording stopped; that must pop the innermost open span.
+        doc = trace_doc([ev("B", "interrupted", 1), ev("E", "", 2)])
+        code, out = self.run_trace(doc)
+        self.assertEqual(code, 0, out)
+
+    def test_backwards_timestamp_fails(self):
+        doc = trace_doc([
+            ev("B", "a", 10), ev("E", "a", 8),
+        ])
+        code, out = self.run_trace(doc)
+        self.assertEqual(code, 1, out)
+        self.assertIn("ts went backwards", out)
+
+    def test_per_thread_clocks_are_independent(self):
+        # tid 2 may run "behind" tid 1 — monotonicity is per thread.
+        doc = trace_doc([
+            ev("B", "a", 100), ev("E", "a", 110),
+            ev("B", "b", 5, tid=2), ev("E", "b", 6, tid=2),
+        ])
+        code, out = self.run_trace(doc)
+        self.assertEqual(code, 0, out)
+
+    def test_missing_required_span_fails(self):
+        doc = trace_doc([ev("B", "a", 1), ev("E", "a", 2)])
+        code, out = self.run_trace(doc, "--require=hk.phase")
+        self.assertEqual(code, 1, out)
+        self.assertIn("required span 'hk.phase' never occurs", out)
+
+    def test_missing_envelope_key_fails(self):
+        doc = trace_doc([])
+        del doc["otherData"]
+        code, out = self.run_trace(doc)
+        self.assertEqual(code, 1, out)
+        self.assertIn("missing top-level key 'otherData'", out)
+
+
+class LintInvariantsTest(unittest.TestCase):
+    """scripts/lint_invariants.py — spot-check the source-scan rules on a
+    synthetic tree (the real tree is linted by the `lint_invariants` ctest
+    target and CI step)."""
+
+    def run_lint(self, tree, check):
+        with tempfile.TemporaryDirectory() as root:
+            for rel, content in tree.items():
+                path = os.path.join(root, rel)
+                os.makedirs(os.path.dirname(path), exist_ok=True)
+                with open(path, "w") as f:
+                    f.write(content)
+            proc = subprocess.run(
+                [sys.executable,
+                 os.path.join(SCRIPTS, "lint_invariants.py"),
+                 "--root", root, "--check", check],
+                capture_output=True, text=True)
+            return proc.returncode, proc.stdout + proc.stderr
+
+    def test_clock_read_outside_obs_flagged(self):
+        code, out = self.run_lint(
+            {"src/solver/x.cpp": "#include <chrono>\n"}, "determinism")
+        self.assertEqual(code, 1, out)
+        self.assertIn("src/solver/x.cpp", out)
+
+    def test_clock_read_inside_obs_allowed(self):
+        code, out = self.run_lint(
+            {"src/obs/trace.cpp": "#include <chrono>\n"}, "determinism")
+        self.assertEqual(code, 0, out)
+
+    def test_token_in_comment_or_string_ignored(self):
+        src = ('// std::chrono is banned here\n'
+               'const char* kMsg = "rand() lives in obs";\n')
+        code, out = self.run_lint({"src/solver/x.cpp": src}, "determinism")
+        self.assertEqual(code, 0, out)
+
+    def test_stdout_in_library_code_flagged(self):
+        src = '#include <iostream>\nvoid f() { std::cout << 1; }\n'
+        code, out = self.run_lint({"src/core/x.cpp": src}, "no-stdout")
+        self.assertEqual(code, 1, out)
+        self.assertIn("src/core/x.cpp", out)
+
+    def test_snprintf_is_not_printf(self):
+        src = ('#include <cstdio>\n'
+               'void f(char* b) { snprintf(b, 4, "x"); }\n')
+        code, out = self.run_lint({"src/core/x.cpp": src}, "no-stdout")
+        self.assertEqual(code, 0, out)
+
+
+if __name__ == "__main__":
+    unittest.main(verbosity=2)
