@@ -23,12 +23,25 @@
 //       stderr. --json writes the batch BENCH document the CI per-job
 //       counter gate diffs. Exits 1 when any job failed.
 //
-//   wmatch_cli serve --stdin
+//   wmatch_cli serve --listen=PORT | --stdin
 //       Long-lived session: one job JSON per input line, one result JSON
 //       per output line (flushed), instance cache warm across requests.
-//       Each served job also logs one structured progress line to stderr,
-//       and the input line "metrics" answers with an obs registry
-//       snapshot instead of a job result.
+//       --listen accepts concurrent TCP connections on 127.0.0.1 (the
+//       net::Server poll loop; --stdin is the same connection handler on
+//       fd 0/1); results stream back per connection in completion order,
+//       a full job queue answers {"error":"overloaded"}, and
+//       SIGINT/SIGTERM drains gracefully (in-flight jobs finish, results
+//       flush, a final metrics snapshot is logged). Each served job also
+//       logs one structured progress line to stderr, and the input line
+//       "metrics" answers with an obs registry snapshot instead of a job
+//       result. See docs/SERVING.md for the wire protocol.
+//
+//   wmatch_cli loadgen --connect=HOST:PORT --jobs-file=JOBS.jsonl
+//       Open-loop Poisson load generator against a running serve
+//       --listen process: --rate arrivals/sec for --duration seconds
+//       over --connections sockets, cycling the job templates. Records
+//       end-to-end latency percentiles and writes the schema-versioned
+//       BENCH document the CI serving gate diffs.
 //
 // Every command takes --trace=FILE to record a Chrome/Perfetto trace of
 // the run (spans over solver rounds, HK phases, pool tasks, scheduler
@@ -52,6 +65,8 @@
 // Output flags:
 //   --json          machine-readable output
 //   --with-optimum  also run Blossom and report ratios
+#include <atomic>
+#include <csignal>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -62,6 +77,7 @@
 #include "api/api.h"
 #include "exact/blossom.h"
 #include "graph/io.h"
+#include "net/net.h"
 #include "obs/obs.h"
 #include "service/service.h"
 #include "sweep/presets.h"
@@ -137,7 +153,10 @@ void print_help() {
       "  solve --algo=A[,B,...]   run solvers on one instance\n"
       "  bench                    sweep a solver x instance grid\n"
       "  batch                    run a JSONL job stream via the service\n"
-      "  serve --stdin            long-lived one-job-per-line session\n"
+      "  serve                    long-lived one-job-per-line session\n"
+      "                           (--listen=PORT TCP or --stdin)\n"
+      "  loadgen                  open-loop load generator against a\n"
+      "                           running serve --listen process\n"
       "  help                     this text\n"
       "\n"
       "instance flags (solve):\n"
@@ -202,12 +221,41 @@ void print_help() {
       "                   (includes a \"metrics\" registry snapshot block)\n"
       "  --trace=FILE     Chrome/Perfetto trace of the whole batch\n"
       "\n"
-      "serve flags:\n"
-      "  --stdin          required; one job JSON in, one result JSON out,\n"
-      "                   plus one structured progress line per job on\n"
-      "                   stderr; the input line \"metrics\" answers with a\n"
-      "                   metrics registry snapshot JSON object\n"
-      "  --threads=T --cache=N --trace=FILE   as for batch\n";
+      "serve flags (one of --listen / --stdin required; protocol\n"
+      "reference: docs/SERVING.md):\n"
+      "  --listen=PORT    accept concurrent JSONL connections on\n"
+      "                   127.0.0.1:PORT (0 = pick an ephemeral port; the\n"
+      "                   bound port is logged); results stream back per\n"
+      "                   connection in completion order; SIGINT/SIGTERM\n"
+      "                   drains gracefully\n"
+      "  --stdin          serve fd 0/1 as one pre-accepted connection:\n"
+      "                   one job JSON in, one result JSON out, plus one\n"
+      "                   structured progress line per job on stderr; the\n"
+      "                   input line \"metrics\" answers with a metrics\n"
+      "                   registry snapshot JSON object\n"
+      "  --max-conns=N    concurrent connection ceiling (default 64);\n"
+      "                   extra connections are answered\n"
+      "                   {\"error\":\"overloaded\"} and closed\n"
+      "  --queue=N        bounded job-queue capacity (default 256); a\n"
+      "                   full queue rejects jobs with\n"
+      "                   {\"error\":\"overloaded\"}\n"
+      "  --jobs=N         concurrent jobs (default 1, 0 = hw threads)\n"
+      "  --threads=T --cache=N --trace=FILE   as for batch\n"
+      "\n"
+      "loadgen flags (requires --connect and --jobs-file):\n"
+      "  --connect=H:P    serve address (HOST:PORT, or PORT alone for\n"
+      "                   127.0.0.1)\n"
+      "  --jobs-file=PATH JSONL job templates, cycled round-robin; each\n"
+      "                   arrival is re-stamped with a unique id\n"
+      "  --rate=R         target arrivals/sec, Poisson, open loop\n"
+      "                   (default 10)\n"
+      "  --duration=SEC   sending window (default 5)\n"
+      "  --connections=C  concurrent client sockets (default 1)\n"
+      "  --seed=S         arrival-schedule seed (default 1)\n"
+      "  --name=ID        BENCH document id (default \"loadgen\")\n"
+      "  --json[=path]    write BENCH_<name>.json (per-template counters\n"
+      "                   and end-to-end latency percentiles)\n"
+      "  --trace=FILE     Chrome/Perfetto trace of the client side\n";
 }
 
 bool consume(const std::string& arg, const char* flag, std::string* value) {
@@ -653,6 +701,8 @@ int cmd_bench(int argc, char** argv) {
 struct BatchOptionsCli {
   std::string file_path;
   bool use_stdin = false;
+  int listen_port = -1;  ///< serve only: -1 off, 0 ephemeral
+  std::size_t max_conns = 64;
   service::SchedulerConfig sched;
   std::size_t queue_capacity = 256;
   std::string name = "batch";
@@ -661,6 +711,20 @@ struct BatchOptionsCli {
   std::string json_path;
   std::string trace_path;
 };
+
+/// TCP port flag value; `allow_zero` admits 0 ("ephemeral") for --listen.
+int parse_port(const std::string& flag, const std::string& value,
+               bool allow_zero) {
+  const bool numeric =
+      !value.empty() && value.size() <= 5 &&
+      value.find_first_not_of("0123456789") == std::string::npos;
+  const long p = numeric ? std::stol(value) : -1;
+  if (p < (allow_zero ? 0 : 1) || p > net::kMaxPort) {
+    usage_error(flag + " expects a port in [" + (allow_zero ? "0" : "1") +
+                ", 65535], got '" + value + "'");
+  }
+  return static_cast<int>(p);
+}
 
 BatchOptionsCli parse_batch_flags(int argc, char** argv, bool serve) {
   BatchOptionsCli opt;
@@ -671,13 +735,18 @@ BatchOptionsCli parse_batch_flags(int argc, char** argv, bool serve) {
       opt.file_path = v;
     } else if (arg == "--stdin") {
       opt.use_stdin = true;
-    } else if (!serve && consume(arg, "--jobs", &v)) {
+    } else if (serve && consume(arg, "--listen", &v)) {
+      opt.listen_port = parse_port("--listen", v, /*allow_zero=*/true);
+    } else if (serve && consume(arg, "--max-conns", &v)) {
+      opt.max_conns = parse_size("--max-conns", v);
+      if (opt.max_conns == 0) usage_error("--max-conns must be >= 1");
+    } else if (consume(arg, "--jobs", &v)) {
       opt.sched.jobs = parse_size("--jobs", v);
     } else if (consume(arg, "--threads", &v)) {
       opt.sched.threads_override = parse_size("--threads", v);
     } else if (consume(arg, "--cache", &v)) {
       opt.sched.cache_capacity = parse_size("--cache", v);
-    } else if (!serve && consume(arg, "--queue", &v)) {
+    } else if (consume(arg, "--queue", &v)) {
       opt.queue_capacity = parse_size("--queue", v);
     } else if (!serve && consume(arg, "--name", &v)) {
       opt.name = v;
@@ -695,8 +764,8 @@ BatchOptionsCli parse_batch_flags(int argc, char** argv, bool serve) {
                   " flag '" + arg + "'");
     }
   }
-  if (serve && !opt.use_stdin) {
-    usage_error("serve requires --stdin");
+  if (serve && !opt.use_stdin && opt.listen_port < 0) {
+    usage_error("serve requires --listen=PORT or --stdin");
   }
   if (!serve && opt.file_path.empty() && !opt.use_stdin) {
     usage_error("batch requires --file=JOBS.jsonl or --stdin");
@@ -797,59 +866,150 @@ int cmd_batch(int argc, char** argv) {
   return trace_rc;
 }
 
-/// One structured stderr line per served job, so a piped `serve --stdin`
-/// session is no longer silent: progress, cache behavior, and latency are
-/// observable without parsing the stdout result stream.
-void print_serve_log_line(const service::JobResult& r) {
-  const char* status = !r.ok() ? "error" : (r.skipped ? "skipped" : "ok");
-  std::cerr << "serve: job=" << r.id << " status=" << status
-            << " cache=" << (r.cache_hit ? "hit" : "miss")
-            << " queue_wait_ms=" << util::json_number(r.queue_wait_ms)
-            << " solve_ms=" << util::json_number(r.wall_ms_median) << "\n";
+/// The serving net::Server, visible to the SIGINT/SIGTERM handlers.
+/// request_drain() is async-signal-safe (one self-pipe write).
+std::atomic<net::Server*> g_serve_server{nullptr};
+
+extern "C" void serve_signal_handler(int) {
+  net::Server* server = g_serve_server.load(std::memory_order_acquire);
+  if (server != nullptr) server->request_drain();
 }
 
 int cmd_serve(int argc, char** argv) {
   const BatchOptionsCli opt = parse_batch_flags(argc, argv, /*serve=*/true);
   TraceSession trace;
   if (!opt.trace_path.empty()) trace.open(opt.trace_path);
-  service::Scheduler scheduler(opt.sched);
 
-  // One request per line, processed synchronously so responses come back
-  // in request order; the scheduler's InstanceCache stays warm across the
-  // whole session. A malformed request answers with an error object
-  // instead of killing the session. The literal line "metrics" is a
-  // control request: it answers with one obs registry snapshot JSON
-  // object instead of a job result.
-  std::string line;
-  std::size_t line_no = 0, index = 0;
-  while (std::getline(std::cin, line)) {
-    ++line_no;
-    const std::size_t first = line.find_first_not_of(" \t\r");
-    const std::size_t last = line.find_last_not_of(" \t\r");
-    const std::string trimmed =
-        first == std::string::npos ? "" : line.substr(first, last - first + 1);
-    if (trimmed == "metrics") {
-      obs::write_metrics_json(std::cout);
-      std::cout << "\n" << std::flush;
-      continue;
-    }
-    service::JobSpec job;
-    try {
-      if (!service::parse_job_line(line, "<stdin>", line_no, index, &job)) {
-        continue;
-      }
-    } catch (const std::exception& e) {
-      std::cout << "{\"error\":";
-      util::write_json_string(std::cout, e.what());
-      std::cout << "}\n" << std::flush;
-      continue;
-    }
-    service::JobResult r = scheduler.run_job(job, index++);
-    service::print_job_json(std::cout, r);
-    std::cout << std::flush;
-    print_serve_log_line(r);
+  // Both transports run the same net::Server connection handler —
+  // --stdin is one pre-accepted connection on fd 0/1. Requests feed the
+  // bounded JobQueue; results stream back per connection in completion
+  // order; the input line "metrics" answers with an obs registry
+  // snapshot; malformed lines answer {"error":...,"line":N} instead of
+  // killing the session (docs/SERVING.md has the full protocol).
+  net::ServerConfig cfg;
+  cfg.listen_port = opt.listen_port;
+  cfg.stdio = opt.use_stdin;
+  cfg.max_conns = opt.max_conns;
+  cfg.queue_capacity = opt.queue_capacity;
+  cfg.scheduler = opt.sched;
+  net::Server server(cfg);
+  try {
+    server.start();
+  } catch (const std::exception& e) {
+    usage_error(e.what());
   }
+  if (opt.listen_port >= 0) {
+    std::cerr << "serve: listening on 127.0.0.1:" << server.port() << "\n";
+  }
+
+  // SIGINT/SIGTERM trigger the graceful drain: stop accepting, finish
+  // in-flight jobs, flush per-connection results, then fall through to
+  // the final metrics snapshot below (stdin EOF takes the same path).
+  g_serve_server.store(&server, std::memory_order_release);
+  std::signal(SIGPIPE, SIG_IGN);  // dead peers are handled per-write
+  std::signal(SIGINT, serve_signal_handler);
+  std::signal(SIGTERM, serve_signal_handler);
+  const net::ServeSummary summary = server.run(std::cerr);
+  std::signal(SIGINT, SIG_DFL);
+  std::signal(SIGTERM, SIG_DFL);
+  g_serve_server.store(nullptr, std::memory_order_release);
+
+  // Final metrics snapshot — emitted on EVERY exit path through the
+  // drain (signal, socket shutdown, or stdin EOF mid-job).
+  std::cerr << "serve: metrics ";
+  obs::write_metrics_json(std::cerr);
+  std::cerr << "\nserve: done connections=" << summary.connections
+            << " requests=" << summary.requests
+            << " rejected=" << summary.rejected
+            << " parse_errors=" << summary.parse_errors << " cache_hits="
+            << summary.batch.cache.hits << " wall_ms="
+            << util::json_number(summary.batch.wall_ms_total) << "\n";
   return trace.finish();
+}
+
+int cmd_loadgen(int argc, char** argv) {
+  net::LoadgenConfig cfg;
+  bool have_connect = false;
+  bool json = false;
+  std::string json_path;
+  std::string trace_path;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    std::string v;
+    if (consume(arg, "--connect", &v)) {
+      // HOST:PORT, or a bare PORT for 127.0.0.1.
+      const std::size_t colon = v.rfind(':');
+      if (colon == std::string::npos) {
+        cfg.port = parse_port("--connect", v, /*allow_zero=*/false);
+      } else {
+        cfg.host = v.substr(0, colon);
+        if (cfg.host.empty()) {
+          usage_error("--connect expects HOST:PORT, got '" + v + "'");
+        }
+        cfg.port =
+            parse_port("--connect", v.substr(colon + 1), /*allow_zero=*/false);
+      }
+      have_connect = true;
+    } else if (consume(arg, "--jobs-file", &v)) {
+      cfg.jobs_file = v;
+    } else if (consume(arg, "--rate", &v)) {
+      cfg.rate = parse_double("--rate", v);
+      if (!(cfg.rate > 0.0)) usage_error("--rate must be > 0");
+    } else if (consume(arg, "--duration", &v)) {
+      cfg.duration_s = parse_double("--duration", v);
+      if (!(cfg.duration_s > 0.0)) usage_error("--duration must be > 0");
+    } else if (consume(arg, "--connections", &v)) {
+      cfg.connections = parse_size("--connections", v);
+      if (cfg.connections == 0) usage_error("--connections must be >= 1");
+    } else if (consume(arg, "--seed", &v)) {
+      cfg.seed = parse_size("--seed", v);
+    } else if (consume(arg, "--name", &v)) {
+      cfg.name = v;
+    } else if (arg == "--json") {
+      json = true;
+    } else if (consume(arg, "--json", &v)) {
+      json = true;
+      json_path = v;
+    } else if (consume(arg, "--trace", &v)) {
+      trace_path = v;
+    } else {
+      usage_error("unknown loadgen flag '" + arg + "'");
+    }
+  }
+  if (!have_connect) usage_error("loadgen requires --connect=HOST:PORT");
+  if (cfg.jobs_file.empty()) {
+    usage_error("loadgen requires --jobs-file=JOBS.jsonl");
+  }
+
+  TraceSession trace;
+  if (!trace_path.empty()) trace.open(trace_path);
+  std::signal(SIGPIPE, SIG_IGN);  // a dying server must not kill the client
+
+  net::LoadgenResult result;
+  try {
+    result = net::run_loadgen(cfg, std::cerr);
+  } catch (const std::invalid_argument& e) {
+    usage_error(e.what());  // bad config / unusable templates
+  }
+  if (json) {
+    const std::string path =
+        json_path.empty() ? "BENCH_" + cfg.name + ".json" : json_path;
+    std::ofstream os(path);
+    result.print_bench_json(os, cfg.name);
+    os.flush();
+    if (!os.good()) {
+      std::cerr << "error: could not write " << path << "\n";
+      return 1;
+    }
+    std::cerr << "wrote " << path << "\n";
+  }
+  const int trace_rc = trace.finish();
+  if (result.errors > 0 || result.lost > 0) {
+    std::cerr << "error: " << result.errors << " error response(s), "
+              << result.lost << " lost request(s)\n";
+    return 1;
+  }
+  return trace_rc;
 }
 
 }  // namespace
@@ -881,6 +1041,7 @@ int main(int argc, char** argv) {
     if (cmd == "bench") return cmd_bench(argc, argv);
     if (cmd == "batch") return cmd_batch(argc, argv);
     if (cmd == "serve") return cmd_serve(argc, argv);
+    if (cmd == "loadgen") return cmd_loadgen(argc, argv);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;

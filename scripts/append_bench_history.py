@@ -11,7 +11,7 @@ both carry "schema_version" and "results") and appends one entry
 
   {"sha": ..., "date": ..., "benches": {
       "<bench name>": {"cells": N, "wall_ms_total": T,
-                        "latency_ms_p95": P}}}
+                        "latency_ms_p95": P, "latency_ms_p99": Q}}}
 
 to HISTORY.json ({"schema_version": 1, "entries": [...]}; created when
 missing). Per bench:
@@ -19,8 +19,11 @@ missing). Per bench:
   - wall_ms_total: the batch document's service.wall_ms_total when
     present (true batch wall clock), otherwise the sum of per-cell
     median wall ms — the serial-work trajectory of a sweep grid;
-  - latency_ms_p95: the 95th percentile (nearest-rank) of per-cell /
-    per-job median wall ms across non-skipped entries.
+  - latency_ms_p95 / latency_ms_p99: the 95th / 99th percentile
+    (nearest-rank) of per-cell / per-job median wall ms across
+    non-skipped entries. For loadgen documents the per-template median
+    IS end-to-end serving latency, so these track the tail of the
+    serving path (ISSUE 8).
 
 Wall clock is noisy across runners, so the trajectory is a trend line,
 not a gate — the exact-counter gate lives in check_bench_regression.py.
@@ -36,11 +39,11 @@ import subprocess
 import sys
 
 
-def p95(values):
+def percentile(values, pct):
     if not values:
         return 0.0
     ordered = sorted(values)
-    rank = max(0, -(-95 * len(ordered) // 100) - 1)  # nearest-rank, 0-based
+    rank = max(0, -(-pct * len(ordered) // 100) - 1)  # nearest-rank, 0-based
     return ordered[rank]
 
 
@@ -57,7 +60,8 @@ def summarize(path):
     return doc.get("bench", os.path.basename(path)), {
         "cells": len(doc["results"]),
         "wall_ms_total": round(total, 3),
-        "latency_ms_p95": round(p95(medians), 3),
+        "latency_ms_p95": round(percentile(medians, 95), 3),
+        "latency_ms_p99": round(percentile(medians, 99), 3),
     }
 
 

@@ -1,0 +1,10 @@
+// Umbrella header for the network front end (ISSUE 8): POSIX socket
+// helpers (net/socket.h), the poll-loop JSONL listener (net/server.h),
+// and the open-loop Poisson load generator (net/loadgen.h). The CLI's
+// `serve --listen` / `serve --stdin` / `loadgen` surfaces include this
+// one header; the wire protocol is documented in docs/SERVING.md.
+#pragma once
+
+#include "net/loadgen.h"  // IWYU pragma: export
+#include "net/server.h"   // IWYU pragma: export
+#include "net/socket.h"   // IWYU pragma: export

@@ -15,6 +15,10 @@
 //   hk.*       exact::hopcroft_karp  — hk.phase / hk.bfs / hk.dfs spans;
 //              phases counter
 //   mpc.*      mpc_bipartite_matching — mpc.sample / mpc.filter spans
+//   net.*      net::Server           — net.conn / net.request spans;
+//              connections_total, requests_total, responses_total,
+//              rejected_overload, parse_errors, bytes_in, bytes_out
+//              counters; active_connections gauge; request_ms histogram
 #pragma once
 
 #include "obs/metrics.h"  // IWYU pragma: export

@@ -29,9 +29,21 @@ namespace wmatch::service {
 struct Submission {
   std::size_t index = 0;
   JobSpec job;
+  /// Opaque producer routing tag, passed through to run_stream's result
+  /// callback untouched — the net listener stores the originating
+  /// connection id here so each CostReport is written back to the right
+  /// socket the moment its job finishes.
+  std::uint64_t tag = 0;
   /// Stamped by JobQueue::push; the Scheduler turns it into the job's
   /// queue-wait metric when a worker picks the submission up.
   std::uint64_t enqueue_ns = 0;
+};
+
+/// Outcome of a non-blocking JobQueue::try_push.
+enum class PushResult {
+  kOk,      ///< accepted
+  kFull,    ///< capacity submissions already in flight (admission control)
+  kClosed,  ///< queue closed — no new work will ever be accepted
 };
 
 class JobQueue {
@@ -62,6 +74,21 @@ class JobQueue {
     lk.unlock();
     not_empty_.notify_one();
     return true;
+  }
+
+  /// Non-blocking push: never waits. kFull is the admission-control
+  /// signal — the net listener answers it with a structured
+  /// {"error":"overloaded"} rejection instead of stalling its poll loop.
+  PushResult try_push(Submission s) {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (closed_) return PushResult::kClosed;
+      if (q_.size() >= capacity_) return PushResult::kFull;
+      s.enqueue_ns = obs::monotonic_ns();
+      q_.push_back(std::move(s));
+    }
+    not_empty_.notify_one();
+    return PushResult::kOk;
   }
 
   /// Blocks while the queue is empty and open. Returns nullopt once the

@@ -143,7 +143,9 @@ BatchResult Scheduler::run(const std::vector<JobSpec>& jobs) {
   return batch;
 }
 
-BatchResult Scheduler::run_stream(JobQueue& queue) {
+BatchResult Scheduler::run_stream(JobQueue& queue,
+                                  const ResultCallback& on_result,
+                                  bool collect_results) {
   const std::uint64_t t0 = obs::monotonic_ns();
   BatchResult batch;
   runtime::ThreadPool& pool =
@@ -156,6 +158,7 @@ BatchResult Scheduler::run_stream(JobQueue& queue) {
   // job — pools are shared across the process, so pool tasks must always
   // terminate without external input.
   std::vector<Submission> chunk;
+  std::vector<JobResult> chunk_results;
   const std::size_t chunk_target = pool.num_threads();
   for (;;) {
     chunk.clear();
@@ -167,15 +170,21 @@ BatchResult Scheduler::run_stream(JobQueue& queue) {
       if (!next) break;
       chunk.push_back(std::move(*next));
     }
-    const std::size_t base = batch.results.size();
-    batch.results.resize(base + chunk.size());
+    chunk_results.clear();
+    chunk_results.resize(chunk.size());
     pool.run_batch(chunk.size(), [&](std::size_t i) {
       const std::uint64_t enq = chunk[i].enqueue_ns;
       const double wait_ms =
           enq == 0 ? 0.0
                    : static_cast<double>(obs::monotonic_ns() - enq) / 1e6;
-      batch.results[base + i] = run_job(chunk[i].job, chunk[i].index, wait_ms);
+      chunk_results[i] = run_job(chunk[i].job, chunk[i].index, wait_ms);
+      if (on_result) on_result(chunk_results[i], chunk[i].tag);
     });
+    if (collect_results) {
+      batch.results.insert(batch.results.end(),
+                           std::make_move_iterator(chunk_results.begin()),
+                           std::make_move_iterator(chunk_results.end()));
+    }
   }
   // Chunks preserve queue order, but a multi-producer queue may have
   // interleaved indices; reports are promised in submission order.

@@ -18,6 +18,7 @@
 #pragma once
 
 #include <cstddef>
+#include <functional>
 #include <iosfwd>
 #include <string>
 #include <vector>
@@ -86,12 +87,27 @@ class Scheduler {
   /// Fans the jobs out on the pool; results come back in submission order.
   BatchResult run(const std::vector<JobSpec>& jobs);
 
+  /// Called from the executing worker the moment a job finishes, with
+  /// the result and the submission's routing tag — before the next job
+  /// of the stream is guaranteed to start. Invoked concurrently from
+  /// multiple workers; the callback synchronizes its own sinks (the net
+  /// listener serializes per-connection socket writes with a mutex).
+  using ResultCallback =
+      std::function<void(const JobResult&, std::uint64_t tag)>;
+
   /// Streaming variant: the caller pops the queue, assembling chunks of
   /// up to `jobs` submissions and fanning each chunk out on the pool
   /// (only the caller ever blocks on the queue — pool tasks stay finite,
   /// see scheduler.cpp). The queue must be fed (and eventually closed)
   /// by ANOTHER thread, or this call waits on an empty queue forever.
-  BatchResult run_stream(JobQueue& queue);
+  ///
+  /// `on_result` (optional) streams each JobResult out as it completes.
+  /// `collect_results` = false drops results after the callback instead
+  /// of accumulating them in the BatchResult — a long-lived server's
+  /// memory must not grow with every request ever served; the returned
+  /// BatchResult then carries only the cache stats and wall clock.
+  BatchResult run_stream(JobQueue& queue, const ResultCallback& on_result = {},
+                         bool collect_results = true);
 
   const SchedulerConfig& config() const { return config_; }
   const InstanceCache& cache() const { return cache_; }

@@ -96,7 +96,39 @@ printf '{"algo":"greedy","gen":"path",}\n' > "$tmpdir/badjson.jsonl"
 expect_error 2 "badjson.jsonl:1:" batch --file="$tmpdir/badjson.jsonl"
 printf '{"algo":"nope","gen":"path"}\n' > "$tmpdir/badsolver.jsonl"
 expect_error 2 "unknown solver 'nope'" batch --file="$tmpdir/badsolver.jsonl"
-expect_error 2 "requires --stdin" serve
+expect_error 2 "requires --listen=PORT or --stdin" serve
+
+# serve --listen / loadgen (ISSUE 8): malformed ports, addresses, and
+# loadgen misuse are usage errors before any socket is opened.
+expect_error 2 "--listen expects a port" serve --listen=notaport
+expect_error 2 "--listen expects a port" serve --listen=70000
+expect_error 2 "--max-conns must be >= 1" serve --listen=0 --max-conns=0
+expect_error 2 "unknown serve flag" serve --stdin --file=x.jsonl
+expect_error 2 "requires --connect" loadgen --jobs-file=x.jsonl
+expect_error 2 "requires --jobs-file" loadgen --connect=9999
+expect_error 2 "--connect expects a port" loadgen \
+  --connect=127.0.0.1:notaport --jobs-file=x.jsonl
+expect_error 2 "--connect expects a port" loadgen --connect=127.0.0.1:0 \
+  --jobs-file=x.jsonl
+expect_error 2 "--connect expects HOST:PORT" loadgen --connect=:4000 \
+  --jobs-file=x.jsonl
+expect_error 2 "--rate must be > 0" loadgen --connect=9999 \
+  --jobs-file=x.jsonl --rate=0
+expect_error 2 "--duration must be > 0" loadgen --connect=9999 \
+  --jobs-file=x.jsonl --duration=0
+expect_error 2 "--connections must be >= 1" loadgen --connect=9999 \
+  --jobs-file=x.jsonl --connections=0
+expect_error 2 "unknown loadgen flag" loadgen --connect=9999 \
+  --jobs-file=x.jsonl --frobnicate=1
+expect_error 2 "cannot open 'no-such.jsonl'" loadgen --connect=9999 \
+  --jobs-file=no-such.jsonl
+# a dead port is a runtime failure (exit 1), not flag misuse: loadgen
+# retries briefly (the CI smoke launches serve in the background), then
+# reports the unreachable address.
+printf '{"algo":"greedy","gen":{"generator":"path","n":8}}\n' \
+  > "$tmpdir/lg.jsonl"
+expect_error 1 "cannot reach 127.0.0.1:9" loadgen --connect=127.0.0.1:9 \
+  --jobs-file="$tmpdir/lg.jsonl"
 
 # --trace hardening (ISSUE 6): an unwritable trace path is a usage error
 # up front, before any solve work runs; a writable one produces a file.
