@@ -25,7 +25,7 @@ int main(int argc, char** argv) {
   Rng rng(12000);
   Graph g = gen::assign_weights(gen::erdos_renyi(800, 6400, rng),
                                 gen::WeightDist::kExponential, 1 << 12, rng);
-  Matching opt = exact::blossom_max_weight(g);
+  Matching opt = exact::blossom_max_weight(freeze(g));
 
   Table t({"window", "ratio", "stored edges"});
   for (std::size_t window :
@@ -33,7 +33,7 @@ int main(int argc, char** argv) {
     Accumulator ratio_acc, stored_acc;
     for (int s = 0; s < kSeeds; ++s) {
       Rng local(12100 + s);
-      auto stream = gen::locally_shuffled_stream(g, window, local);
+      auto stream = gen::locally_shuffled_stream(freeze(g), window, local);
       auto result =
           core::rand_arr_matching(stream, g.num_vertices(), {}, local);
       ratio_acc.add(bench::ratio(result.matching.weight(), opt.weight()));

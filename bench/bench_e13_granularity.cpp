@@ -30,7 +30,7 @@ int main(int argc, char** argv) {
         Graph g = gen::assign_weights(gen::erdos_renyi(400, 2400, rng),
                                       gen::WeightDist::kExponential,
                                       1 << 12, rng);
-        Matching opt = exact::blossom_max_weight(g);
+        Matching opt = exact::blossom_max_weight(freeze(g));
         core::ReductionConfig cfg;
         cfg.runtime.num_threads = args.threads;
         cfg.epsilon = 0.15;
@@ -38,7 +38,7 @@ int main(int argc, char** argv) {
         cfg.tau.max_pairs = budget;
         cfg.max_iterations = 10;
         core::HkStreamingMatcher matcher;
-        auto result = core::maximum_weight_matching(g, cfg, matcher, rng);
+        auto result = core::maximum_weight_matching(freeze(g), cfg, matcher, rng);
         ratio_acc.add(bench::ratio(result.matching.weight(), opt.weight()));
         invoc_acc.add(static_cast<double>(result.bb_invocations));
         iter_acc.add(static_cast<double>(result.iterations));

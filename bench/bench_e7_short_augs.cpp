@@ -49,10 +49,10 @@ int main(int argc, char** argv) {
       Graph g = gen::assign_weights(gen::erdos_renyi(400, 2400, rng),
                                     gen::WeightDist::kExponential, 1 << 12,
                                     rng);
-      auto stream = gen::random_stream(g, rng);
+      auto stream = gen::random_stream(freeze(g), rng);
       Matching m =
           baselines::greedy_stream_matching(stream, g.num_vertices());
-      Matching opt = exact::blossom_max_weight(g);
+      Matching opt = exact::blossom_max_weight(freeze(g));
       if (static_cast<double>(m.weight()) * (1.0 + eps) >=
           static_cast<double>(opt.weight())) {
         continue;  // precondition w(M) <= w(M*)/(1+eps) not met

@@ -49,7 +49,7 @@ int main(int argc, char** argv) {
 
       Rng rng1(8000 + s);
       core::ExactMatcher m1;
-      auto full = core::maximum_weight_matching(inst.graph, cfg, m1, rng1,
+      auto full = core::maximum_weight_matching(freeze(inst.graph), cfg, m1, rng1,
                                                 &inst.matching);
 
       core::ReductionConfig ablated = cfg;
@@ -57,7 +57,7 @@ int main(int argc, char** argv) {
       Rng rng2(8000 + s);
       core::ExactMatcher m2;
       auto pathonly = core::maximum_weight_matching(
-          inst.graph, ablated, m2, rng2, &inst.matching);
+          freeze(inst.graph), ablated, m2, rng2, &inst.matching);
 
       double opt = static_cast<double>(inst.optimal_weight);
       start_r.add(static_cast<double>(inst.matching.weight()) / opt);

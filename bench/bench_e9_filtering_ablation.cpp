@@ -53,8 +53,8 @@ int main(int argc, char** argv) {
       Rng rng(9000 + s);
       Graph g = gen::assign_weights(gen::erdos_renyi(600, 4800, rng), dist,
                                     1 << 12, rng);
-      auto stream = gen::random_stream(g, rng);
-      Matching opt = exact::blossom_max_weight(g);
+      auto stream = gen::random_stream(freeze(g), rng);
+      Matching opt = exact::blossom_max_weight(freeze(g));
       Matching m0(g.num_vertices());
       std::size_t half = stream.size() / 2;
       for (std::size_t i = 0; i < half; ++i) {

@@ -8,7 +8,7 @@
 //       comparison table — or, with --json, one JSON object per solver
 //       (each carrying the normalized CostReport).
 //
-//   wmatch_cli bench --preset=ci|e1..e9 [axis overrides] [--json[=path]]
+//   wmatch_cli bench --preset=ci|e1..e11 [axis overrides] [--json[=path]]
 //   wmatch_cli bench --algo=LIST --gen=LIST [grid flags] [--json[=path]]
 //       Run a declarative sweep (solvers x instance families x epsilon x
 //       threads x seeds) through the sweep engine and print the per-cell
@@ -191,7 +191,7 @@ void print_help() {
       "                   run (also on bench / batch / serve)\n"
       "\n"
       "bench flags:\n"
-      "  --preset=NAME    ci | e1 | e2 | ... | e9 (named\n"
+      "  --preset=NAME    ci | e1 | e2 | ... | e11 (named\n"
       "                   grids;\n"
       "                   --algo/--epsilon/--threads/--seeds/--reps/\n"
       "                   --warmup override the preset's axes, but its\n"

@@ -13,6 +13,10 @@ both carry "schema_version" and "results") and appends one entry
       "<bench name>": {"cells": N, "wall_ms_total": T,
                         "latency_ms_p95": P, "latency_ms_p99": Q}}}
 
+Documents marked "kind": "kernels" (bench_micro_kernels --json) also get
+a "kernels": {"<kernel id>": median_ms} map in their summary, so each
+micro-kernel tracks as its own trajectory line.
+
 to HISTORY.json ({"schema_version": 1, "entries": [...]}; created when
 missing). Per bench:
 
@@ -57,12 +61,22 @@ def summarize(path):
                if not r.get("skipped") and "wall_ms" in r]
     service = doc.get("service", {})
     total = service.get("wall_ms_total", sum(medians))
-    return doc.get("bench", os.path.basename(path)), {
+    summary = {
         "cells": len(doc["results"]),
         "wall_ms_total": round(total, 3),
         "latency_ms_p95": round(percentile(medians, 95), 3),
         "latency_ms_p99": round(percentile(medians, 99), 3),
     }
+    if doc.get("kind") == "kernels":
+        # Micro-kernel documents (bench_micro_kernels --json) additionally
+        # record per-kernel median wall-ms, so layout changes show up as
+        # named lines in the trajectory rather than one blended total.
+        summary["kernels"] = {
+            r["id"]: round(r["wall_ms"]["median"], 4)
+            for r in doc["results"]
+            if not r.get("skipped") and "wall_ms" in r
+        }
+    return doc.get("bench", os.path.basename(path)), summary
 
 
 def resolve_sha(flag_value):

@@ -30,6 +30,14 @@ Checks, each reporting every violation before the nonzero exit:
                 obs::counter("...")/obs::gauge(...)/obs::histogram(...)
                 under src/ appears in DESIGN.md §7's metric taxonomy.
 
+  no-mutable-graph
+                The data plane is immutable (DESIGN.md §10): no `mutable`
+                member under src/graph/, and the lazy adjacency build
+                must stay dead — no adj_built_ / build_adjacency /
+                ensure_adjacency entry point anywhere under src/.
+                Adjacency is frozen into a GraphView exactly once, at
+                construction.
+
   cli-docs      The `wmatch_cli help` text (the string literals of
                 print_help() in cli/wmatch_cli.cpp) is embedded verbatim
                 in README.md's CLI reference block, every --flag it
@@ -69,6 +77,14 @@ STDOUT_TOKENS = [
     r"(?<![\w:])(?:printf|puts|putchar)\s*\(",
     r"\bfprintf\s*\(\s*stdout\b",
     r"\bstd::puts\b",
+]
+
+# --- no-mutable-graph: the immutable data plane (DESIGN.md §10).
+MUTABLE_TOKENS = [r"\bmutable\b"]
+LAZY_BUILD_TOKENS = [
+    r"\badj_built_\b",
+    r"\bbuild_adjacency\b",
+    r"\bensure_adjacency\b",
 ]
 
 CPP_SUFFIXES = {".cpp", ".h", ".hpp", ".cc"}
@@ -167,6 +183,21 @@ def check_no_stdout(root):
         rel = path.relative_to(root)
         scan_tokens(rel, path.read_text(), STDOUT_TOKENS, violations,
                     "stdout write in library code (take std::ostream&)")
+    return violations
+
+
+def check_no_mutable_graph(root):
+    violations = []
+    for path in cpp_files(root, "src"):
+        rel = path.relative_to(root)
+        text = path.read_text()
+        if rel.parts[:2] == ("src", "graph"):
+            scan_tokens(rel, text, MUTABLE_TOKENS, violations,
+                        "mutable state in the immutable data plane "
+                        "(DESIGN.md §10: freeze into a GraphView)")
+        scan_tokens(rel, text, LAZY_BUILD_TOKENS, violations,
+                    "lazy adjacency build resurrected (adjacency is "
+                    "frozen once, at GraphView construction)")
     return violations
 
 
@@ -272,6 +303,7 @@ def check_cli_docs(root):
 CHECKS = {
     "determinism": check_determinism,
     "no-stdout": check_no_stdout,
+    "no-mutable-graph": check_no_mutable_graph,
     "solver-docs": check_solver_docs,
     "metric-docs": check_metric_docs,
     "cli-docs": check_cli_docs,

@@ -56,7 +56,7 @@ gen::WeightDist parse_weight_dist(const std::string& name) {
 
 namespace {
 
-std::vector<Edge> make_stream(const Graph& g, ArrivalOrder order,
+std::vector<Edge> make_stream(const GraphView& g, ArrivalOrder order,
                               std::uint64_t order_seed) {
   switch (order) {
     case ArrivalOrder::kRandom: {
@@ -129,9 +129,12 @@ Instance make_instance(Graph graph, ArrivalOrder order,
                        std::uint64_t order_seed, std::string name) {
   Instance inst;
   inst.name = name.empty() ? "graph" : std::move(name);
-  inst.side = exact::bipartition_of(graph);
-  inst.stream = make_stream(graph, order, order_seed);
-  inst.graph = std::move(graph);
+  // Freeze the CSR view eagerly, here, at instance-build time: every
+  // consumer (exact solvers, reduction passes, concurrent cached jobs)
+  // shares this one immutable layout from now on.
+  inst.graph = GraphView(std::move(graph));
+  inst.side = exact::bipartition_of(inst.graph);
+  inst.stream = make_stream(inst.graph, order, order_seed);
   return inst;
 }
 

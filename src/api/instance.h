@@ -14,6 +14,7 @@
 
 #include "gen/weights.h"
 #include "graph/graph.h"
+#include "graph/graph_view.h"
 #include "graph/types.h"
 
 namespace wmatch::api {
@@ -36,7 +37,7 @@ ArrivalOrder parse_arrival_order(const std::string& name);
 
 struct Instance {
   std::string name;          ///< human-readable label for reports
-  Graph graph;               ///< the offline view
+  GraphView graph;           ///< the offline view (immutable CSR, read-shared)
   std::vector<Edge> stream;  ///< the same edges in arrival order
   std::vector<char> side;    ///< bipartition (empty if not bipartite)
   /// Planted maximum matching weight for the hard-instance families

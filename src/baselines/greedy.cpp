@@ -17,7 +17,7 @@ Matching greedy_stream_matching(std::span<const Edge> stream, std::size_t n) {
   return m;
 }
 
-Matching greedy_by_weight(const Graph& g) {
+Matching greedy_by_weight(const GraphView& g) {
   std::vector<Edge> edges(g.edges().begin(), g.edges().end());
   std::stable_sort(edges.begin(), edges.end(),
                    [](const Edge& a, const Edge& b) { return a.w > b.w; });

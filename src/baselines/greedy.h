@@ -3,7 +3,7 @@
 
 #include <span>
 
-#include "graph/graph.h"
+#include "graph/graph_view.h"
 #include "graph/matching.h"
 
 namespace wmatch::baselines {
@@ -18,6 +18,6 @@ Matching greedy_stream_matching(std::span<const Edge> stream, std::size_t n);
 
 /// Offline greedy by decreasing weight: 1/2-approximation for weighted
 /// matching (requires the whole graph; not a streaming algorithm).
-Matching greedy_by_weight(const Graph& g);
+Matching greedy_by_weight(const GraphView& g);
 
 }  // namespace wmatch::baselines

@@ -17,7 +17,7 @@ Parametrization random_parametrization(std::size_t n, Rng& rng) {
   return side;
 }
 
-CrossingEdges crossing_edges(const Graph& g, const Matching& m,
+CrossingEdges crossing_edges(const GraphView& g, const Matching& m,
                              const Parametrization& par) {
   WMATCH_REQUIRE(par.size() == g.num_vertices(), "parametrization size");
   CrossingEdges out;
@@ -214,7 +214,9 @@ LayeredGraph build_layered_graph(const BucketedEdges& edges,
     lp.add_edge(cu, cv, e.w);
     if (!e.between) ml.add(cu, cv, e.w);
   });
-  out.lprime = std::move(lp);
+  // Freeze the compressed subgraph eagerly: the black box reads it from
+  // parallel BFS/DFS chunks, which must never see a lazily-built index.
+  out.lprime = GraphView(std::move(lp));
   out.ml = std::move(ml);
   return out;
 }

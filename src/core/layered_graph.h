@@ -24,7 +24,7 @@
 #include <vector>
 
 #include "core/tau.h"
-#include "graph/graph.h"
+#include "graph/graph_view.h"
 #include "graph/matching.h"
 #include "runtime/runtime.h"
 #include "util/rng.h"
@@ -37,7 +37,7 @@ using Parametrization = std::vector<char>;
 Parametrization random_parametrization(std::size_t n, Rng& rng);
 
 struct LayeredGraph {
-  Graph lprime;                 ///< compressed L' (intermediate X + all Y edges)
+  GraphView lprime;             ///< compressed L' (intermediate X + all Y edges)
   std::vector<char> side;       ///< bipartition of lprime (original sides)
   Matching ml;                  ///< M restricted to L' (intermediate X edges)
   std::vector<Vertex> original; ///< compressed id -> original vertex
@@ -54,7 +54,7 @@ struct CrossingEdges {
   std::vector<Edge> unmatched;  ///< oriented u in R, v in L
 };
 
-CrossingEdges crossing_edges(const Graph& g, const Matching& m,
+CrossingEdges crossing_edges(const GraphView& g, const Matching& m,
                              const Parametrization& par);
 
 /// Crossing edges bucketed by quantized unit value so that a layered graph

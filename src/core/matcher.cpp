@@ -24,20 +24,21 @@ std::size_t pass_cost(std::size_t phases) {
 
 }  // namespace
 
-Matching HkStreamingMatcher::solve(const Graph& g,
+Matching HkStreamingMatcher::solve(const GraphView& g,
                                    const std::vector<char>& side,
                                    double delta) {
-  auto result = exact::hopcroft_karp(g, side, phases_for(delta), nullptr, rt_);
+  auto result = exact::hopcroft_karp(g, side, phases_for(delta), nullptr, rt_,
+                                     scratch_);
   charge_invocation(pass_cost(result.phases));
   return std::move(result.matching);
 }
 
 std::unique_ptr<UnweightedMatcher> HkStreamingMatcher::fork_for_class(
-    std::uint64_t /*seed*/) {
-  return std::make_unique<HkStreamingMatcher>(rt_);
+    std::uint64_t /*seed*/, runtime::Arena* scratch) {
+  return std::make_unique<HkStreamingMatcher>(rt_, scratch);
 }
 
-Matching MpcMatcher::solve(const Graph& g, const std::vector<char>& side,
+Matching MpcMatcher::solve(const GraphView& g, const std::vector<char>& side,
                            double delta) {
   auto result = mpc::mpc_bipartite_matching(g, side, delta, *ctx_, *rng_);
   charge_invocation(result.rounds_used);
@@ -51,7 +52,7 @@ MpcMatcher::MpcMatcher(const mpc::MpcConfig& config, std::uint64_t seed)
       rng_(owned_rng_.get()) {}
 
 std::unique_ptr<UnweightedMatcher> MpcMatcher::fork_for_class(
-    std::uint64_t seed) {
+    std::uint64_t seed, runtime::Arena* /*scratch*/) {
   return std::unique_ptr<UnweightedMatcher>(
       new MpcMatcher(ctx_->config(), seed));
 }
@@ -61,17 +62,17 @@ void MpcMatcher::merge_class(const UnweightedMatcher& sub) {
   ctx_->merge_parallel(*dynamic_cast<const MpcMatcher&>(sub).ctx_);
 }
 
-Matching ExactMatcher::solve(const Graph& g, const std::vector<char>& side,
+Matching ExactMatcher::solve(const GraphView& g, const std::vector<char>& side,
                              double delta) {
   (void)delta;
-  auto result = exact::hopcroft_karp(g, side, 0, nullptr, rt_);
+  auto result = exact::hopcroft_karp(g, side, 0, nullptr, rt_, scratch_);
   charge_invocation(result.phases);
   return std::move(result.matching);
 }
 
 std::unique_ptr<UnweightedMatcher> ExactMatcher::fork_for_class(
-    std::uint64_t /*seed*/) {
-  return std::make_unique<ExactMatcher>(rt_);
+    std::uint64_t /*seed*/, runtime::Arena* scratch) {
+  return std::make_unique<ExactMatcher>(rt_, scratch);
 }
 
 }  // namespace wmatch::core

@@ -16,9 +16,10 @@
 #include <memory>
 #include <vector>
 
-#include "graph/graph.h"
+#include "graph/graph_view.h"
 #include "graph/matching.h"
 #include "mpc/mpc_context.h"
+#include "runtime/arena.h"
 #include "runtime/runtime.h"
 #include "util/rng.h"
 
@@ -31,7 +32,7 @@ class UnweightedMatcher {
   /// (1-delta)-approximate maximum-cardinality matching of the bipartite
   /// graph g (side[v] in {0,1}). Implementations record their model cost
   /// via charge_invocation.
-  virtual Matching solve(const Graph& g, const std::vector<char>& side,
+  virtual Matching solve(const GraphView& g, const std::vector<char>& side,
                          double delta) = 0;
 
   std::size_t invocations() const { return invocations_; }
@@ -44,15 +45,19 @@ class UnweightedMatcher {
   /// merge discipline of DESIGN.md §5). `fork_for_class` returns an
   /// independent matcher whose counters (and, for MPC, simulated-cluster
   /// context) accumulate locally while weight classes run concurrently;
-  /// `seed` feeds any randomness the fork owns. `merge_class` folds a
-  /// fork back — call it at the round barrier, in class-ladder order,
-  /// never concurrently; the base fold covers the shared counters, and
-  /// overrides must invoke it before folding their own state. A nullptr
-  /// fork means the matcher does not support forking and must be invoked
-  /// serially instead.
+  /// `seed` feeds any randomness the fork owns, and `scratch` (optional)
+  /// is a per-class Arena the fork may draw its solve-time scratch state
+  /// from — the round driver resets it at the round barrier, so the fork
+  /// must not keep arena memory alive across merge_class. `merge_class`
+  /// folds a fork back — call it at the round barrier, in class-ladder
+  /// order, never concurrently; the base fold covers the shared counters,
+  /// and overrides must invoke it before folding their own state. A
+  /// nullptr fork means the matcher does not support forking and must be
+  /// invoked serially instead.
   virtual std::unique_ptr<UnweightedMatcher> fork_for_class(
-      std::uint64_t seed) {
+      std::uint64_t seed, runtime::Arena* scratch = nullptr) {
     (void)seed;
+    (void)scratch;
     return nullptr;
   }
   virtual void merge_class(const UnweightedMatcher& sub) {
@@ -82,16 +87,18 @@ class UnweightedMatcher {
 /// Oe(1).
 class HkStreamingMatcher final : public UnweightedMatcher {
  public:
-  explicit HkStreamingMatcher(const runtime::RuntimeConfig& rt = {})
-      : rt_(rt) {}
+  explicit HkStreamingMatcher(const runtime::RuntimeConfig& rt = {},
+                              runtime::Arena* scratch = nullptr)
+      : rt_(rt), scratch_(scratch) {}
 
-  Matching solve(const Graph& g, const std::vector<char>& side,
+  Matching solve(const GraphView& g, const std::vector<char>& side,
                  double delta) override;
   std::unique_ptr<UnweightedMatcher> fork_for_class(
-      std::uint64_t seed) override;
+      std::uint64_t seed, runtime::Arena* scratch) override;
 
  private:
   runtime::RuntimeConfig rt_;
+  runtime::Arena* scratch_;  ///< backs hopcroft_karp's per-solve scratch
 };
 
 /// MPC black box: LMSV11-style filtering + phase-limited Hopcroft–Karp on
@@ -100,15 +107,16 @@ class MpcMatcher final : public UnweightedMatcher {
  public:
   MpcMatcher(mpc::MpcContext& ctx, Rng& rng) : ctx_(&ctx), rng_(&rng) {}
 
-  Matching solve(const Graph& g, const std::vector<char>& side,
+  Matching solve(const GraphView& g, const std::vector<char>& side,
                  double delta) override;
   /// A fork simulates its class on a private cluster of the same shape
   /// (own MpcContext + own seed-derived Rng); merge_class folds rounds,
   /// communication, the per-machine peak, and the violation flag back
   /// into the parent context (MpcContext::merge_parallel) on top of the
-  /// base counter fold.
+  /// base counter fold. The arena is unused: the simulator's state is the
+  /// simulated cluster itself, not heap scratch.
   std::unique_ptr<UnweightedMatcher> fork_for_class(
-      std::uint64_t seed) override;
+      std::uint64_t seed, runtime::Arena* scratch) override;
   void merge_class(const UnweightedMatcher& sub) override;
 
  private:
@@ -124,15 +132,18 @@ class MpcMatcher final : public UnweightedMatcher {
 /// tests to isolate reduction behaviour from black-box slack.
 class ExactMatcher final : public UnweightedMatcher {
  public:
-  explicit ExactMatcher(const runtime::RuntimeConfig& rt = {}) : rt_(rt) {}
+  explicit ExactMatcher(const runtime::RuntimeConfig& rt = {},
+                        runtime::Arena* scratch = nullptr)
+      : rt_(rt), scratch_(scratch) {}
 
-  Matching solve(const Graph& g, const std::vector<char>& side,
+  Matching solve(const GraphView& g, const std::vector<char>& side,
                  double delta) override;
   std::unique_ptr<UnweightedMatcher> fork_for_class(
-      std::uint64_t seed) override;
+      std::uint64_t seed, runtime::Arena* scratch) override;
 
  private:
   runtime::RuntimeConfig rt_;
+  runtime::Arena* scratch_;  ///< backs hopcroft_karp's per-solve scratch
 };
 
 }  // namespace wmatch::core

@@ -50,8 +50,8 @@ RandArrResult rand_arr_matching(std::span<const Edge> stream, std::size_t n,
       WMATCH_ASSERT(w2 > 0);
       residual.push_back({e.u, e.v, w2});
     }
-    Graph t_graph(n, residual);
-    Matching residual_opt = exact::blossom_max_weight(t_graph);
+    GraphView t_view(Graph(n, residual));
+    Matching residual_opt = exact::blossom_max_weight(t_view);
     for (const Edge& e : residual_opt.edges()) {
       m1.add(e.u, e.v, e.w + lr.potential(e.u) + lr.potential(e.v));
     }

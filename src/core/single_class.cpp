@@ -24,7 +24,8 @@ std::vector<Edge> translate_walk(const LayeredGraph& lg,
 
 }  // namespace
 
-SingleClassResult find_class_augmentations(const Graph& g, const Matching& m,
+SingleClassResult find_class_augmentations(const GraphView& g,
+                                           const Matching& m,
                                            Weight w_class,
                                            const TauConfig& tau_cfg,
                                            const SingleClassOptions& opts,

@@ -19,7 +19,7 @@
 #include "core/matcher.h"
 #include "core/tau.h"
 #include "graph/augmentation.h"
-#include "graph/graph.h"
+#include "graph/graph_view.h"
 #include "graph/matching.h"
 #include "runtime/runtime.h"
 #include "util/rng.h"
@@ -59,7 +59,8 @@ struct SingleClassOptions {
 /// The tau pairs are generated internally per class via pairs_for_values,
 /// restricted to the quantized weights that occur under this class's unit
 /// (see tau.h for the substitution rationale).
-SingleClassResult find_class_augmentations(const Graph& g, const Matching& m,
+SingleClassResult find_class_augmentations(const GraphView& g,
+                                           const Matching& m,
                                            Weight w_class,
                                            const TauConfig& tau_cfg,
                                            const SingleClassOptions& opts,

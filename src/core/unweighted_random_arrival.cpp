@@ -43,8 +43,8 @@ UnweightedRandomArrivalResult unweighted_random_arrival(
   // Branch 1: M0 plus a maximum matching among the free-free edges.
   Matching branch1 = m0;
   if (!s1.empty()) {
-    Graph s1_graph(n, s1);
-    Matching s1_opt = exact::blossom_max_weight(s1_graph, true);
+    GraphView s1_view(Graph(n, s1));
+    Matching s1_opt = exact::blossom_max_weight(s1_view, true);
     for (const Edge& e : s1_opt.edges()) branch1.add(e);
   }
 

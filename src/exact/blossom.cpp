@@ -13,7 +13,7 @@ namespace {
 // vertices are 0..nv-1, blossoms nv..2*nv-1, "endpoints" are 2*edge+side.
 class BlossomSolver {
  public:
-  BlossomSolver(const Graph& g, bool max_cardinality)
+  BlossomSolver(const GraphView& g, bool max_cardinality)
       : g_(g), maxcard_(max_cardinality), nv_(static_cast<int>(g.num_vertices())),
         ne_(static_cast<int>(g.num_edges())) {
     edges_.reserve(ne_);
@@ -544,7 +544,7 @@ class BlossomSolver {
     }
   }
 
-  const Graph& g_;
+  const GraphView& g_;
   bool maxcard_;
   int nv_;
   int ne_;
@@ -570,7 +570,7 @@ class BlossomSolver {
 
 }  // namespace
 
-Matching blossom_max_weight(const Graph& g, bool max_cardinality) {
+Matching blossom_max_weight(const GraphView& g, bool max_cardinality) {
   BlossomSolver solver(g, max_cardinality);
   return solver.solve();
 }

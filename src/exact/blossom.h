@@ -11,13 +11,14 @@
 // "maximum matching in T" step (Algorithm 2, Line 14).
 #pragma once
 
-#include "graph/graph.h"
+#include "graph/graph_view.h"
 #include "graph/matching.h"
 
 namespace wmatch::exact {
 
 /// Returns a maximum-weight matching of g. When `max_cardinality` is true,
 /// returns a maximum-weight matching among maximum-cardinality matchings.
-Matching blossom_max_weight(const Graph& g, bool max_cardinality = false);
+Matching blossom_max_weight(const GraphView& g,
+                            bool max_cardinality = false);
 
 }  // namespace wmatch::exact

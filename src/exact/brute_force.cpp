@@ -16,7 +16,7 @@ struct Search {
   std::vector<std::size_t> best_set;
   Weight best = -1;
 
-  explicit Search(const Graph& g, const std::vector<Edge>& es)
+  explicit Search(const GraphView& g, const std::vector<Edge>& es)
       : edges(es), used(g.num_vertices(), 0) {
     suffix_weight.assign(edges.size() + 1, 0);
     for (std::size_t i = edges.size(); i-- > 0;) {
@@ -45,7 +45,7 @@ struct Search {
 
 }  // namespace
 
-Matching brute_force_max_weight(const Graph& g) {
+Matching brute_force_max_weight(const GraphView& g) {
   WMATCH_REQUIRE(g.num_vertices() <= 32 || g.num_edges() <= 96,
                  "brute force oracle limited to small graphs");
   std::vector<Edge> edges(g.edges().begin(), g.edges().end());
@@ -59,10 +59,10 @@ Matching brute_force_max_weight(const Graph& g) {
   return m;
 }
 
-std::size_t brute_force_max_cardinality(const Graph& g) {
+std::size_t brute_force_max_cardinality(const GraphView& g) {
   std::vector<Edge> unit(g.edges().begin(), g.edges().end());
   for (Edge& e : unit) e.w = 1;
-  Graph gu(g.num_vertices(), std::move(unit));
+  GraphView gu(Graph(g.num_vertices(), std::move(unit)));
   return brute_force_max_weight(gu).size();
 }
 

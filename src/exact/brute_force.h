@@ -1,16 +1,16 @@
 // Exhaustive matching solvers for small graphs (test oracles).
 #pragma once
 
-#include "graph/graph.h"
+#include "graph/graph_view.h"
 #include "graph/matching.h"
 
 namespace wmatch::exact {
 
 /// Maximum weight matching by branch and bound. Practical for
 /// n <= ~24 / m <= ~80; intended as a test oracle only.
-Matching brute_force_max_weight(const Graph& g);
+Matching brute_force_max_weight(const GraphView& g);
 
 /// Maximum cardinality matching by the same search (weights ignored).
-std::size_t brute_force_max_cardinality(const Graph& g);
+std::size_t brute_force_max_cardinality(const GraphView& g);
 
 }  // namespace wmatch::exact

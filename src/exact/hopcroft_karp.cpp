@@ -8,6 +8,7 @@
 #include "obs/obs.h"
 #include "runtime/parallel.h"
 #include "runtime/thread_pool.h"
+#include "util/bitset.h"
 #include "util/require.h"
 
 namespace wmatch::exact {
@@ -18,12 +19,143 @@ constexpr std::uint32_t kNoEdge = std::numeric_limits<std::uint32_t>::max();
 
 /// Chunk grains: BFS frontier expansion is cheap per vertex, speculative
 /// DFS does real work per root. Grains affect wall clock only, never the
-/// result (see the determinism argument in hopcroft_karp below).
+/// result (see the determinism argument in hopcroft_karp below). The
+/// bitset frontier chunks over whole 64-vertex words, so its grain is in
+/// words, not vertices.
 constexpr std::size_t kBfsGrain = 64;
+constexpr std::size_t kBfsWordGrain = 2;
 constexpr std::size_t kDfsGrain = 4;
+
+Vertex mate_of(const GraphView& g, std::span<const std::uint32_t> match_edge,
+               Vertex v) {
+  return match_edge[v] == kNoEdge ? kNoVertex
+                                  : g.edge(match_edge[v]).other(v);
+}
+
+struct BfsPart {
+  bool free_right = false;
+  bool any_next = false;
+};
+
+/// Level-synchronous BFS with one-vertex-at-a-time frontier vectors; the
+/// claim on a right vertex is a CAS on dist[u]. Every contender for a
+/// right vertex writes the same level value, and a mate is reachable only
+/// through its unique matched partner, so the dist labels (and the
+/// reachable-free-right flag) are independent of chunking, schedule, and
+/// thread count — only the transient frontier *order* may differ, and
+/// nothing downstream reads it.
+bool bfs_scalar(const GraphView& g, std::span<const std::uint32_t> match_edge,
+                std::span<std::uint32_t> dist, runtime::ThreadPool& pool,
+                std::vector<Vertex> frontier) {
+  struct Layer {
+    std::vector<Vertex> next;
+    bool free_right = false;
+  };
+  bool reachable_free_right = false;
+  std::uint32_t level = 0;
+  while (!frontier.empty()) {
+    Layer layer = runtime::parallel_reduce(
+        pool, frontier.size(), kBfsGrain, Layer{},
+        [&](std::size_t lo, std::size_t hi) {
+          Layer local;
+          for (std::size_t i = lo; i < hi; ++i) {
+            const Vertex v = frontier[i];
+            for (std::uint32_t ei : g.incident(v)) {
+              if (ei == match_edge[v]) continue;  // leave on non-matching
+              const Vertex u = g.edge(ei).other(v);
+              std::uint32_t expected = kInf;
+              if (!std::atomic_ref<std::uint32_t>(dist[u])
+                       .compare_exchange_strong(expected, level + 1,
+                                                std::memory_order_relaxed)) {
+                continue;  // claimed (same value) by another chunk
+              }
+              const Vertex w = mate_of(g, match_edge, u);
+              if (w == kNoVertex) {
+                local.free_right = true;
+              } else {
+                // u was claimed uniquely, so its mate has one writer.
+                std::atomic_ref<std::uint32_t>(dist[w]).store(
+                    level + 2, std::memory_order_relaxed);
+                local.next.push_back(w);
+              }
+            }
+          }
+          return local;
+        },
+        [](Layer acc, Layer part) {
+          acc.next.insert(acc.next.end(), part.next.begin(), part.next.end());
+          acc.free_right |= part.free_right;
+          return acc;
+        });
+    reachable_free_right |= layer.free_right;
+    frontier = std::move(layer.next);
+    level += 2;
+  }
+  return reachable_free_right;
+}
+
+/// Word-parallel BFS: the frontier and the claimed set pack 64 vertices
+/// per word. A right vertex is claimed by an atomic fetch_or on its
+/// claimed bit; the claim winner is the unique writer of dist[u] and of
+/// its mate's dist and frontier bit, and within a word vertices expand in
+/// ascending index order, identically for every thread count. The dist
+/// labels are the same level values the scalar mode writes, so the two
+/// modes are bit-identical end to end.
+bool bfs_bitset(const GraphView& g, std::span<const std::uint32_t> match_edge,
+                std::span<std::uint32_t> dist, runtime::ThreadPool& pool,
+                std::span<std::uint64_t> cur, std::span<std::uint64_t> next,
+                std::span<std::uint64_t> claimed, bool any) {
+  std::fill(next.begin(), next.end(), 0);
+  std::fill(claimed.begin(), claimed.end(), 0);
+  bool reachable_free_right = false;
+  std::uint32_t level = 0;
+  while (any) {
+    BfsPart round = runtime::parallel_reduce(
+        pool, cur.size(), kBfsWordGrain, BfsPart{},
+        [&](std::size_t lo, std::size_t hi) {
+          BfsPart local;
+          for (std::size_t w = lo; w < hi; ++w) {
+            util::for_each_set_bit(
+                cur[w], w * util::kBitsPerWord, [&](std::size_t vi) {
+                  const Vertex v = static_cast<Vertex>(vi);
+                  const auto ids = g.incident(v);
+                  const auto nbrs = g.neighbors(v);
+                  for (std::size_t s = 0; s < ids.size(); ++s) {
+                    const std::uint32_t ei = ids[s];
+                    if (ei == match_edge[v]) continue;
+                    const Vertex u = nbrs[s];
+                    if (!util::bit_test_and_set_atomic(claimed, u)) continue;
+                    dist[u] = level + 1;  // claim winner: unique writer
+                    const Vertex mw = mate_of(g, match_edge, u);
+                    if (mw == kNoVertex) {
+                      local.free_right = true;
+                    } else {
+                      dist[mw] = level + 2;
+                      util::bit_set_atomic(next, mw);
+                      local.any_next = true;
+                    }
+                  }
+                });
+          }
+          return local;
+        },
+        [](BfsPart acc, BfsPart part) {
+          acc.free_right |= part.free_right;
+          acc.any_next |= part.any_next;
+          return acc;
+        });
+    reachable_free_right |= round.free_right;
+    std::swap(cur, next);
+    std::fill(next.begin(), next.end(), 0);
+    any = round.any_next;
+    level += 2;
+  }
+  return reachable_free_right;
+}
+
 }  // namespace
 
-std::vector<char> bipartition_of(const Graph& g) {
+std::vector<char> bipartition_of(const GraphView& g) {
   std::vector<char> color(g.num_vertices(), -1);
   std::queue<Vertex> q;
   for (Vertex s = 0; s < g.num_vertices(); ++s) {
@@ -33,8 +165,7 @@ std::vector<char> bipartition_of(const Graph& g) {
     while (!q.empty()) {
       Vertex v = q.front();
       q.pop();
-      for (std::uint32_t ei : g.incident(v)) {
-        Vertex u = g.edge(ei).other(v);
+      for (Vertex u : g.neighbors(v)) {
         if (color[u] == -1) {
           color[u] = static_cast<char>(1 - color[v]);
           q.push(u);
@@ -47,18 +178,66 @@ std::vector<char> bipartition_of(const Graph& g) {
   return color;
 }
 
-HopcroftKarpResult hopcroft_karp(const Graph& g, const std::vector<char>& side,
+bool hk_bfs_layering(const GraphView& g,
+                     std::span<const std::uint32_t> match_edge,
+                     std::span<const char> in_left,
+                     std::span<std::uint32_t> dist,
+                     runtime::ThreadPool& pool, HkFrontier frontier,
+                     runtime::Arena* scratch) {
+  const std::size_t n = g.num_vertices();
+  std::fill(dist.begin(), dist.end(), kInf);
+  if (frontier == HkFrontier::kScalar) {
+    std::vector<Vertex> roots;
+    for (Vertex v = 0; v < n; ++v) {
+      if (in_left[v] && match_edge[v] == kNoEdge) {
+        dist[v] = 0;
+        roots.push_back(v);
+      }
+    }
+    return bfs_scalar(g, match_edge, dist, pool, std::move(roots));
+  }
+  const std::size_t nwords = util::bitset_words(n);
+  runtime::ArenaVector<std::uint64_t> words(
+      nwords * 3, 0, runtime::ArenaAllocator<std::uint64_t>(scratch));
+  std::span<std::uint64_t> cur(words.data(), nwords);
+  std::span<std::uint64_t> next(words.data() + nwords, nwords);
+  std::span<std::uint64_t> claimed(words.data() + 2 * nwords, nwords);
+  bool any = false;
+  for (Vertex v = 0; v < n; ++v) {
+    if (in_left[v] && match_edge[v] == kNoEdge) {
+      dist[v] = 0;
+      util::bit_set(cur, v);
+      any = true;
+    }
+  }
+  return bfs_bitset(g, match_edge, dist, pool, cur, next, claimed, any);
+}
+
+HopcroftKarpResult hopcroft_karp(const GraphView& g,
+                                 const std::vector<char>& side,
                                  std::size_t max_phases,
                                  const Matching* initial,
-                                 const runtime::RuntimeConfig& rt) {
+                                 const runtime::RuntimeConfig& rt,
+                                 runtime::Arena* scratch,
+                                 HkFrontier frontier) {
   const std::size_t n = g.num_vertices();
   WMATCH_REQUIRE(side.size() == n, "side vector size mismatch");
   for (const Edge& e : g.edges()) {
     WMATCH_REQUIRE(side[e.u] != side[e.v], "edge within one side");
   }
 
+  // Per-invocation O(n) scratch, carved from the arena when one is given
+  // (and reclaimed wholesale by its next reset()) — all allocated here on
+  // the calling thread, before any parallel region, per the Arena
+  // threading contract. The GraphView's CSR is immutable and read-shared,
+  // so the parallel chunks below touch no lazily-built state (the old
+  // serial adjacency pre-touch is gone with the lazy build itself).
+  const runtime::ArenaAllocator<std::uint32_t> alloc32(scratch);
+  const runtime::ArenaAllocator<char> alloc8(scratch);
+  const runtime::ArenaAllocator<std::uint64_t> alloc64(scratch);
+
   // match_edge[v] = index of the matched edge at v, or kNoEdge.
-  std::vector<std::uint32_t> match_edge(n, kNoEdge);
+  runtime::ArenaVector<std::uint32_t> match_edge(n, kNoEdge, alloc32);
   if (initial) {
     WMATCH_REQUIRE(initial->num_vertices() == n, "initial matching size");
     for (const Edge& me : initial->edges()) {
@@ -75,84 +254,45 @@ HopcroftKarpResult hopcroft_karp(const Graph& g, const std::vector<char>& side,
     }
   }
 
-  auto mate = [&](Vertex v) -> Vertex {
-    return match_edge[v] == kNoEdge ? kNoVertex : g.edge(match_edge[v]).other(v);
-  };
+  auto mate = [&](Vertex v) -> Vertex { return mate_of(g, match_edge, v); };
 
-  std::vector<char> in_left(n);
+  runtime::ArenaVector<char> in_left(n, 0, alloc8);
   for (Vertex v = 0; v < n; ++v) in_left[v] = (side[v] == 0);
 
-  // incident() builds the adjacency index lazily behind a plain flag;
-  // touch it once here so the build happens serially, never as a race
-  // between the parallel BFS/DFS chunks below.
-  if (n > 0) (void)g.incident(0);
-
   runtime::ThreadPool& pool = runtime::pool_for(rt);
-  std::vector<std::uint32_t> dist(n);
+  runtime::ArenaVector<std::uint32_t> dist(n, 0, alloc32);
 
-  // Level-synchronous BFS over alternating layers from free left vertices.
-  // The frontier holds left vertices of one even level; expanding it claims
-  // right vertices via CAS at level+1 and their mates at level+2. Every
-  // contender for a right vertex writes the same level value, and a mate is
-  // reachable only through its unique matched partner, so the dist labels
-  // (and the reachable-free-right flag) are independent of chunking,
-  // schedule, and thread count — only the transient frontier *order* may
-  // differ, and nothing downstream reads it.
+  // Bitset-frontier words, allocated once for the whole invocation and
+  // re-zeroed per phase (3 * ceil(n/64) words: frontier, next, claimed).
+  const std::size_t nwords =
+      frontier == HkFrontier::kBitset ? util::bitset_words(n) : 0;
+  runtime::ArenaVector<std::uint64_t> words(nwords * 3, 0, alloc64);
+
   auto bfs = [&]() -> bool {
     std::fill(dist.begin(), dist.end(), kInf);
-    std::vector<Vertex> frontier;
+    if (frontier == HkFrontier::kScalar) {
+      std::vector<Vertex> roots;
+      for (Vertex v = 0; v < n; ++v) {
+        if (in_left[v] && match_edge[v] == kNoEdge) {
+          dist[v] = 0;
+          roots.push_back(v);
+        }
+      }
+      return bfs_scalar(g, match_edge, dist, pool, std::move(roots));
+    }
+    std::span<std::uint64_t> cur(words.data(), nwords);
+    std::span<std::uint64_t> next(words.data() + nwords, nwords);
+    std::span<std::uint64_t> claimed(words.data() + 2 * nwords, nwords);
+    std::fill(cur.begin(), cur.end(), 0);
+    bool any = false;
     for (Vertex v = 0; v < n; ++v) {
       if (in_left[v] && match_edge[v] == kNoEdge) {
         dist[v] = 0;
-        frontier.push_back(v);
+        util::bit_set(cur, v);
+        any = true;
       }
     }
-    struct Layer {
-      std::vector<Vertex> next;
-      bool free_right = false;
-    };
-    bool reachable_free_right = false;
-    std::uint32_t level = 0;
-    while (!frontier.empty()) {
-      Layer layer = runtime::parallel_reduce(
-          pool, frontier.size(), kBfsGrain, Layer{},
-          [&](std::size_t lo, std::size_t hi) {
-            Layer local;
-            for (std::size_t i = lo; i < hi; ++i) {
-              const Vertex v = frontier[i];
-              for (std::uint32_t ei : g.incident(v)) {
-                if (ei == match_edge[v]) continue;  // leave on non-matching
-                const Vertex u = g.edge(ei).other(v);
-                std::uint32_t expected = kInf;
-                if (!std::atomic_ref<std::uint32_t>(dist[u])
-                         .compare_exchange_strong(expected, level + 1,
-                                                  std::memory_order_relaxed)) {
-                  continue;  // claimed (same value) by another chunk
-                }
-                const Vertex w = mate(u);
-                if (w == kNoVertex) {
-                  local.free_right = true;
-                } else {
-                  // u was claimed uniquely, so its mate has one writer.
-                  std::atomic_ref<std::uint32_t>(dist[w]).store(
-                      level + 2, std::memory_order_relaxed);
-                  local.next.push_back(w);
-                }
-              }
-            }
-            return local;
-          },
-          [](Layer acc, Layer part) {
-            acc.next.insert(acc.next.end(), part.next.begin(),
-                            part.next.end());
-            acc.free_right |= part.free_right;
-            return acc;
-          });
-      reachable_free_right |= layer.free_right;
-      frontier = std::move(layer.next);
-      level += 2;
-    }
-    return reachable_free_right;
+    return bfs_bitset(g, match_edge, dist, pool, cur, next, claimed, any);
   };
 
   // One DFS walk from `root` along the dist layering, shared by the
@@ -235,7 +375,7 @@ HopcroftKarpResult hopcroft_karp(const Graph& g, const std::vector<char>& side,
 
   // Flips the matching along the non-matching edges of an augmenting path
   // and retires its vertices from this phase (claimed + dist = kInf).
-  std::vector<char> claimed(n, 0);
+  runtime::ArenaVector<char> claimed(n, 0, alloc8);
   auto commit = [&](const std::vector<std::uint32_t>& path) {
     for (std::uint32_t ei : path) {
       const Edge& e = g.edge(ei);

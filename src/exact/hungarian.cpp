@@ -6,7 +6,8 @@
 
 namespace wmatch::exact {
 
-Matching hungarian_max_weight(const Graph& g, const std::vector<char>& side) {
+Matching hungarian_max_weight(const GraphView& g,
+                              const std::vector<char>& side) {
   const std::size_t n = g.num_vertices();
   WMATCH_REQUIRE(side.size() == n, "side vector size mismatch");
 

@@ -6,7 +6,7 @@
 
 #include <vector>
 
-#include "graph/graph.h"
+#include "graph/graph_view.h"
 #include "graph/matching.h"
 
 namespace wmatch::exact {
@@ -14,6 +14,7 @@ namespace wmatch::exact {
 /// `side[v]` is 0 (left) or 1 (right); every edge must cross sides.
 /// Returns a maximum-weight matching (vertices may stay unmatched; absent
 /// edges are never used). Dense: practical for sides up to ~2000.
-Matching hungarian_max_weight(const Graph& g, const std::vector<char>& side);
+Matching hungarian_max_weight(const GraphView& g,
+                              const std::vector<char>& side);
 
 }  // namespace wmatch::exact

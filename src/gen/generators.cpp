@@ -137,27 +137,27 @@ Graph cycle_graph(const std::vector<Weight>& weights) {
   return g;
 }
 
-std::vector<Edge> random_stream(const Graph& g, Rng& rng) {
+std::vector<Edge> random_stream(const GraphView& g, Rng& rng) {
   std::vector<Edge> edges(g.edges().begin(), g.edges().end());
   rng.shuffle(edges);
   return edges;
 }
 
-std::vector<Edge> increasing_weight_stream(const Graph& g) {
+std::vector<Edge> increasing_weight_stream(const GraphView& g) {
   std::vector<Edge> edges(g.edges().begin(), g.edges().end());
   std::stable_sort(edges.begin(), edges.end(),
                    [](const Edge& a, const Edge& b) { return a.w < b.w; });
   return edges;
 }
 
-std::vector<Edge> decreasing_weight_stream(const Graph& g) {
+std::vector<Edge> decreasing_weight_stream(const GraphView& g) {
   std::vector<Edge> edges(g.edges().begin(), g.edges().end());
   std::stable_sort(edges.begin(), edges.end(),
                    [](const Edge& a, const Edge& b) { return a.w > b.w; });
   return edges;
 }
 
-std::vector<Edge> clustered_stream(const Graph& g) {
+std::vector<Edge> clustered_stream(const GraphView& g) {
   std::vector<Edge> edges(g.edges().begin(), g.edges().end());
   std::stable_sort(edges.begin(), edges.end(), [](const Edge& a,
                                                   const Edge& b) {
@@ -166,7 +166,8 @@ std::vector<Edge> clustered_stream(const Graph& g) {
   return edges;
 }
 
-std::vector<Edge> locally_shuffled_stream(const Graph& g, std::size_t window,
+std::vector<Edge> locally_shuffled_stream(const GraphView& g,
+                                          std::size_t window,
                                           Rng& rng) {
   std::vector<Edge> edges = increasing_weight_stream(g);
   if (window == 0 || edges.size() < 2) return edges;

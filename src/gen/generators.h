@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "graph/graph.h"
+#include "graph/graph_view.h"
 #include "runtime/runtime.h"
 #include "util/rng.h"
 
@@ -46,27 +47,28 @@ Graph cycle_graph(const std::vector<Weight>& weights);
 
 /// Returns the edges of g in a uniformly random order (random-edge-arrival
 /// stream order).
-std::vector<Edge> random_stream(const Graph& g, Rng& rng);
+std::vector<Edge> random_stream(const GraphView& g, Rng& rng);
 
 /// Adversarial order for greedy/local-ratio: edges sorted by increasing
 /// weight (light edges first poison greedy choices).
-std::vector<Edge> increasing_weight_stream(const Graph& g);
+std::vector<Edge> increasing_weight_stream(const GraphView& g);
 
 /// Heaviest-first order: benign for greedy (it becomes the 1/2-approx
 /// greedy-by-weight) but adversarial for algorithms that rely on light
 /// prefixes.
-std::vector<Edge> decreasing_weight_stream(const Graph& g);
+std::vector<Edge> decreasing_weight_stream(const GraphView& g);
 
 /// Vertex-clustered order: edges grouped by min endpoint (models streams
 /// produced by scanning an adjacency store); within groups the relative
 /// order is preserved. Breaks the "uniformly random" assumption while
 /// remaining non-degenerate.
-std::vector<Edge> clustered_stream(const Graph& g);
+std::vector<Edge> clustered_stream(const GraphView& g);
 
 /// Semi-random order: an adversarial (increasing-weight) stream whose
 /// elements are then displaced by at most `window` positions via local
 /// shuffles. window = 0 is fully adversarial; window >= m is fully random.
-std::vector<Edge> locally_shuffled_stream(const Graph& g, std::size_t window,
+std::vector<Edge> locally_shuffled_stream(const GraphView& g,
+                                          std::size_t window,
                                           Rng& rng);
 
 }  // namespace wmatch::gen

@@ -30,32 +30,6 @@ Graph::Graph(std::size_t n, std::vector<Edge> edges)
 void Graph::add_edge(Vertex u, Vertex v, Weight w) {
   validate_edge(n_, u, v, w);
   edges_.push_back({u, v, w});
-  adj_built_ = false;
-}
-
-void Graph::build_adjacency() const {
-  adj_offsets_.assign(n_ + 1, 0);
-  for (const Edge& e : edges_) {
-    ++adj_offsets_[e.u + 1];
-    ++adj_offsets_[e.v + 1];
-  }
-  for (std::size_t i = 1; i <= n_; ++i) adj_offsets_[i] += adj_offsets_[i - 1];
-  adj_edges_.resize(edges_.size() * 2);
-  std::vector<std::uint32_t> cursor(adj_offsets_.begin(),
-                                    adj_offsets_.end() - 1);
-  for (std::uint32_t i = 0; i < edges_.size(); ++i) {
-    const Edge& e = edges_[i];
-    adj_edges_[cursor[e.u]++] = i;
-    adj_edges_[cursor[e.v]++] = i;
-  }
-  adj_built_ = true;
-}
-
-std::span<const std::uint32_t> Graph::incident(Vertex v) const {
-  WMATCH_REQUIRE(v < n_, "vertex out of range");
-  if (!adj_built_) build_adjacency();
-  return {adj_edges_.data() + adj_offsets_[v],
-          adj_offsets_[v + 1] - adj_offsets_[v]};
 }
 
 Weight Graph::total_weight() const {

@@ -1,7 +1,9 @@
-// Simple undirected weighted graph: an edge list with an on-demand
-// adjacency structure. This is the substrate representation used by the
-// offline (exact / ground-truth) algorithms and by the generators; the
-// streaming algorithms never materialize adjacency for the full graph.
+// Simple undirected weighted graph builder: a validated edge list. This
+// is the *construction-time* representation used by the generators and
+// I/O; algorithms consume the frozen, immutable CSR `GraphView`
+// (graph/graph_view.h) built from it. Graph itself holds no adjacency —
+// the old lazily-built CSR (a data race when two jobs first-touched a
+// shared cached instance) is gone.
 #pragma once
 
 #include <span>
@@ -28,15 +30,8 @@ class Graph {
   std::span<const Edge> edges() const { return edges_; }
   const Edge& edge(std::size_t i) const { return edges_[i]; }
 
-  /// Appends an edge (same validation as the constructor). Invalidates
-  /// adjacency.
+  /// Appends an edge (same validation as the constructor).
   void add_edge(Vertex u, Vertex v, Weight w);
-
-  /// Edge indices incident to `v` (builds the adjacency index lazily).
-  std::span<const std::uint32_t> incident(Vertex v) const;
-
-  /// Degree of v (forces adjacency construction).
-  std::size_t degree(Vertex v) const { return incident(v).size(); }
 
   /// Total weight of all edges.
   Weight total_weight() const;
@@ -44,16 +39,12 @@ class Graph {
   /// Largest edge weight (0 for an empty graph).
   Weight max_weight() const;
 
- private:
-  void build_adjacency() const;
+  /// Surrenders the edge list (used by GraphView's freeze constructor).
+  std::vector<Edge> release_edges() && { return std::move(edges_); }
 
+ private:
   std::size_t n_ = 0;
   std::vector<Edge> edges_;
-
-  // CSR adjacency over edge indices, built lazily.
-  mutable bool adj_built_ = false;
-  mutable std::vector<std::uint32_t> adj_offsets_;
-  mutable std::vector<std::uint32_t> adj_edges_;
 };
 
 }  // namespace wmatch

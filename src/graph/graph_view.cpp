@@ -1,0 +1,38 @@
+#include "graph/graph_view.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace wmatch {
+
+GraphView::GraphView(Graph g)
+    : n_(g.num_vertices()), edges_(std::move(g).release_edges()) {
+  offsets_.assign(n_ + 1, 0);
+  for (const Edge& e : edges_) {
+    ++offsets_[e.u + 1];
+    ++offsets_[e.v + 1];
+  }
+  for (std::size_t i = 1; i <= n_; ++i) offsets_[i] += offsets_[i - 1];
+  const std::size_t slots = edges_.size() * 2;
+  neighbor_.resize(slots);
+  edge_id_.resize(slots);
+  weight_.resize(slots);
+  std::vector<std::uint32_t> cursor(offsets_.begin(), offsets_.end() - 1);
+  // Same fill order as the old lazy build: edge i lands in both endpoint
+  // lists before edge i+1 touches anything, so per-vertex ids ascend.
+  for (std::uint32_t i = 0; i < edges_.size(); ++i) {
+    const Edge& e = edges_[i];
+    const std::uint32_t su = cursor[e.u]++;
+    neighbor_[su] = e.v;
+    edge_id_[su] = i;
+    weight_[su] = e.w;
+    const std::uint32_t sv = cursor[e.v]++;
+    neighbor_[sv] = e.u;
+    edge_id_[sv] = i;
+    weight_[sv] = e.w;
+    total_weight_ += e.w;
+    max_weight_ = std::max(max_weight_, e.w);
+  }
+}
+
+}  // namespace wmatch

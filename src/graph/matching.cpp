@@ -3,6 +3,7 @@
 #include <unordered_map>
 
 #include "graph/graph.h"
+#include "graph/graph_view.h"
 #include "util/require.h"
 
 namespace wmatch {
@@ -51,11 +52,14 @@ std::vector<Edge> Matching::edges() const {
   return out;
 }
 
-bool is_valid_matching(const Matching& m, const Graph& g) {
-  if (m.num_vertices() != g.num_vertices()) return false;
+namespace {
+
+bool is_valid_matching_impl(const Matching& m, std::size_t n,
+                            std::span<const Edge> edges) {
+  if (m.num_vertices() != n) return false;
   std::unordered_map<std::uint64_t, Weight> edge_weights;
-  edge_weights.reserve(g.num_edges() * 2);
-  for (const Edge& e : g.edges()) edge_weights.emplace(e.key(), e.w);
+  edge_weights.reserve(edges.size() * 2);
+  for (const Edge& e : edges) edge_weights.emplace(e.key(), e.w);
 
   std::size_t count = 0;
   Weight total = 0;
@@ -76,6 +80,16 @@ bool is_valid_matching(const Matching& m, const Graph& g) {
     }
   }
   return count == m.size() && total == m.weight();
+}
+
+}  // namespace
+
+bool is_valid_matching(const Matching& m, const Graph& g) {
+  return is_valid_matching_impl(m, g.num_vertices(), g.edges());
+}
+
+bool is_valid_matching(const Matching& m, const GraphView& g) {
+  return is_valid_matching_impl(m, g.num_vertices(), g.edges());
 }
 
 }  // namespace wmatch

@@ -62,9 +62,14 @@ class Matching {
   Weight weight_ = 0;
 };
 
+class Graph;
+class GraphView;
+
 /// True iff every matched edge of `m` is an edge of `g` with the recorded
 /// weight and the mate array is symmetric. Used as a universal
-/// postcondition in tests.
+/// postcondition in tests. Overloaded for the builder Graph and the
+/// frozen GraphView (same check either way).
 bool is_valid_matching(const Matching& m, const Graph& g);
+bool is_valid_matching(const Matching& m, const GraphView& g);
 
 }  // namespace wmatch

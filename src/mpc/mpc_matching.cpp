@@ -11,7 +11,7 @@
 
 namespace wmatch::mpc {
 
-MpcMatchingResult mpc_bipartite_matching(const Graph& g,
+MpcMatchingResult mpc_bipartite_matching(const GraphView& g,
                                          const std::vector<char>& side,
                                          double delta, MpcContext& ctx,
                                          Rng& rng) {

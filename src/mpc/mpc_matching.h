@@ -19,7 +19,7 @@
 // substitution list).
 #pragma once
 
-#include "graph/graph.h"
+#include "graph/graph_view.h"
 #include "graph/matching.h"
 #include "mpc/mpc_context.h"
 #include "util/rng.h"
@@ -33,7 +33,7 @@ struct MpcMatchingResult {
 
 /// (1-delta)-approximate maximum-cardinality matching of the bipartite
 /// graph g (side[v] in {0,1}; all edges must cross sides).
-MpcMatchingResult mpc_bipartite_matching(const Graph& g,
+MpcMatchingResult mpc_bipartite_matching(const GraphView& g,
                                          const std::vector<char>& side,
                                          double delta, MpcContext& ctx,
                                          Rng& rng);

@@ -279,11 +279,65 @@ SweepSpec e9_preset() {
   return s;
 }
 
+/// E10 / Section 4.3 — layer depth vs augmentation length: the
+/// hard-long-path family plants augmentations of length 2L+1, so the
+/// reductions (whose layered graphs walk up to max_layers layers) recover
+/// the planted optimum while greedy strands every unit. The family plants
+/// its optimum, so ratios are exact without a Blossom run. The bespoke
+/// bench_e10 binary wraps this preset and adds the direct max_layers
+/// ablation (TauConfig::max_layers is a config knob, deliberately not a
+/// SolverSpec axis).
+SweepSpec e10_preset() {
+  SweepSpec s;
+  s.name = "E10";
+  s.solvers = {"greedy", "reduction-exact", "reduction-hk"};
+  for (std::size_t aug_length : {1u, 2u, 3u}) {
+    api::GenSpec g;
+    g.generator = "hard-long-path";
+    g.n = 96;
+    g.aug_length = aug_length;
+    s.instances.push_back(g);
+  }
+  s.epsilons = {0.2};
+  s.seeds = seed_range(10000, 3);
+  s.stat_columns = {"iterations"};
+  return s;
+}
+
+/// E11 / Section 3.2 — local-ratio stack growth: the Paz-Schwartzman
+/// baseline is a 1/2-approximation on any order, but its stack S stays
+/// O(n polylog n) only on random-order streams. Each instance family
+/// appears twice — random and adversarial (increasing-weight) order — so
+/// the stack_size column shows the blow-up directly. The bespoke
+/// bench_e11 binary wraps this preset and adds the normalized growth
+/// columns (|S|/(n log n), |S|/m) over a larger size ladder.
+SweepSpec e11_preset() {
+  SweepSpec s;
+  s.name = "E11";
+  s.solvers = {"local-ratio"};
+  for (std::size_t n : {256u, 512u, 1024u}) {
+    for (api::ArrivalOrder order :
+         {api::ArrivalOrder::kRandom, api::ArrivalOrder::kIncreasingWeight}) {
+      api::GenSpec g;
+      g.n = n;
+      g.m = 16 * n;
+      g.max_weight = 1 << 20;
+      g.order = order;
+      s.instances.push_back(g);
+    }
+  }
+  s.seeds = seed_range(11000, 3);
+  s.with_optimum = true;
+  s.stat_columns = {"stack_size"};
+  return s;
+}
+
 }  // namespace
 
 const std::vector<std::string>& preset_names() {
   static const std::vector<std::string> names = {
-      "ci", "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9"};
+      "ci", "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10",
+      "e11"};
   return names;
 }
 
@@ -303,9 +357,12 @@ SweepSpec preset(const std::string& name) {
   if (name == "e7") return e7_preset();
   if (name == "e8") return e8_preset();
   if (name == "e9") return e9_preset();
+  if (name == "e10") return e10_preset();
+  if (name == "e11") return e11_preset();
   WMATCH_REQUIRE(false,
                  "unknown bench preset '" + name +
-                     "' (known: ci, e1, e2, e3, e4, e5, e6, e7, e8, e9)");
+                     "' (known: ci, e1, e2, e3, e4, e5, e6, e7, e8, e9, "
+                     "e10, e11)");
   return {};  // unreachable
 }
 

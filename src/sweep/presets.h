@@ -1,9 +1,9 @@
-// Named SweepSpecs: the paper's parametric experiments (e1 / e2 / e3 /
-// e4 / e5 / e6 / e7 / e8 / e9) expressed as declarative grids, plus the small
-// deterministic "ci" grid the perf-regression gate diffs against
-// bench/baselines/ci_baseline.json. `wmatch_cli bench --preset=<name>`
-// and the bench_e* thin wrappers both resolve through here, so the CLI,
-// the benches, and CI run the exact same grids.
+// Named SweepSpecs: the paper's parametric experiments (e1 through e11)
+// expressed as declarative grids, plus the small deterministic "ci" grid
+// the perf-regression gate diffs against bench/baselines/ci_baseline.json.
+// `wmatch_cli bench --preset=<name>` and the bench_e* thin wrappers both
+// resolve through here, so the CLI, the benches, and CI run the exact
+// same grids.
 #pragma once
 
 #include <string>
@@ -13,7 +13,7 @@
 
 namespace wmatch::sweep {
 
-/// Sorted preset names ("ci", "e1", ..., "e9").
+/// Preset names ("ci", "e1", ..., "e11").
 const std::vector<std::string>& preset_names();
 bool is_known_preset(const std::string& name);
 

@@ -62,9 +62,9 @@ expect_error 2 "expects a density" \
 expect_error 2 "expects a density" \
   bench --algo=greedy --gen=hard-planted-augs --n=16 --beta=-0.1 --seeds=1
 expect_error 2 "unknown bench preset 'e99'" bench --preset=e99
-# the diagnostic must advertise the full preset list (e8/e9 ported in
-# ISSUE 7)
-expect_error 2 "known: ci, e1, e2, e3, e4, e5, e6, e7, e8, e9" \
+# the diagnostic must advertise the full preset list (e10/e11 ported in
+# ISSUE 9)
+expect_error 2 "known: ci, e1, e2, e3, e4, e5, e6, e7, e8, e9, e10, e11" \
   bench --preset=e99
 expect_error 2 "unknown solver 'nope'" bench --algo=nope --gen=erdos_renyi
 expect_error 2 "unknown generator 'nope'" bench --algo=greedy --gen=nope

@@ -172,7 +172,7 @@ TEST_P(SymDiffPropertyTest, ComponentsAreValidAlternatingAndCoverDiff) {
   for (const Edge& e : g.edges()) {
     if (!greedy.is_matched(e.u) && !greedy.is_matched(e.v)) greedy.add(e);
   }
-  Matching opt = exact::blossom_max_weight(g);
+  Matching opt = exact::blossom_max_weight(freeze(g));
   auto comps = symmetric_difference_components(greedy, opt);
   std::size_t total_edges = 0;
   for (const auto& comp : comps) {

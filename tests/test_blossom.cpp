@@ -12,19 +12,19 @@ namespace {
 
 TEST(Blossom, EmptyAndTrivialGraphs) {
   Graph g0(0);
-  EXPECT_EQ(exact::blossom_max_weight(g0).weight(), 0);
+  EXPECT_EQ(exact::blossom_max_weight(freeze(g0)).weight(), 0);
   Graph g1(3);
-  EXPECT_EQ(exact::blossom_max_weight(g1).weight(), 0);
+  EXPECT_EQ(exact::blossom_max_weight(freeze(g1)).weight(), 0);
   Graph g2(2);
   g2.add_edge(0, 1, 9);
-  EXPECT_EQ(exact::blossom_max_weight(g2).weight(), 9);
+  EXPECT_EQ(exact::blossom_max_weight(freeze(g2)).weight(), 9);
 }
 
 TEST(Blossom, OddCycleNeedsBlossoms) {
   // 5-cycle with uniform weights: max matching has 2 edges.
   Graph g(5);
   for (Vertex v = 0; v < 5; ++v) g.add_edge(v, (v + 1) % 5, 10);
-  Matching m = exact::blossom_max_weight(g);
+  Matching m = exact::blossom_max_weight(freeze(g));
   EXPECT_EQ(m.weight(), 20);
   EXPECT_EQ(m.size(), 2u);
 }
@@ -41,8 +41,8 @@ TEST(Blossom, PetersenLikeNestedStructure) {
   g.add_edge(5, 6, 9);
   g.add_edge(6, 7, 8);
   g.add_edge(5, 7, 10);
-  Matching bl = exact::blossom_max_weight(g);
-  Matching bf = exact::brute_force_max_weight(g);
+  Matching bl = exact::blossom_max_weight(freeze(g));
+  Matching bf = exact::brute_force_max_weight(freeze(g));
   EXPECT_EQ(bl.weight(), bf.weight());
   EXPECT_TRUE(is_valid_matching(bl, g));
 }
@@ -52,15 +52,15 @@ TEST(Blossom, MaxCardinalityModeMatchesBruteForce) {
   for (int trial = 0; trial < 30; ++trial) {
     Graph g = gen::erdos_renyi(11, 20, rng);
     g = gen::assign_weights(g, gen::WeightDist::kUniform, 8, rng);
-    Matching bl = exact::blossom_max_weight(g, true);
-    EXPECT_EQ(bl.size(), exact::brute_force_max_cardinality(g));
+    Matching bl = exact::blossom_max_weight(freeze(g), true);
+    EXPECT_EQ(bl.size(), exact::brute_force_max_cardinality(freeze(g)));
     EXPECT_TRUE(is_valid_matching(bl, g));
   }
 }
 
 TEST(Blossom, FourCycleFamilyOptimum) {
   auto inst = gen::four_cycle_family(5, 3, 1);
-  Matching m = exact::blossom_max_weight(inst.graph);
+  Matching m = exact::blossom_max_weight(freeze(inst.graph));
   EXPECT_EQ(m.weight(), inst.optimal_weight);
 }
 
@@ -76,8 +76,8 @@ TEST_P(BlossomRandomTest, AgreesWithBruteForce) {
     Graph g = gen::erdos_renyi(static_cast<std::size_t>(n), m, rng);
     g = gen::assign_weights(g, gen::WeightDist::kUniform,
                             static_cast<Weight>(maxw), rng);
-    Matching bl = exact::blossom_max_weight(g);
-    Matching bf = exact::brute_force_max_weight(g);
+    Matching bl = exact::blossom_max_weight(freeze(g));
+    Matching bf = exact::brute_force_max_weight(freeze(g));
     ASSERT_EQ(bl.weight(), bf.weight())
         << "seed=" << seed << " trial=" << trial << " n=" << n;
     ASSERT_TRUE(is_valid_matching(bl, g));
@@ -95,8 +95,8 @@ TEST(Blossom, TiedWeightsStress) {
   Rng rng(77);
   for (int trial = 0; trial < 20; ++trial) {
     Graph g = gen::erdos_renyi(10, 18, rng);
-    Matching bl = exact::blossom_max_weight(g);
-    Matching bf = exact::brute_force_max_weight(g);
+    Matching bl = exact::blossom_max_weight(freeze(g));
+    Matching bf = exact::brute_force_max_weight(freeze(g));
     ASSERT_EQ(bl.weight(), bf.weight()) << trial;
   }
 }
@@ -105,7 +105,7 @@ TEST(Blossom, LargeInstanceRunsAndIsValid) {
   Rng rng(123);
   Graph g = gen::erdos_renyi(300, 2000, rng);
   g = gen::assign_weights(g, gen::WeightDist::kExponential, 1 << 16, rng);
-  Matching m = exact::blossom_max_weight(g);
+  Matching m = exact::blossom_max_weight(freeze(g));
   EXPECT_TRUE(is_valid_matching(m, g));
   EXPECT_GT(m.weight(), 0);
 }

@@ -19,14 +19,14 @@ TEST(BlossomStructured, EvenCycleTakesAlternateEdges) {
     w.push_back(9);
   }
   Graph g = gen::cycle_graph(w);
-  Matching m = exact::blossom_max_weight(g);
+  Matching m = exact::blossom_max_weight(freeze(g));
   EXPECT_EQ(m.weight(), 45);
 }
 
 TEST(BlossomStructured, OddCycleDropsLightestPair) {
   // 7-cycle, uniform weight 5: max matching = 3 edges.
   Graph g = gen::cycle_graph({5, 5, 5, 5, 5, 5, 5});
-  Matching m = exact::blossom_max_weight(g);
+  Matching m = exact::blossom_max_weight(freeze(g));
   EXPECT_EQ(m.size(), 3u);
   EXPECT_EQ(m.weight(), 15);
 }
@@ -34,7 +34,7 @@ TEST(BlossomStructured, OddCycleDropsLightestPair) {
 TEST(BlossomStructured, StarTakesHeaviestRay) {
   Graph g(6);
   for (Vertex v = 1; v < 6; ++v) g.add_edge(0, v, static_cast<Weight>(v));
-  Matching m = exact::blossom_max_weight(g);
+  Matching m = exact::blossom_max_weight(freeze(g));
   EXPECT_EQ(m.weight(), 5);
   EXPECT_TRUE(m.contains(0, 5));
 }
@@ -49,8 +49,8 @@ TEST(BlossomStructured, CompleteGraphsSmall) {
         g.add_edge(u, v, rng.next_int(1, 100));
       }
     }
-    Matching bl = exact::blossom_max_weight(g);
-    Matching bf = exact::brute_force_max_weight(g);
+    Matching bl = exact::blossom_max_weight(freeze(g));
+    Matching bf = exact::brute_force_max_weight(freeze(g));
     EXPECT_EQ(bl.weight(), bf.weight()) << "K_" << n;
   }
 }
@@ -66,8 +66,8 @@ TEST(BlossomStructured, TwoTrianglesBridged) {
   g.add_edge(4, 5, 6);
   g.add_edge(3, 5, 6);
   g.add_edge(2, 3, 10);
-  Matching bl = exact::blossom_max_weight(g);
-  Matching bf = exact::brute_force_max_weight(g);
+  Matching bl = exact::blossom_max_weight(freeze(g));
+  Matching bf = exact::brute_force_max_weight(freeze(g));
   EXPECT_EQ(bl.weight(), bf.weight());
   EXPECT_EQ(bl.weight(), 22);  // bridge + one edge per triangle
 }
@@ -87,8 +87,8 @@ TEST(BlossomStructured, GridGraphs) {
         if (r + 1 < rows) g.add_edge(id(r, c), id(r + 1, c), rng.next_int(1, 50));
       }
     }
-    Matching bl = exact::blossom_max_weight(g);
-    Matching bf = exact::brute_force_max_weight(g);
+    Matching bl = exact::blossom_max_weight(freeze(g));
+    Matching bf = exact::brute_force_max_weight(freeze(g));
     EXPECT_EQ(bl.weight(), bf.weight()) << "grid 4x" << k;
   }
 }
@@ -100,8 +100,8 @@ TEST(BlossomStructured, MaxCardinalityBreaksWeightTies) {
   g.add_edge(1, 2, 10);
   g.add_edge(0, 1, 5);
   g.add_edge(2, 3, 5);
-  Matching plain = exact::blossom_max_weight(g, false);
-  Matching maxcard = exact::blossom_max_weight(g, true);
+  Matching plain = exact::blossom_max_weight(freeze(g), false);
+  Matching maxcard = exact::blossom_max_weight(freeze(g), true);
   EXPECT_EQ(plain.weight(), 10);
   EXPECT_EQ(maxcard.size(), 2u);
   EXPECT_EQ(maxcard.weight(), 10);
@@ -128,15 +128,15 @@ TEST(BlossomStructured, DisconnectedComponents) {
       sub.add_edge(u, v, w);
       g.add_edge(base + u, base + v, w);
     }
-    expected += exact::brute_force_max_weight(sub).weight();
+    expected += exact::brute_force_max_weight(freeze(sub)).weight();
   }
-  EXPECT_EQ(exact::blossom_max_weight(g).weight(), expected);
+  EXPECT_EQ(exact::blossom_max_weight(freeze(g)).weight(), expected);
 }
 
 TEST(BlossomStructured, LongAlternatingPathFlip) {
   auto inst_weights = std::vector<Weight>{2, 9, 2, 9, 2, 9, 2};
   Graph g = gen::path_graph(inst_weights);
-  Matching m = exact::blossom_max_weight(g);
+  Matching m = exact::blossom_max_weight(freeze(g));
   EXPECT_EQ(m.weight(), 27);  // the three 9s
 }
 
@@ -148,8 +148,8 @@ TEST_P(BlossomDenseRandom, DenseTiesAgainstBruteForce) {
     // Dense small graphs with tiny weight range force heavy tie-breaking.
     Graph g = gen::erdos_renyi(10, 30, rng);
     g = gen::assign_weights(g, gen::WeightDist::kUniform, 3, rng);
-    Matching bl = exact::blossom_max_weight(g);
-    Matching bf = exact::brute_force_max_weight(g);
+    Matching bl = exact::blossom_max_weight(freeze(g));
+    Matching bf = exact::brute_force_max_weight(freeze(g));
     ASSERT_EQ(bl.weight(), bf.weight());
     ASSERT_TRUE(is_valid_matching(bl, g));
   }

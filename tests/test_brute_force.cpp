@@ -10,15 +10,15 @@ namespace {
 
 TEST(BruteForce, EmptyGraph) {
   Graph g(4);
-  Matching m = exact::brute_force_max_weight(g);
+  Matching m = exact::brute_force_max_weight(freeze(g));
   EXPECT_EQ(m.weight(), 0);
-  EXPECT_EQ(exact::brute_force_max_cardinality(g), 0u);
+  EXPECT_EQ(exact::brute_force_max_cardinality(freeze(g)), 0u);
 }
 
 TEST(BruteForce, SingleEdge) {
   Graph g(2);
   g.add_edge(0, 1, 7);
-  EXPECT_EQ(exact::brute_force_max_weight(g).weight(), 7);
+  EXPECT_EQ(exact::brute_force_max_weight(freeze(g)).weight(), 7);
 }
 
 TEST(BruteForce, Triangle) {
@@ -27,8 +27,8 @@ TEST(BruteForce, Triangle) {
   g.add_edge(1, 2, 6);
   g.add_edge(0, 2, 4);
   // Only one edge fits; the heaviest wins.
-  EXPECT_EQ(exact::brute_force_max_weight(g).weight(), 6);
-  EXPECT_EQ(exact::brute_force_max_cardinality(g), 1u);
+  EXPECT_EQ(exact::brute_force_max_weight(freeze(g)).weight(), 6);
+  EXPECT_EQ(exact::brute_force_max_cardinality(freeze(g)), 1u);
 }
 
 TEST(BruteForce, PathPrefersEndEdges) {
@@ -37,7 +37,7 @@ TEST(BruteForce, PathPrefersEndEdges) {
   g.add_edge(0, 1, 3);
   g.add_edge(1, 2, 5);
   g.add_edge(2, 3, 3);
-  Matching m = exact::brute_force_max_weight(g);
+  Matching m = exact::brute_force_max_weight(freeze(g));
   EXPECT_EQ(m.weight(), 6);
   EXPECT_EQ(m.size(), 2u);
 }
@@ -48,22 +48,22 @@ TEST(BruteForce, WeightVsCardinalityDiffer) {
   g.add_edge(1, 2, 10);
   g.add_edge(0, 1, 3);
   g.add_edge(2, 3, 3);
-  EXPECT_EQ(exact::brute_force_max_weight(g).weight(), 10);
-  EXPECT_EQ(exact::brute_force_max_cardinality(g), 2u);
+  EXPECT_EQ(exact::brute_force_max_weight(freeze(g)).weight(), 10);
+  EXPECT_EQ(exact::brute_force_max_cardinality(freeze(g)), 2u);
 }
 
 TEST(BruteForce, ResultIsValidMatching) {
   Rng rng(13);
   Graph g = gen::erdos_renyi(12, 30, rng);
   g = gen::assign_weights(g, gen::WeightDist::kUniform, 20, rng);
-  Matching m = exact::brute_force_max_weight(g);
+  Matching m = exact::brute_force_max_weight(freeze(g));
   EXPECT_TRUE(is_valid_matching(m, g));
 }
 
 TEST(BruteForce, RefusesHugeInputs) {
   Rng rng(1);
   Graph g = gen::erdos_renyi(64, 300, rng);
-  EXPECT_THROW(exact::brute_force_max_weight(g), std::invalid_argument);
+  EXPECT_THROW(exact::brute_force_max_weight(freeze(g)), std::invalid_argument);
 }
 
 }  // namespace

@@ -24,6 +24,9 @@
 #include <thread>
 #include <vector>
 
+#include "exact/hopcroft_karp.h"
+#include "gen/generators.h"
+#include "graph/graph_view.h"
 #include "obs/obs.h"
 #include "runtime/parallel.h"
 #include "runtime/thread_pool.h"
@@ -165,6 +168,80 @@ TEST(SchedulerStress, StreamWithConcurrentProducersMatchesSerial) {
     EXPECT_EQ(streamed.results[i].index, i);
   }
   expect_identical_reports(reference, streamed);
+}
+
+// ---- Shared cached instance: concurrent adjacency first touch ----
+
+// Under the old lazily-built Graph adjacency this scenario was a genuine
+// data race: the first incident() call of every concurrent job raced on
+// the mutable adj_built_ flag and the half-written CSR arrays, and
+// hopcroft_karp carried a serial pre-touch workaround to hide it. The
+// eager immutable GraphView moves the one-and-only build into the cache's
+// instance construction; everything after is synchronization-free reads.
+// TSan on this test was red under the lazy build and must stay green now.
+TEST(SchedulerStress, ConcurrentAdjacencyFirstTouchOnSharedInstance) {
+  // Every job names the SAME instance key: the first wave piles onto one
+  // in-flight cache build, and all 12 jobs then traverse the one shared
+  // view from their solvers' BFS/DFS loops (reduction-hk and
+  // reduction-exact walk adjacency immediately and heavily).
+  const std::vector<std::string> solvers = {"reduction-hk",
+                                            "reduction-exact"};
+  std::vector<service::JobSpec> jobs(12);
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    jobs[i].id = "first-touch-" + std::to_string(i);
+    jobs[i].solver = solvers[i % solvers.size()];
+    jobs[i].source = gen_spec("bipartite", 48, 140, 21);
+    jobs[i].spec.epsilon = 0.25;
+    jobs[i].spec.seed = 7;
+    // Half the jobs run their solver's own loops on 2 threads, so the
+    // shared view is also read from nested pool workers.
+    jobs[i].spec.runtime.num_threads = (i % 2) ? 2 : 1;
+  }
+
+  service::Scheduler serial({/*jobs=*/1});
+  const service::BatchResult reference = serial.run(jobs);
+
+  service::Scheduler concurrent({/*jobs=*/8, /*cache_capacity=*/4});
+  const service::BatchResult stressed = concurrent.run(jobs);
+  expect_identical_reports(reference, stressed);
+
+  // One key only: every lookup is a hit or a miss and every miss inserts
+  // (concurrent misses of the single key share the in-flight build).
+  const service::CacheStats s = concurrent.cache().stats();
+  EXPECT_EQ(s.hits + s.misses, jobs.size());
+  EXPECT_EQ(s.misses, s.inserts);
+}
+
+TEST(GraphViewStress, ManyThreadsTraverseOneViewWithNoSynchronization) {
+  // The data-plane sharing contract, distilled: one frozen view, eight
+  // foreign threads running full HK solves (both frontier modes) and raw
+  // CSR scans against it concurrently, no locks anywhere. Functional
+  // assertions keep the test meaningful in plain lanes; TSan is the real
+  // judge.
+  Rng rng(31);
+  const GraphView g = freeze(gen::random_bipartite(64, 64, 400, rng));
+  const std::vector<char> side = exact::bipartition_of(g);
+  ASSERT_FALSE(side.empty());
+  const std::size_t ref_size = exact::hopcroft_karp(g, side).matching.size();
+
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 8; ++t) {
+    readers.emplace_back([&, t] {
+      runtime::RuntimeConfig rt;
+      rt.num_threads = 2;
+      const exact::HkFrontier mode =
+          t % 2 ? exact::HkFrontier::kScalar : exact::HkFrontier::kBitset;
+      for (int rep = 0; rep < 3; ++rep) {
+        const auto result =
+            exact::hopcroft_karp(g, side, 0, nullptr, rt, nullptr, mode);
+        EXPECT_EQ(result.matching.size(), ref_size);
+        std::size_t slots = 0;
+        for (Vertex v = 0; v < g.num_vertices(); ++v) slots += g.degree(v);
+        EXPECT_EQ(slots, 2 * g.num_edges());
+      }
+    });
+  }
+  for (std::thread& t : readers) t.join();
 }
 
 // ---- Pool churn: nested batches, repeated submission, failure paths ----

@@ -20,17 +20,17 @@ namespace {
 
 TEST(FailureInjection, ZeroVertexGraphEverywhere) {
   Graph g(0);
-  EXPECT_EQ(exact::blossom_max_weight(g).size(), 0u);
+  EXPECT_EQ(exact::blossom_max_weight(freeze(g)).size(), 0u);
   core::ReductionConfig cfg;
   core::ExactMatcher matcher;
   Rng rng(1);
-  auto r = core::maximum_weight_matching(g, cfg, matcher, rng);
+  auto r = core::maximum_weight_matching(freeze(g), cfg, matcher, rng);
   EXPECT_EQ(r.matching.size(), 0u);
 }
 
 TEST(FailureInjection, SingleVertexNoEdges) {
   Graph g(1);
-  EXPECT_EQ(exact::blossom_max_weight(g).weight(), 0);
+  EXPECT_EQ(exact::blossom_max_weight(freeze(g)).weight(), 0);
   Rng rng(2);
   auto r = core::rand_arr_matching({}, 1, {}, rng);
   EXPECT_EQ(r.matching.weight(), 0);
@@ -45,7 +45,7 @@ TEST(FailureInjection, IsolatedVerticesIgnored) {
   EXPECT_EQ(r.matching.weight(), 7);
   core::ReductionConfig cfg;
   core::ExactMatcher matcher;
-  auto r2 = core::maximum_weight_matching(g, cfg, matcher, rng);
+  auto r2 = core::maximum_weight_matching(freeze(g), cfg, matcher, rng);
   EXPECT_EQ(r2.matching.weight(), 7);
 }
 
@@ -53,12 +53,12 @@ TEST(FailureInjection, UniformWeightOneGraph) {
   // Degenerate weight classes: every edge in class 1, quantum clamps to 1.
   Rng rng(4);
   Graph g = gen::erdos_renyi(40, 150, rng);
-  Matching opt = exact::blossom_max_weight(g, true);
+  Matching opt = exact::blossom_max_weight(freeze(g), true);
   core::ReductionConfig cfg;
   cfg.epsilon = 0.2;
   cfg.max_iterations = 6;
   core::ExactMatcher matcher;
-  auto r = core::maximum_weight_matching(g, cfg, matcher, rng);
+  auto r = core::maximum_weight_matching(freeze(g), cfg, matcher, rng);
   EXPECT_TRUE(is_valid_matching(r.matching, g));
   EXPECT_GE(static_cast<double>(r.matching.size()),
             0.8 * static_cast<double>(opt.size()));
@@ -73,7 +73,7 @@ TEST(FailureInjection, HugeWeightsNoOverflow) {
   g.add_edge(2, 3, big - 5);
   g.add_edge(3, 4, big + 7);
   g.add_edge(4, 5, big);
-  Matching opt = exact::blossom_max_weight(g);
+  Matching opt = exact::blossom_max_weight(freeze(g));
   EXPECT_EQ(opt.weight(), 3 * big - 5);  // the three non-adjacent path edges
   Rng rng(5);
   core::ReductionConfig cfg;
@@ -85,7 +85,7 @@ TEST(FailureInjection, HugeWeightsNoOverflow) {
   cfg.parametrizations = 8;
   cfg.stall_patience = 30;
   core::ExactMatcher matcher;
-  auto r = core::maximum_weight_matching(g, cfg, matcher, rng);
+  auto r = core::maximum_weight_matching(freeze(g), cfg, matcher, rng);
   EXPECT_TRUE(is_valid_matching(r.matching, g));
   EXPECT_GE(static_cast<double>(r.matching.weight()),
             0.8 * static_cast<double>(opt.weight()));
@@ -96,19 +96,19 @@ TEST(FailureInjection, StarGraphsEveryAlgorithm) {
   Graph g(50);
   for (Vertex v = 1; v < 50; ++v) g.add_edge(0, v, static_cast<Weight>(v));
   Rng rng(6);
-  auto stream = gen::random_stream(g, rng);
+  auto stream = gen::random_stream(freeze(g), rng);
   auto r1 = core::rand_arr_matching(stream, 50, {}, rng);
   EXPECT_EQ(r1.matching.size(), 1u);
   auto r2 = core::unweighted_random_arrival(stream, 50);
   EXPECT_EQ(r2.matching.size(), 1u);
-  EXPECT_EQ(exact::blossom_max_weight(g).weight(), 49);
+  EXPECT_EQ(exact::blossom_max_weight(freeze(g)).weight(), 49);
 }
 
 TEST(FailureInjection, StreamLongerPrefixThanEdges) {
   // p close to 1: prefix swallows nearly the whole stream.
   Rng rng(7);
   Graph g = gen::erdos_renyi(20, 60, rng);
-  auto stream = gen::random_stream(g, rng);
+  auto stream = gen::random_stream(freeze(g), rng);
   core::RandArrConfig cfg;
   cfg.p = 0.99;
   auto r = core::rand_arr_matching(stream, 20, cfg, rng);
@@ -135,9 +135,9 @@ TEST(FailureInjection, DuplicateEdgesInStreamAreTolerated) {
 TEST(FailureInjection, HopcroftKarpEmptySides) {
   Graph g(4);
   std::vector<char> side{0, 0, 0, 0};  // all left, no edges
-  auto r = exact::hopcroft_karp(g, side);
+  auto r = exact::hopcroft_karp(freeze(g), side);
   EXPECT_EQ(r.matching.size(), 0u);
-  Matching h = exact::hungarian_max_weight(g, side);
+  Matching h = exact::hungarian_max_weight(freeze(g), side);
   EXPECT_EQ(h.size(), 0u);
 }
 
@@ -169,7 +169,7 @@ TEST(FailureInjection, ReductionOnDisconnectedForest) {
   cfg.epsilon = 0.1;
   cfg.max_iterations = 10;
   core::ExactMatcher matcher;
-  auto r = core::maximum_weight_matching(g, cfg, matcher, rng);
+  auto r = core::maximum_weight_matching(freeze(g), cfg, matcher, rng);
   EXPECT_EQ(r.matching.weight(), 30);  // both 5s in every component
 }
 
@@ -185,7 +185,7 @@ TEST(FailureInjection, AllAlgorithmsRejectBadParameters) {
   core::ReductionConfig rcfg;
   rcfg.epsilon = 1.0;
   core::ExactMatcher matcher;
-  EXPECT_THROW(core::maximum_weight_matching(g, rcfg, matcher, rng),
+  EXPECT_THROW(core::maximum_weight_matching(freeze(g), rcfg, matcher, rng),
                std::invalid_argument);
 }
 

@@ -49,8 +49,11 @@ TEST(Generators, BarabasiAlbertDegreesSkewed) {
   EXPECT_EQ(g.num_vertices(), 200u);
   // m = seed clique + 2 per new vertex.
   EXPECT_EQ(g.num_edges(), 3u + (200u - 3u) * 2u);
+  GraphView view = freeze(g);
   std::size_t max_deg = 0;
-  for (Vertex v = 0; v < 200; ++v) max_deg = std::max(max_deg, g.degree(v));
+  for (Vertex v = 0; v < 200; ++v) {
+    max_deg = std::max(max_deg, view.degree(v));
+  }
   EXPECT_GT(max_deg, 8u);  // hubs exist
 }
 
@@ -71,14 +74,14 @@ TEST(Generators, PathAndCycleShapes) {
   Graph c = gen::cycle_graph({1, 2, 3, 4});
   EXPECT_EQ(c.num_vertices(), 4u);
   EXPECT_EQ(c.num_edges(), 4u);
-  EXPECT_EQ(c.degree(0), 2u);
+  EXPECT_EQ(freeze(c).degree(0), 2u);
   EXPECT_THROW(gen::cycle_graph({1, 2}), std::invalid_argument);
 }
 
 TEST(Generators, RandomStreamIsPermutationOfEdges) {
   Rng rng(5);
   Graph g = gen::erdos_renyi(20, 50, rng);
-  auto stream = gen::random_stream(g, rng);
+  auto stream = gen::random_stream(freeze(g), rng);
   ASSERT_EQ(stream.size(), g.num_edges());
   std::multiset<std::uint64_t> a, b;
   for (const Edge& e : g.edges()) a.insert(e.key());
@@ -90,7 +93,7 @@ TEST(Generators, IncreasingWeightStreamSorted) {
   Rng rng(6);
   Graph g = gen::erdos_renyi(20, 50, rng);
   g = gen::assign_weights(g, gen::WeightDist::kUniform, 100, rng);
-  auto stream = gen::increasing_weight_stream(g);
+  auto stream = gen::increasing_weight_stream(freeze(g));
   EXPECT_TRUE(std::is_sorted(
       stream.begin(), stream.end(),
       [](const Edge& a, const Edge& b) { return a.w < b.w; }));

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include "graph/graph.h"
+#include "graph/graph_view.h"
 
 namespace wmatch {
 namespace {
@@ -11,7 +12,7 @@ TEST(Graph, EmptyGraph) {
   EXPECT_EQ(g.num_edges(), 0u);
   EXPECT_EQ(g.total_weight(), 0);
   EXPECT_EQ(g.max_weight(), 0);
-  EXPECT_TRUE(g.incident(0).empty());
+  EXPECT_TRUE(freeze(g).incident(0).empty());
 }
 
 TEST(Graph, AddAndQueryEdges) {
@@ -22,8 +23,9 @@ TEST(Graph, AddAndQueryEdges) {
   EXPECT_EQ(g.num_edges(), 3u);
   EXPECT_EQ(g.total_weight(), 15);
   EXPECT_EQ(g.max_weight(), 7);
-  EXPECT_EQ(g.degree(1), 2u);
-  EXPECT_EQ(g.degree(0), 1u);
+  GraphView view = freeze(g);
+  EXPECT_EQ(view.degree(1), 2u);
+  EXPECT_EQ(view.degree(0), 1u);
 }
 
 TEST(Graph, IncidentEdgesAreCorrect) {
@@ -31,19 +33,24 @@ TEST(Graph, IncidentEdgesAreCorrect) {
   g.add_edge(0, 1, 1);
   g.add_edge(0, 2, 2);
   g.add_edge(0, 3, 3);
-  auto inc = g.incident(0);
+  GraphView view = freeze(g);
+  auto inc = view.incident(0);
   ASSERT_EQ(inc.size(), 3u);
   Weight sum = 0;
-  for (auto ei : inc) sum += g.edge(ei).w;
+  for (auto ei : inc) sum += view.edge(ei).w;
   EXPECT_EQ(sum, 6);
 }
 
-TEST(Graph, AdjacencyRebuiltAfterAdd) {
+TEST(Graph, ViewIsSnapshotOfBuilder) {
+  // Freezing copies: edges added to the builder afterwards are invisible
+  // to the already-frozen view, and a re-freeze picks them up.
   Graph g(3);
   g.add_edge(0, 1, 1);
-  EXPECT_EQ(g.degree(0), 1u);  // forces adjacency build
+  GraphView before = freeze(g);
+  EXPECT_EQ(before.degree(0), 1u);
   g.add_edge(0, 2, 1);
-  EXPECT_EQ(g.degree(0), 2u);  // must reflect the new edge
+  EXPECT_EQ(before.degree(0), 1u);  // old view untouched
+  EXPECT_EQ(freeze(g).degree(0), 2u);
 }
 
 TEST(Graph, RejectsSelfLoop) {
@@ -65,6 +72,16 @@ TEST(Graph, RejectsNonPositiveWeight) {
 TEST(Graph, ConstructorRejectsDuplicateEdges) {
   std::vector<Edge> edges{{0, 1, 2}, {1, 0, 3}};
   EXPECT_THROW(Graph(3, edges), std::invalid_argument);
+}
+
+TEST(Graph, ReleaseEdgesMovesOutTheEdgeList) {
+  Graph g(3);
+  g.add_edge(0, 1, 2);
+  g.add_edge(1, 2, 4);
+  std::vector<Edge> edges = std::move(g).release_edges();
+  ASSERT_EQ(edges.size(), 2u);
+  EXPECT_EQ(edges[0].w, 2);
+  EXPECT_EQ(edges[1].w, 4);
 }
 
 TEST(Graph, EdgeKeyIsOrientationIndependent) {

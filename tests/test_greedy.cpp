@@ -20,7 +20,7 @@ TEST(Greedy, ExtendTakesOnlyFreeEndpoints) {
 TEST(Greedy, StreamMatchingIsMaximal) {
   Rng rng(1);
   Graph g = gen::erdos_renyi(40, 150, rng);
-  auto stream = gen::random_stream(g, rng);
+  auto stream = gen::random_stream(freeze(g), rng);
   Matching m = baselines::greedy_stream_matching(stream, 40);
   // Maximality: no edge has both endpoints free.
   for (const Edge& e : g.edges()) {
@@ -33,9 +33,9 @@ TEST(Greedy, MaximalIsHalfApproxCardinality) {
   Rng rng(2);
   for (int trial = 0; trial < 10; ++trial) {
     Graph g = gen::erdos_renyi(30, 80, rng);
-    auto stream = gen::random_stream(g, rng);
+    auto stream = gen::random_stream(freeze(g), rng);
     Matching m = baselines::greedy_stream_matching(stream, 30);
-    Matching opt = exact::blossom_max_weight(g, true);
+    Matching opt = exact::blossom_max_weight(freeze(g), true);
     EXPECT_GE(2 * m.size(), opt.size());
   }
 }
@@ -45,8 +45,8 @@ TEST(Greedy, ByWeightIsHalfApproxWeighted) {
   for (int trial = 0; trial < 10; ++trial) {
     Graph g = gen::erdos_renyi(30, 100, rng);
     g = gen::assign_weights(g, gen::WeightDist::kExponential, 1000, rng);
-    Matching m = baselines::greedy_by_weight(g);
-    Matching opt = exact::blossom_max_weight(g);
+    Matching m = baselines::greedy_by_weight(freeze(g));
+    Matching opt = exact::blossom_max_weight(freeze(g));
     EXPECT_GE(2 * m.weight(), opt.weight());
     EXPECT_TRUE(is_valid_matching(m, g));
   }

@@ -23,7 +23,7 @@ TEST(HardInstances, FourCycleMatchingIsPerfectButSuboptimal) {
   for (Vertex v = 0; v < inst.graph.num_vertices(); ++v) {
     EXPECT_TRUE(inst.matching.is_matched(v));
   }
-  Matching opt = exact::blossom_max_weight(inst.graph);
+  Matching opt = exact::blossom_max_weight(freeze(inst.graph));
   EXPECT_EQ(opt.weight(), inst.optimal_weight);
   EXPECT_LT(inst.matching.weight(), opt.weight());
 }
@@ -41,7 +41,7 @@ TEST(HardInstances, FourCycleOnlyCycleAugmentationImproves) {
 TEST(HardInstances, Figure1MatchesPaper) {
   auto inst = gen::figure1_example();
   EXPECT_EQ(inst.matching.weight(), 5);
-  Matching opt = exact::blossom_max_weight(inst.graph);
+  Matching opt = exact::blossom_max_weight(freeze(inst.graph));
   EXPECT_EQ(opt.weight(), 8);
   EXPECT_EQ(inst.optimal_weight, 8);
   // The "losing" unweighted augmenting path b-c-d-e would decrease weight.
@@ -54,7 +54,7 @@ TEST(HardInstances, Figure1MatchesPaper) {
 TEST(HardInstances, Figure2OptimalWeight) {
   auto inst = gen::figure2_example();
   EXPECT_TRUE(is_valid_matching(inst.matching, inst.graph));
-  Matching opt = exact::blossom_max_weight(inst.graph);
+  Matching opt = exact::blossom_max_weight(freeze(inst.graph));
   EXPECT_EQ(opt.weight(), inst.optimal_weight);
 }
 
@@ -62,7 +62,7 @@ TEST(HardInstances, GreedyTrapRatioApproachesHalf) {
   auto inst = gen::greedy_trap_paths(10, 10, 6);
   EXPECT_EQ(inst.matching.weight(), 100);
   EXPECT_EQ(inst.optimal_weight, 120);
-  Matching opt = exact::blossom_max_weight(inst.graph);
+  Matching opt = exact::blossom_max_weight(freeze(inst.graph));
   EXPECT_EQ(opt.weight(), inst.optimal_weight);
 }
 
@@ -74,7 +74,7 @@ TEST(HardInstances, PlantedThreeAugsCountsOptimum) {
   Rng rng(3);
   auto inst = gen::planted_three_augs(50, 0.5, rng);
   EXPECT_EQ(inst.matching.size(), 50u);
-  Matching opt = exact::blossom_max_weight(inst.graph, true);
+  Matching opt = exact::blossom_max_weight(freeze(inst.graph), true);
   EXPECT_EQ(static_cast<Weight>(opt.size()), inst.optimal_weight);
   EXPECT_GT(inst.optimal_weight, 50);
 }
@@ -85,7 +85,7 @@ TEST(HardInstances, LongPathFamilyNeedsFullFlip) {
   // flip gain = 15 - 8 = 7 per unit.
   EXPECT_EQ(inst.matching.weight(), 2 * 4 * 2);
   EXPECT_EQ(inst.optimal_weight, 2 * 15);
-  Matching opt = exact::blossom_max_weight(inst.graph);
+  Matching opt = exact::blossom_max_weight(freeze(inst.graph));
   EXPECT_EQ(opt.weight(), inst.optimal_weight);
 }
 

@@ -22,7 +22,7 @@ TEST(HopcroftKarp, PerfectMatchingOnCompleteBipartite) {
       g.add_edge(u, static_cast<Vertex>(k + v), 1);
     }
   }
-  auto r = exact::hopcroft_karp(g, sides_by_cut(k, 2 * k));
+  auto r = exact::hopcroft_karp(freeze(g), sides_by_cut(k, 2 * k));
   EXPECT_EQ(r.matching.size(), k);
 }
 
@@ -33,8 +33,8 @@ TEST(HopcroftKarp, MatchesBruteForceCardinality) {
     std::size_t nr = 3 + rng.next_below(5);
     std::size_t m = 1 + rng.next_below(std::min<std::size_t>(nl * nr, 24));
     Graph g = gen::random_bipartite(nl, nr, m, rng);
-    auto r = exact::hopcroft_karp(g, sides_by_cut(nl, nl + nr));
-    EXPECT_EQ(r.matching.size(), exact::brute_force_max_cardinality(g));
+    auto r = exact::hopcroft_karp(freeze(g), sides_by_cut(nl, nl + nr));
+    EXPECT_EQ(r.matching.size(), exact::brute_force_max_cardinality(freeze(g)));
     EXPECT_TRUE(is_valid_matching(r.matching, g));
   }
 }
@@ -43,7 +43,7 @@ TEST(HopcroftKarp, RejectsIntraSideEdge) {
   Graph g(4);
   g.add_edge(0, 1, 1);
   std::vector<char> side{0, 0, 1, 1};
-  EXPECT_THROW(exact::hopcroft_karp(g, side), std::invalid_argument);
+  EXPECT_THROW(exact::hopcroft_karp(freeze(g), side), std::invalid_argument);
 }
 
 TEST(HopcroftKarp, PhaseLimitGivesApproximation) {
@@ -52,9 +52,9 @@ TEST(HopcroftKarp, PhaseLimitGivesApproximation) {
   Rng rng(9);
   Graph g = gen::random_bipartite(80, 80, 500, rng);
   auto side = sides_by_cut(80, 160);
-  auto full = exact::hopcroft_karp(g, side);
+  auto full = exact::hopcroft_karp(freeze(g), side);
   for (std::size_t phases = 1; phases <= 4; ++phases) {
-    auto limited = exact::hopcroft_karp(g, side, phases);
+    auto limited = exact::hopcroft_karp(freeze(g), side, phases);
     EXPECT_LE(limited.phases, phases);
     // Fact 1.3: after k phases the matching is (1 - 1/(k+1))-approximate.
     double bound = 1.0 - 1.0 / (static_cast<double>(phases) + 1.0);
@@ -71,7 +71,7 @@ TEST(HopcroftKarp, InitialMatchingIsRespectedAndExtended) {
   std::vector<char> side{0, 0, 1, 1};
   Matching init(4);
   init.add(0, 2, 5);
-  auto r = exact::hopcroft_karp(g, side, 0, &init);
+  auto r = exact::hopcroft_karp(freeze(g), side, 0, &init);
   EXPECT_EQ(r.matching.size(), 2u);
   EXPECT_TRUE(r.matching.contains(0, 2));
 }
@@ -82,7 +82,7 @@ TEST(HopcroftKarp, InitialMatchingNotInGraphRejected) {
   std::vector<char> side{0, 0, 1, 1};
   Matching init(4);
   init.add(1, 3, 5);
-  EXPECT_THROW(exact::hopcroft_karp(g, side, 0, &init),
+  EXPECT_THROW(exact::hopcroft_karp(freeze(g), side, 0, &init),
                std::invalid_argument);
 }
 
@@ -94,10 +94,10 @@ TEST(HopcroftKarp, ResultIsInvariantAcrossThreadCounts) {
   Graph g = gen::random_bipartite(120, 120, 900, rng);
   auto side = sides_by_cut(120, 240);
   for (std::size_t max_phases : {std::size_t{0}, std::size_t{2}}) {
-    auto base = exact::hopcroft_karp(g, side, max_phases, nullptr,
+    auto base = exact::hopcroft_karp(freeze(g), side, max_phases, nullptr,
                                      runtime::RuntimeConfig{1});
     for (std::size_t threads : {2u, 8u}) {
-      auto r = exact::hopcroft_karp(g, side, max_phases, nullptr,
+      auto r = exact::hopcroft_karp(freeze(g), side, max_phases, nullptr,
                                     runtime::RuntimeConfig{threads});
       EXPECT_EQ(r.phases, base.phases) << threads;
       EXPECT_EQ(r.matching, base.matching) << threads;
@@ -109,7 +109,7 @@ TEST(HopcroftKarp, PhasesGrowLogarithmically) {
   // Hopcroft-Karp needs O(sqrt(V)) phases; on random graphs far fewer.
   Rng rng(11);
   Graph g = gen::random_bipartite(200, 200, 1200, rng);
-  auto r = exact::hopcroft_karp(g, sides_by_cut(200, 400));
+  auto r = exact::hopcroft_karp(freeze(g), sides_by_cut(200, 400));
   EXPECT_LE(r.phases, 20u);
   EXPECT_GT(r.matching.size(), 150u);
 }
@@ -119,7 +119,7 @@ TEST(Bipartition, TwoColorsAPathAndRejectsOddCycle) {
   p.add_edge(0, 1, 1);
   p.add_edge(1, 2, 1);
   p.add_edge(2, 3, 1);
-  auto side = exact::bipartition_of(p);
+  auto side = exact::bipartition_of(freeze(p));
   ASSERT_EQ(side.size(), 4u);
   EXPECT_NE(side[0], side[1]);
   EXPECT_NE(side[1], side[2]);
@@ -128,7 +128,7 @@ TEST(Bipartition, TwoColorsAPathAndRejectsOddCycle) {
   tri.add_edge(0, 1, 1);
   tri.add_edge(1, 2, 1);
   tri.add_edge(0, 2, 1);
-  EXPECT_TRUE(exact::bipartition_of(tri).empty());
+  EXPECT_TRUE(exact::bipartition_of(freeze(tri)).empty());
 }
 
 }  // namespace

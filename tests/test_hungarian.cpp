@@ -24,7 +24,7 @@ TEST(Hungarian, SimpleAssignment) {
   g.add_edge(0, 3, 9);
   g.add_edge(1, 2, 2);
   g.add_edge(1, 3, 5);
-  Matching m = exact::hungarian_max_weight(g, sides_by_cut(2, 4));
+  Matching m = exact::hungarian_max_weight(freeze(g), sides_by_cut(2, 4));
   EXPECT_EQ(m.weight(), 11);  // (0,3)=9 + (1,2)=2
 }
 
@@ -33,16 +33,16 @@ TEST(Hungarian, LeavesVerticesUnmatchedWhenProfitable) {
   g.add_edge(0, 2, 10);
   g.add_edge(1, 2, 9);  // 1 stays unmatched; only one right vertex useful
   g.add_edge(1, 3, 1);
-  Matching m = exact::hungarian_max_weight(g, sides_by_cut(2, 4));
+  Matching m = exact::hungarian_max_weight(freeze(g), sides_by_cut(2, 4));
   EXPECT_EQ(m.weight(), 11);
 }
 
 TEST(Hungarian, EmptyGraphAndEmptySide) {
   Graph g(3);
-  Matching m = exact::hungarian_max_weight(g, {0, 1, 1});
+  Matching m = exact::hungarian_max_weight(freeze(g), {0, 1, 1});
   EXPECT_EQ(m.weight(), 0);
   Graph g2(2);
-  Matching m2 = exact::hungarian_max_weight(g2, {1, 1});
+  Matching m2 = exact::hungarian_max_weight(freeze(g2), {1, 1});
   EXPECT_EQ(m2.weight(), 0);
 }
 
@@ -51,7 +51,7 @@ TEST(Hungarian, UnbalancedSides) {
   g.add_edge(0, 1, 3);
   g.add_edge(0, 2, 8);
   g.add_edge(0, 3, 5);
-  Matching m = exact::hungarian_max_weight(g, {0, 1, 1, 1, 1});
+  Matching m = exact::hungarian_max_weight(freeze(g), {0, 1, 1, 1, 1});
   EXPECT_EQ(m.weight(), 8);
   EXPECT_TRUE(m.contains(0, 2));
 }
@@ -59,7 +59,7 @@ TEST(Hungarian, UnbalancedSides) {
 TEST(Hungarian, RejectsIntraSideEdge) {
   Graph g(4);
   g.add_edge(0, 1, 1);
-  EXPECT_THROW(exact::hungarian_max_weight(g, {0, 0, 1, 1}),
+  EXPECT_THROW(exact::hungarian_max_weight(freeze(g), {0, 0, 1, 1}),
                std::invalid_argument);
 }
 
@@ -74,9 +74,9 @@ TEST_P(HungarianCrossCheck, AgreesWithBlossomAndBruteForce) {
     Graph g = gen::random_bipartite(nl, nr, m, rng);
     g = gen::assign_weights(g, gen::WeightDist::kUniform, 50, rng);
     auto side = sides_by_cut(nl, nl + nr);
-    Matching hung = exact::hungarian_max_weight(g, side);
-    Matching bl = exact::blossom_max_weight(g);
-    Matching bf = exact::brute_force_max_weight(g);
+    Matching hung = exact::hungarian_max_weight(freeze(g), side);
+    Matching bl = exact::blossom_max_weight(freeze(g));
+    Matching bf = exact::brute_force_max_weight(freeze(g));
     ASSERT_EQ(hung.weight(), bf.weight()) << "trial " << trial;
     ASSERT_EQ(bl.weight(), bf.weight()) << "trial " << trial;
     ASSERT_TRUE(is_valid_matching(hung, g));
@@ -91,8 +91,8 @@ TEST(Hungarian, MediumDenseInstance) {
   Graph g = gen::random_bipartite(60, 60, 1800, rng);
   g = gen::assign_weights(g, gen::WeightDist::kUniform, 1000, rng);
   auto side = sides_by_cut(60, 120);
-  Matching hung = exact::hungarian_max_weight(g, side);
-  Matching bl = exact::blossom_max_weight(g);
+  Matching hung = exact::hungarian_max_weight(freeze(g), side);
+  Matching bl = exact::blossom_max_weight(freeze(g));
   EXPECT_EQ(hung.weight(), bl.weight());
 }
 

@@ -43,10 +43,10 @@ TEST(Integration, SinglePassPipelineAcrossFamilies) {
   Rng master(11);
   for (auto& fam : families(master)) {
     Rng rng = master.split();
-    auto stream = gen::random_stream(fam.graph, rng);
+    auto stream = gen::random_stream(freeze(fam.graph), rng);
     auto result =
         core::rand_arr_matching(stream, fam.graph.num_vertices(), {}, rng);
-    Matching opt = exact::blossom_max_weight(fam.graph);
+    Matching opt = exact::blossom_max_weight(freeze(fam.graph));
     ASSERT_TRUE(is_valid_matching(result.matching, fam.graph)) << fam.name;
     EXPECT_GE(static_cast<double>(result.matching.weight()),
               0.4 * static_cast<double>(opt.weight()))
@@ -64,8 +64,8 @@ TEST(Integration, MultipassPipelineAcrossFamilies) {
   for (auto& fam : families(master)) {
     Rng rng = master.split();
     core::HkStreamingMatcher matcher;
-    auto result = core::maximum_weight_matching(fam.graph, cfg, matcher, rng);
-    Matching opt = exact::blossom_max_weight(fam.graph);
+    auto result = core::maximum_weight_matching(freeze(fam.graph), cfg, matcher, rng);
+    Matching opt = exact::blossom_max_weight(freeze(fam.graph));
     ASSERT_TRUE(is_valid_matching(result.matching, fam.graph)) << fam.name;
     EXPECT_GE(static_cast<double>(result.matching.weight()),
               0.7 * static_cast<double>(opt.weight()))
@@ -83,8 +83,8 @@ TEST(Integration, MpcPipelineProducesValidNearOptimalMatching) {
   cfg.epsilon = 0.25;
   cfg.tau.max_pairs = 300;
   cfg.max_iterations = 4;
-  auto result = core::maximum_weight_matching(g, cfg, matcher, rng);
-  Matching opt = exact::blossom_max_weight(g);
+  auto result = core::maximum_weight_matching(freeze(g), cfg, matcher, rng);
+  Matching opt = exact::blossom_max_weight(freeze(g));
   EXPECT_TRUE(is_valid_matching(result.matching, g));
   EXPECT_GE(static_cast<double>(result.matching.weight()),
             0.7 * static_cast<double>(opt.weight()));
@@ -114,7 +114,7 @@ TEST(Integration, ReductionBeatsSinglePassBaselinesGivenMorePasses) {
   cfg.max_iterations = 15;
   core::HkStreamingMatcher matcher;
   auto multipass =
-      core::maximum_weight_matching(inst.graph, cfg, matcher, rng);
+      core::maximum_weight_matching(freeze(inst.graph), cfg, matcher, rng);
 
   EXPECT_GT(multipass.matching.weight(), greedy.weight());
   EXPECT_GE(multipass.matching.weight(), local_ratio.weight());
@@ -128,10 +128,10 @@ TEST(Integration, UnweightedPipelineOnBipartiteFamilies) {
   for (int trial = 0; trial < 5; ++trial) {
     Rng rng = master.split();
     Graph g = gen::random_bipartite(60, 60, 360, rng);
-    auto stream = gen::random_stream(g, rng);
+    auto stream = gen::random_stream(freeze(g), rng);
     auto result =
         core::unweighted_random_arrival(stream, g.num_vertices());
-    Matching opt = exact::blossom_max_weight(g, true);
+    Matching opt = exact::blossom_max_weight(freeze(g), true);
     ASSERT_TRUE(is_valid_matching(result.matching, g));
     ratios.add(static_cast<double>(result.matching.size()) /
                static_cast<double>(opt.size()));
@@ -154,9 +154,9 @@ TEST(Integration, WeightScaleInvarianceOfReduction) {
   cfg.tau.max_pairs = 300;
 
   core::HkStreamingMatcher m1, m2;
-  auto r1 = core::maximum_weight_matching(g, cfg, m1, rng_a);
-  auto r2 = core::maximum_weight_matching(scaled, cfg, m2, rng_b);
-  Matching opt = exact::blossom_max_weight(g);
+  auto r1 = core::maximum_weight_matching(freeze(g), cfg, m1, rng_a);
+  auto r2 = core::maximum_weight_matching(freeze(scaled), cfg, m2, rng_b);
+  Matching opt = exact::blossom_max_weight(freeze(g));
   double ratio1 = static_cast<double>(r1.matching.weight()) /
                   static_cast<double>(opt.weight());
   double ratio2 = static_cast<double>(r2.matching.weight()) /

@@ -40,7 +40,7 @@ TEST(CrossingEdgesTest, OrientationInvariants) {
   Matching m(4);
   m.add(0, 1, 5);
   Parametrization par{0, 1, 0, 1};  // L R L R
-  CrossingEdges ce = core::crossing_edges(g, m, par);
+  CrossingEdges ce = core::crossing_edges(freeze(g), m, par);
   // Matched crossing: (0,1). Unmatched crossing: (1,2), (2,3), (0,3).
   ASSERT_EQ(ce.matched.size(), 1u);
   ASSERT_EQ(ce.unmatched.size(), 3u);
@@ -56,7 +56,7 @@ TEST(CrossingEdgesTest, SameSideEdgesDropped) {
   g.add_edge(0, 2, 5);
   Matching m(4);
   Parametrization par{0, 1, 0, 1};
-  CrossingEdges ce = core::crossing_edges(g, m, par);
+  CrossingEdges ce = core::crossing_edges(freeze(g), m, par);
   EXPECT_TRUE(ce.matched.empty());
   EXPECT_TRUE(ce.unmatched.empty());
 }
@@ -84,7 +84,7 @@ class LayeredFixture : public ::testing::Test {
 };
 
 TEST_F(LayeredFixture, CapturesPlantedThreeAugmentation) {
-  CrossingEdges ce = core::crossing_edges(g_, m_, par_);
+  CrossingEdges ce = core::crossing_edges(freeze(g_), m_, par_);
   TauPair tau{{0, 2, 0}, {1, 1}};
   LayeredGraph lg = build(ce, m_, par_, tau, 5, 4);
   EXPECT_EQ(lg.num_between_edges, 2u);
@@ -98,7 +98,7 @@ TEST_F(LayeredFixture, CapturesPlantedThreeAugmentation) {
 }
 
 TEST_F(LayeredFixture, ThresholdsFilterHeavyMatchedEdge) {
-  CrossingEdges ce = core::crossing_edges(g_, m_, par_);
+  CrossingEdges ce = core::crossing_edges(freeze(g_), m_, par_);
   // tau_a middle = 1 -> admits only w in (0,5]; the matched edge (w=10)
   // fails, so the intermediate layer is empty and no Y edge survives.
   TauPair tau{{0, 1, 0}, {1, 1}};
@@ -107,7 +107,7 @@ TEST_F(LayeredFixture, ThresholdsFilterHeavyMatchedEdge) {
 }
 
 TEST_F(LayeredFixture, UnmatchedBandIsHalfOpen) {
-  CrossingEdges ce = core::crossing_edges(g_, m_, par_);
+  CrossingEdges ce = core::crossing_edges(freeze(g_), m_, par_);
   // b = 2 admits w in [10, 15); wings w=9 fail.
   TauPair tau{{0, 2, 0}, {2, 2}};
   LayeredGraph lg = build(ce, m_, par_, tau, 5, 4);
@@ -126,7 +126,7 @@ TEST_F(LayeredFixture, EndpointThresholdZeroRequiresFreeVertex) {
   m.add(1, 2, 10);
   m.add(0, 4, 6);
   Parametrization par{1, 0, 1, 0, 0};
-  CrossingEdges ce = core::crossing_edges(g, m, par);
+  CrossingEdges ce = core::crossing_edges(freeze(g), m, par);
   TauPair tau{{0, 2, 0}, {1, 1}};
   LayeredGraph lg = build(ce, m, par, tau, 5, 5);
   // Y edge from 0@1 must be gone; only Y (2@2 -> 3@3) survives... but then
@@ -149,7 +149,7 @@ TEST_F(LayeredFixture, MatchedEndpointAdmittedWithPositiveTau) {
   m.add(1, 2, 10);
   m.add(0, 4, 6);
   Parametrization par{1, 0, 1, 0, 0};
-  CrossingEdges ce = core::crossing_edges(g, m, par);
+  CrossingEdges ce = core::crossing_edges(freeze(g), m, par);
   // Unit 4: a1=2 admits (4,8] -> w(0,4)=6 passes; a2=3 admits (8,12] ->
   // w(1,2)=10 passes; b=2 admits [8,12) -> wings w=9 pass.
   TauPair tau{{2, 3, 0}, {2, 2}};
@@ -171,7 +171,7 @@ TEST(LayeredGraphRandom, StructuralInvariants) {
     if (!m.is_matched(e.u) && !m.is_matched(e.v)) m.add(e);
   }
   Parametrization par = core::random_parametrization(60, rng);
-  CrossingEdges ce = core::crossing_edges(g, m, par);
+  CrossingEdges ce = core::crossing_edges(freeze(g), m, par);
   core::TauConfig tcfg;
   auto pairs = core::generate_good_pairs(tcfg, rng);
   std::size_t checked = 0;

@@ -35,11 +35,11 @@ TEST(LocalRatio, HalfApproximationOnRandomGraphs) {
   for (int trial = 0; trial < 15; ++trial) {
     Graph g = gen::erdos_renyi(30, 120, rng);
     g = gen::assign_weights(g, gen::WeightDist::kUniform, 100, rng);
-    auto stream = gen::random_stream(g, rng);
+    auto stream = gen::random_stream(freeze(g), rng);
     baselines::LocalRatio lr(30);
     for (const Edge& e : stream) lr.feed(e);
     Matching m = lr.unwind();
-    Matching opt = exact::blossom_max_weight(g);
+    Matching opt = exact::blossom_max_weight(freeze(g));
     EXPECT_GE(2 * m.weight(), opt.weight()) << trial;
     EXPECT_TRUE(is_valid_matching(m, g));
   }
@@ -49,11 +49,11 @@ TEST(LocalRatio, HalfApproxHoldsOnAdversarialOrder) {
   Rng rng(5);
   Graph g = gen::erdos_renyi(25, 90, rng);
   g = gen::assign_weights(g, gen::WeightDist::kExponential, 4096, rng);
-  auto stream = gen::increasing_weight_stream(g);
+  auto stream = gen::increasing_weight_stream(freeze(g));
   baselines::LocalRatio lr(25);
   for (const Edge& e : stream) lr.feed(e);
   Matching m = lr.unwind();
-  Matching opt = exact::blossom_max_weight(g);
+  Matching opt = exact::blossom_max_weight(freeze(g));
   EXPECT_GE(2 * m.weight(), opt.weight());
 }
 
@@ -89,11 +89,11 @@ TEST(LocalRatio, StackSmallOnRandomOrder) {
   g = gen::assign_weights(g, gen::WeightDist::kUniform, 1 << 20, rng);
 
   baselines::LocalRatio random_lr(60);
-  auto random_order = gen::random_stream(g, rng);
+  auto random_order = gen::random_stream(freeze(g), rng);
   for (const Edge& e : random_order) random_lr.feed(e);
 
   baselines::LocalRatio adv_lr(60);
-  for (const Edge& e : gen::increasing_weight_stream(g)) adv_lr.feed(e);
+  for (const Edge& e : gen::increasing_weight_stream(freeze(g))) adv_lr.feed(e);
 
   EXPECT_LT(random_lr.stack().size(), adv_lr.stack().size());
 }

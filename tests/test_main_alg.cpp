@@ -27,8 +27,8 @@ TEST(MainAlg, ReachesNearOptimumOnSmallRandomGraphs) {
     g = gen::assign_weights(g, gen::WeightDist::kUniform, 64, rng);
     core::ExactMatcher matcher;
     auto result =
-        core::maximum_weight_matching(g, fast_config(), matcher, rng);
-    Matching opt = exact::blossom_max_weight(g);
+        core::maximum_weight_matching(freeze(g), fast_config(), matcher, rng);
+    Matching opt = exact::blossom_max_weight(freeze(g));
     EXPECT_TRUE(is_valid_matching(result.matching, g));
     EXPECT_GE(static_cast<double>(result.matching.weight()),
               (1.0 - 0.2) * static_cast<double>(opt.weight()))
@@ -44,7 +44,7 @@ TEST(MainAlg, SolvesFourCycleFamilyViaCycles) {
   cfg.max_iterations = 12;
   Rng rng(2);
   core::ExactMatcher matcher;
-  auto result = core::maximum_weight_matching(inst.graph, cfg, matcher, rng,
+  auto result = core::maximum_weight_matching(freeze(inst.graph), cfg, matcher, rng,
                                               &inst.matching);
   // Should recover most of the cycle gain (each cycle worth +2).
   EXPECT_GT(result.matching.weight(), inst.matching.weight());
@@ -57,7 +57,7 @@ TEST(MainAlg, CycleAblationCannotImprovePerfectMatching) {
   cfg.max_iterations = 6;
   Rng rng(3);
   core::ExactMatcher matcher;
-  auto result = core::maximum_weight_matching(inst.graph, cfg, matcher, rng,
+  auto result = core::maximum_weight_matching(freeze(inst.graph), cfg, matcher, rng,
                                               &inst.matching);
   EXPECT_EQ(result.matching.weight(), inst.matching.weight());
 }
@@ -67,7 +67,7 @@ TEST(MainAlg, StartsFromEmptyMatchingByDefault) {
   Graph g = gen::erdos_renyi(20, 60, rng);
   g = gen::assign_weights(g, gen::WeightDist::kUniform, 32, rng);
   core::ExactMatcher matcher;
-  auto result = core::maximum_weight_matching(g, fast_config(), matcher, rng);
+  auto result = core::maximum_weight_matching(freeze(g), fast_config(), matcher, rng);
   EXPECT_GT(result.matching.weight(), 0);
   EXPECT_GE(result.iterations, 1u);
 }
@@ -82,7 +82,7 @@ TEST(MainAlg, ParallelModelCostStaysConstantInN) {
     g = gen::assign_weights(g, gen::WeightDist::kUniform, 64, rng);
     core::HkStreamingMatcher matcher;
     auto result =
-        core::maximum_weight_matching(g, fast_config(), matcher, rng);
+        core::maximum_weight_matching(freeze(g), fast_config(), matcher, rng);
     per_iter_cost[idx++] = result.parallel_model_cost / result.iterations;
   }
   // Identical delta -> identical per-iteration bound for both sizes.
@@ -108,9 +108,9 @@ TEST(MainAlg, LongAugmentationsNeedDeepLayers) {
     deep.max_iterations = 1;
     Rng rng1(seed), rng2(seed);
     core::ExactMatcher m1, m2;
-    auto rs = core::maximum_weight_matching(inst.graph, shallow, m1, rng1,
+    auto rs = core::maximum_weight_matching(freeze(inst.graph), shallow, m1, rng1,
                                             &inst.matching);
-    auto rd = core::maximum_weight_matching(inst.graph, deep, m2, rng2,
+    auto rd = core::maximum_weight_matching(freeze(inst.graph), deep, m2, rng2,
                                             &inst.matching);
     EXPECT_LE(rs.total_gain, 15);  // hard bound for 2-layer graphs
     if (rd.total_gain > 15) deep_exceeded = true;
@@ -124,7 +124,7 @@ TEST(MainAlg, RejectsBadEpsilon) {
   cfg.epsilon = 0.0;
   core::ExactMatcher matcher;
   Rng rng(7);
-  EXPECT_THROW(core::maximum_weight_matching(g, cfg, matcher, rng),
+  EXPECT_THROW(core::maximum_weight_matching(freeze(g), cfg, matcher, rng),
                std::invalid_argument);
 }
 
@@ -132,7 +132,7 @@ TEST(MainAlg, EmptyGraph) {
   Graph g(8);
   core::ExactMatcher matcher;
   Rng rng(8);
-  auto result = core::maximum_weight_matching(g, fast_config(), matcher, rng);
+  auto result = core::maximum_weight_matching(freeze(g), fast_config(), matcher, rng);
   EXPECT_EQ(result.matching.weight(), 0);
 }
 

@@ -19,8 +19,8 @@ TEST(Matcher, HkStreamingDeliversApproximation) {
   Graph g = gen::random_bipartite(100, 100, 700, rng);
   auto side = sides_by_cut(100, 200);
   core::HkStreamingMatcher matcher;
-  Matching m = matcher.solve(g, side, 0.25);
-  auto opt = exact::hopcroft_karp(g, side);
+  Matching m = matcher.solve(freeze(g), side, 0.25);
+  auto opt = exact::hopcroft_karp(freeze(g), side);
   EXPECT_GE(static_cast<double>(m.size()),
             0.75 * static_cast<double>(opt.matching.size()));
   EXPECT_EQ(matcher.invocations(), 1u);
@@ -36,7 +36,7 @@ TEST(Matcher, CostIndependentOfGraphSize) {
   for (std::size_t n : {64u, 512u}) {
     Graph g = gen::random_bipartite(n, n, 5 * n, rng);
     core::HkStreamingMatcher matcher;
-    matcher.solve(g, sides_by_cut(n, 2 * n), 0.2);
+    matcher.solve(freeze(g), sides_by_cut(n, 2 * n), 0.2);
     costs[idx++] = matcher.max_invocation_cost();
   }
   // Bounded by sum_{i<=5}(2i+1) = 35 regardless of n.
@@ -49,7 +49,7 @@ TEST(Matcher, AccumulatesAcrossInvocations) {
   core::HkStreamingMatcher matcher;
   for (int i = 0; i < 3; ++i) {
     Graph g = gen::random_bipartite(20, 20, 60, rng);
-    matcher.solve(g, sides_by_cut(20, 40), 0.5);
+    matcher.solve(freeze(g), sides_by_cut(20, 40), 0.5);
   }
   EXPECT_EQ(matcher.invocations(), 3u);
   EXPECT_GE(matcher.total_cost(), matcher.max_invocation_cost());
@@ -60,8 +60,8 @@ TEST(Matcher, ExactMatcherIsOptimal) {
   Graph g = gen::random_bipartite(40, 40, 200, rng);
   auto side = sides_by_cut(40, 80);
   core::ExactMatcher matcher;
-  Matching m = matcher.solve(g, side, 0.5);
-  auto opt = exact::hopcroft_karp(g, side);
+  Matching m = matcher.solve(freeze(g), side, 0.5);
+  auto opt = exact::hopcroft_karp(freeze(g), side);
   EXPECT_EQ(m.size(), opt.matching.size());
 }
 
@@ -70,7 +70,7 @@ TEST(Matcher, MpcMatcherChargesContextRounds) {
   Graph g = gen::random_bipartite(50, 50, 300, rng);
   mpc::MpcContext ctx({4, 800});
   core::MpcMatcher matcher(ctx, rng);
-  Matching m = matcher.solve(g, sides_by_cut(50, 100), 0.2);
+  Matching m = matcher.solve(freeze(g), sides_by_cut(50, 100), 0.2);
   EXPECT_GT(m.size(), 0u);
   EXPECT_EQ(matcher.invocations(), 1u);
   EXPECT_EQ(matcher.total_cost(), ctx.rounds());
@@ -79,7 +79,7 @@ TEST(Matcher, MpcMatcherChargesContextRounds) {
 TEST(Matcher, RejectsBadDelta) {
   Graph g(2);
   core::HkStreamingMatcher matcher;
-  EXPECT_THROW(matcher.solve(g, {0, 1}, 0.0), std::invalid_argument);
+  EXPECT_THROW(matcher.solve(freeze(g), {0, 1}, 0.0), std::invalid_argument);
 }
 
 }  // namespace

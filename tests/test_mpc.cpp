@@ -49,8 +49,8 @@ TEST(MpcMatching, FindsNearOptimalMatching) {
   auto side = sides_by_cut(100, 200);
   mpc::MpcConfig config{8, 4 * 200};  // S = Theta(n)
   mpc::MpcContext ctx(config);
-  auto result = mpc::mpc_bipartite_matching(g, side, 0.1, ctx, rng);
-  auto exact_r = exact::hopcroft_karp(g, side);
+  auto result = mpc::mpc_bipartite_matching(freeze(g), side, 0.1, ctx, rng);
+  auto exact_r = exact::hopcroft_karp(freeze(g), side);
   EXPECT_GE(static_cast<double>(result.matching.size()),
             0.9 * static_cast<double>(exact_r.matching.size()));
   EXPECT_TRUE(is_valid_matching(result.matching, g));
@@ -64,7 +64,7 @@ TEST(MpcMatching, RoundsScaleGentlyWithSize) {
     Graph g = gen::random_bipartite(n, n, 4 * n, rng);
     mpc::MpcContext ctx({8, 8 * n});
     auto result =
-        mpc::mpc_bipartite_matching(g, sides_by_cut(n, 2 * n), 0.2, ctx, rng);
+        mpc::mpc_bipartite_matching(freeze(g), sides_by_cut(n, 2 * n), 0.2, ctx, rng);
     // Rounds stay in the same ballpark (no linear blow-up).
     EXPECT_LT(result.rounds_used, 80u) << n;
     prev_rounds = result.rounds_used;
@@ -77,9 +77,9 @@ TEST(MpcMatching, DeltaControlsQualityVsRounds) {
   Graph g = gen::random_bipartite(128, 128, 1024, rng);
   auto side = sides_by_cut(128, 256);
   mpc::MpcContext loose_ctx({8, 2048});
-  auto loose = mpc::mpc_bipartite_matching(g, side, 0.5, loose_ctx, rng);
+  auto loose = mpc::mpc_bipartite_matching(freeze(g), side, 0.5, loose_ctx, rng);
   mpc::MpcContext tight_ctx({8, 2048});
-  auto tight = mpc::mpc_bipartite_matching(g, side, 0.05, tight_ctx, rng);
+  auto tight = mpc::mpc_bipartite_matching(freeze(g), side, 0.05, tight_ctx, rng);
   EXPECT_GE(tight.matching.size(), loose.matching.size());
   EXPECT_GE(tight.rounds_used, loose.rounds_used);
 }
@@ -89,10 +89,10 @@ TEST(MpcMatching, RejectsBadDelta) {
   Graph g = gen::random_bipartite(4, 4, 4, rng);
   mpc::MpcContext ctx({2, 64});
   EXPECT_THROW(
-      mpc::mpc_bipartite_matching(g, sides_by_cut(4, 8), 0.0, ctx, rng),
+      mpc::mpc_bipartite_matching(freeze(g), sides_by_cut(4, 8), 0.0, ctx, rng),
       std::invalid_argument);
   EXPECT_THROW(
-      mpc::mpc_bipartite_matching(g, sides_by_cut(4, 8), 1.0, ctx, rng),
+      mpc::mpc_bipartite_matching(freeze(g), sides_by_cut(4, 8), 1.0, ctx, rng),
       std::invalid_argument);
 }
 
@@ -130,7 +130,7 @@ TEST(MpcMatching, ParallelMatchesSequentialBitForBit) {
     config.runtime.num_threads = threads;
     mpc::MpcContext ctx(config);
     Rng rng(99);
-    auto r = mpc::mpc_bipartite_matching(g, side, 0.1, ctx, rng);
+    auto r = mpc::mpc_bipartite_matching(freeze(g), side, 0.1, ctx, rng);
     return std::tuple{r.matching.size(), r.matching.weight(), r.rounds_used,
                       ctx.rounds(), ctx.total_communication(),
                       ctx.peak_machine_memory()};
@@ -157,7 +157,7 @@ TEST(MpcMatching, WeightedAlgorithmParallelMatchesSequential) {
     core::ReductionConfig cfg;
     cfg.epsilon = 0.25;
     cfg.runtime.num_threads = threads;
-    auto r = core::maximum_weight_matching(g, cfg, matcher, rng);
+    auto r = core::maximum_weight_matching(freeze(g), cfg, matcher, rng);
     return std::tuple{r.matching.weight(), r.matching.size(), r.iterations,
                       ctx.rounds(), r.parallel_model_cost};
   };
@@ -169,7 +169,7 @@ TEST(MpcMatching, EmptyGraphTerminates) {
   Rng rng(8);
   Graph g(10);
   mpc::MpcContext ctx({2, 64});
-  auto result = mpc::mpc_bipartite_matching(g, sides_by_cut(5, 10), 0.2,
+  auto result = mpc::mpc_bipartite_matching(freeze(g), sides_by_cut(5, 10), 0.2,
                                             ctx, rng);
   EXPECT_EQ(result.matching.size(), 0u);
 }

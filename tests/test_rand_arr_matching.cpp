@@ -16,7 +16,7 @@ TEST(RandArrMatching, ValidAndNonTrivial) {
   Rng rng(1);
   Graph g = gen::erdos_renyi(80, 500, rng);
   g = gen::assign_weights(g, gen::WeightDist::kUniform, 100, rng);
-  auto stream = gen::random_stream(g, rng);
+  auto stream = gen::random_stream(freeze(g), rng);
   auto result = core::rand_arr_matching(stream, 80, {}, rng);
   EXPECT_TRUE(is_valid_matching(result.matching, g));
   EXPECT_GT(result.matching.weight(), 0);
@@ -28,9 +28,9 @@ TEST(RandArrMatching, AtLeastHalfOnRandomOrder) {
     Rng rng = master.split();
     Graph g = gen::erdos_renyi(60, 350, rng);
     g = gen::assign_weights(g, gen::WeightDist::kExponential, 1 << 10, rng);
-    auto stream = gen::random_stream(g, rng);
+    auto stream = gen::random_stream(freeze(g), rng);
     auto result = core::rand_arr_matching(stream, 60, {}, rng);
-    Matching opt = exact::blossom_max_weight(g);
+    Matching opt = exact::blossom_max_weight(freeze(g));
     // Theorem 3.14 guarantees (1/2+c) in expectation; each single run must
     // be well above a slightly relaxed 0.45 floor on these instances.
     EXPECT_GE(static_cast<double>(result.matching.weight()),
@@ -46,9 +46,9 @@ TEST(RandArrMatching, BeatsHalfOnAverage) {
     Rng rng = master.split();
     Graph g = gen::erdos_renyi(100, 700, rng);
     g = gen::assign_weights(g, gen::WeightDist::kUniform, 256, rng);
-    auto stream = gen::random_stream(g, rng);
+    auto stream = gen::random_stream(freeze(g), rng);
     auto result = core::rand_arr_matching(stream, 100, {}, rng);
-    Matching opt = exact::blossom_max_weight(g);
+    Matching opt = exact::blossom_max_weight(freeze(g));
     ratios.add(static_cast<double>(result.matching.weight()) /
                static_cast<double>(opt.weight()));
   }
@@ -61,7 +61,7 @@ TEST(RandArrMatching, HandlesGreedyTrapBetterThanGreedy) {
   for (int trial = 0; trial < 10; ++trial) {
     Rng rng = master.split();
     auto inst = gen::greedy_trap_paths(40, 10, 6);
-    auto stream = gen::random_stream(inst.graph, rng);
+    auto stream = gen::random_stream(freeze(inst.graph), rng);
     auto result =
         core::rand_arr_matching(stream, inst.graph.num_vertices(), {}, rng);
     Matching greedy = baselines::greedy_stream_matching(
@@ -76,7 +76,7 @@ TEST(RandArrMatching, MemoryDiagnosticsPopulated) {
   Rng rng(5);
   Graph g = gen::erdos_renyi(100, 2000, rng);
   g = gen::assign_weights(g, gen::WeightDist::kUniform, 1000, rng);
-  auto stream = gen::random_stream(g, rng);
+  auto stream = gen::random_stream(freeze(g), rng);
   auto result = core::rand_arr_matching(stream, 100, {}, rng);
   EXPECT_GT(result.stack_size, 0u);
   EXPECT_GE(result.stored_peak, result.stack_size + result.t_size);
@@ -88,7 +88,7 @@ TEST(RandArrMatching, ExplicitPrefixFraction) {
   Rng rng(6);
   Graph g = gen::erdos_renyi(40, 200, rng);
   g = gen::assign_weights(g, gen::WeightDist::kUniform, 50, rng);
-  auto stream = gen::random_stream(g, rng);
+  auto stream = gen::random_stream(freeze(g), rng);
   core::RandArrConfig cfg;
   cfg.p = 0.3;
   auto result = core::rand_arr_matching(stream, 40, cfg, rng);

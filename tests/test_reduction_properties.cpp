@@ -34,7 +34,7 @@ TEST_P(ReductionSweep, MonotoneImprovementAndValidity) {
   Matching m(g.num_vertices());
   Weight prev = 0;
   for (int round = 0; round < 5; ++round) {
-    Weight gain = core::improve_matching_once(g, m, cfg, matcher, rng);
+    Weight gain = core::improve_matching_once(freeze(g), m, cfg, matcher, rng);
     // Every round's realized gain is exactly the weight delta and never
     // negative (soundness of the filtering).
     EXPECT_EQ(m.weight(), prev + gain);
@@ -49,12 +49,12 @@ TEST_P(ReductionSweep, ReachesRelaxedTarget) {
   Rng rng(seed + 1000);
   Graph g = gen::assign_weights(gen::erdos_renyi(36, 150, rng), dist, 128,
                                 rng);
-  Matching opt = exact::blossom_max_weight(g);
+  Matching opt = exact::blossom_max_weight(freeze(g));
   core::ReductionConfig cfg;
   cfg.epsilon = 0.25;
   cfg.max_iterations = 10;
   core::ExactMatcher matcher;
-  auto r = core::maximum_weight_matching(g, cfg, matcher, rng);
+  auto r = core::maximum_weight_matching(freeze(g), cfg, matcher, rng);
   EXPECT_GE(static_cast<double>(r.matching.weight()),
             (1.0 - cfg.epsilon) * static_cast<double>(opt.weight()));
 }
@@ -78,9 +78,9 @@ TEST(ReductionProperties, InducedPairsOfWitnessesAreGood) {
   Rng rng(42);
   Graph g = gen::assign_weights(gen::erdos_renyi(60, 300, rng),
                                 gen::WeightDist::kUniform, 200, rng);
-  auto stream = gen::random_stream(g, rng);
+  auto stream = gen::random_stream(freeze(g), rng);
   Matching m = baselines::greedy_stream_matching(stream, g.num_vertices());
-  Matching opt = exact::blossom_max_weight(g);
+  Matching opt = exact::blossom_max_weight(freeze(g));
   const double eps = 0.2;
   if (static_cast<double>(m.weight()) * (1.0 + eps) >=
       static_cast<double>(opt.weight())) {

@@ -322,6 +322,40 @@ class LintInvariantsTest(unittest.TestCase):
         code, out = self.run_lint({"src/core/x.cpp": src}, "no-stdout")
         self.assertEqual(code, 0, out)
 
+    # no-mutable-graph: the data plane is immutable (DESIGN.md §10).
+
+    def test_mutable_in_graph_dir_flagged(self):
+        src = ("class Graph {\n"
+               "  mutable std::vector<int> adj_;\n"
+               "};\n")
+        code, out = self.run_lint({"src/graph/graph.h": src},
+                                  "no-mutable-graph")
+        self.assertEqual(code, 1, out)
+        self.assertIn("src/graph/graph.h", out)
+        self.assertIn("immutable data plane", out)
+
+    def test_mutable_outside_graph_dir_allowed(self):
+        src = "struct S { mutable int cache_; };\n"
+        code, out = self.run_lint({"src/obs/metrics.h": src},
+                                  "no-mutable-graph")
+        self.assertEqual(code, 0, out)
+
+    def test_lazy_build_entry_point_flagged_anywhere_in_src(self):
+        src = ("void Graph::build_adjacency() const {\n"
+               "  adj_built_ = true;\n"
+               "}\n")
+        code, out = self.run_lint({"src/core/x.cpp": src},
+                                  "no-mutable-graph")
+        self.assertEqual(code, 1, out)
+        self.assertIn("lazy adjacency build", out)
+
+    def test_mutable_in_comment_or_string_ignored(self):
+        src = ('// a mutable flag once lived here (adj_built_)\n'
+               'const char* kDoc = "no build_adjacency anymore";\n')
+        code, out = self.run_lint({"src/graph/graph.h": src},
+                                  "no-mutable-graph")
+        self.assertEqual(code, 0, out)
+
     # cli-docs: --help text vs README vs the parser must agree.
 
     CLI_OK = (

@@ -35,7 +35,7 @@ TEST(ShortAugs, SingleHeavyEdgeWitness) {
 
 TEST(ShortAugs, CycleWitnessOnFourCycle) {
   auto inst = gen::four_cycle_family(3, 3, 1);
-  Matching opt = exact::blossom_max_weight(inst.graph);
+  Matching opt = exact::blossom_max_weight(freeze(inst.graph));
   auto result = core::short_augmentations(inst.matching, opt, 0.2);
   EXPECT_EQ(result.total_gain, 3 * 2);  // +2 per cycle
   for (const auto& aug : result.collection) {
@@ -48,9 +48,9 @@ TEST(ShortAugs, PiecesAreShortAndSound) {
   for (int trial = 0; trial < 8; ++trial) {
     Graph g = gen::erdos_renyi(60, 240, rng);
     g = gen::assign_weights(g, gen::WeightDist::kExponential, 1024, rng);
-    auto stream = gen::random_stream(g, rng);
+    auto stream = gen::random_stream(freeze(g), rng);
     Matching m = baselines::greedy_stream_matching(stream, 60);
-    Matching opt = exact::blossom_max_weight(g);
+    Matching opt = exact::blossom_max_weight(freeze(g));
     const double eps = 0.2;
     if (static_cast<double>(m.weight()) * (1.0 + eps) >=
         static_cast<double>(opt.weight())) {
@@ -75,9 +75,9 @@ TEST(ShortAugs, MeetsLemmaGainBound) {
   for (int trial = 0; trial < 12; ++trial) {
     Graph g = gen::erdos_renyi(50, 300, rng);
     g = gen::assign_weights(g, gen::WeightDist::kUniform, 128, rng);
-    auto stream = gen::random_stream(g, rng);
+    auto stream = gen::random_stream(freeze(g), rng);
     Matching m = baselines::greedy_stream_matching(stream, 50);
-    Matching opt = exact::blossom_max_weight(g);
+    Matching opt = exact::blossom_max_weight(freeze(g));
     const double eps = 0.15;
     if (static_cast<double>(m.weight()) * (1.0 + eps) >=
         static_cast<double>(opt.weight())) {
@@ -97,7 +97,7 @@ TEST(ShortAugs, CollectionVerticesDisjoint) {
   Graph g = gen::erdos_renyi(40, 200, rng);
   g = gen::assign_weights(g, gen::WeightDist::kUniform, 64, rng);
   Matching m(40);  // empty current matching
-  Matching opt = exact::blossom_max_weight(g);
+  Matching opt = exact::blossom_max_weight(freeze(g));
   auto result = core::short_augmentations(m, opt, 0.25);
   std::vector<char> used(40, 0);
   for (const auto& aug : result.collection) {

@@ -37,7 +37,7 @@ TEST(SingleClass, FindsPlantedThreeAugmentation) {
   bool found = eventually(20, [&](int seed) {
     Rng rng(static_cast<std::uint64_t>(seed) + 100);
     auto result =
-        core::find_class_augmentations(g, m, 16, tcfg, {}, matcher, rng);
+        core::find_class_augmentations(freeze(g), m, 16, tcfg, {}, matcher, rng);
     return result.total_gain >= 8;  // 18 - 10
   });
   EXPECT_TRUE(found);
@@ -52,7 +52,7 @@ TEST(SingleClass, FindsAugmentingCycle) {
 
   bool found = eventually(60, [&](int seed) {
     Rng rng(static_cast<std::uint64_t>(seed) + 500);
-    auto result = core::find_class_augmentations(inst.graph, inst.matching, 8,
+    auto result = core::find_class_augmentations(freeze(inst.graph), inst.matching, 8,
                                                  tcfg, {}, matcher, rng);
     for (const auto& aug : result.augmentations) {
       if (aug.is_cycle) return true;
@@ -71,7 +71,7 @@ TEST(SingleClass, CycleAblationSuppressesCycles) {
   opts.enable_cycles = false;
   for (int seed = 0; seed < 10; ++seed) {
     Rng rng(static_cast<std::uint64_t>(seed));
-    auto result = core::find_class_augmentations(inst.graph, inst.matching, 8,
+    auto result = core::find_class_augmentations(freeze(inst.graph), inst.matching, 8,
                                                  tcfg, opts, matcher, rng);
     for (const auto& aug : result.augmentations) {
       EXPECT_FALSE(aug.is_cycle);
@@ -93,7 +93,7 @@ TEST(SingleClass, AllReturnedAugmentationsSoundAndDisjoint) {
   core::HkStreamingMatcher matcher;
   for (Weight w_class : {16, 64, 128}) {
     auto result =
-        core::find_class_augmentations(g, m, w_class, tcfg, {}, matcher, rng);
+        core::find_class_augmentations(freeze(g), m, w_class, tcfg, {}, matcher, rng);
     Matching work = m;
     Weight realized = 0;
     for (const auto& aug : result.augmentations) {
@@ -118,7 +118,7 @@ TEST(SingleClass, EmptyMatchingStillFindsSingletons) {
   bool found = eventually(20, [&](int seed) {
     Rng rng(static_cast<std::uint64_t>(seed) + 900);
     auto result =
-        core::find_class_augmentations(g, m, 64, tcfg, {}, matcher, rng);
+        core::find_class_augmentations(freeze(g), m, 64, tcfg, {}, matcher, rng);
     return result.total_gain >= 50;
   });
   EXPECT_TRUE(found);
@@ -133,7 +133,7 @@ TEST(SingleClass, NoUnmatchedCrossingEdgesMeansNoWork) {
   Rng rng(5);
   core::ExactMatcher matcher;
   auto result =
-      core::find_class_augmentations(g, m, 16, tcfg, {}, matcher, rng);
+      core::find_class_augmentations(freeze(g), m, 16, tcfg, {}, matcher, rng);
   EXPECT_TRUE(result.augmentations.empty());
   EXPECT_EQ(result.layered_graphs, 0u);
 }

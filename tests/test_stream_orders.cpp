@@ -27,7 +27,7 @@ bool same_edge_multiset(const std::vector<Edge>& a,
 
 TEST(StreamOrders, DecreasingIsSortedAndComplete) {
   Graph g = test_graph(1);
-  auto s = gen::decreasing_weight_stream(g);
+  auto s = gen::decreasing_weight_stream(freeze(g));
   EXPECT_TRUE(std::is_sorted(s.begin(), s.end(), [](const Edge& a,
                                                     const Edge& b) {
     return a.w > b.w;
@@ -38,7 +38,7 @@ TEST(StreamOrders, DecreasingIsSortedAndComplete) {
 
 TEST(StreamOrders, ClusteredGroupsByMinEndpoint) {
   Graph g = test_graph(2);
-  auto s = gen::clustered_stream(g);
+  auto s = gen::clustered_stream(freeze(g));
   EXPECT_TRUE(std::is_sorted(s.begin(), s.end(), [](const Edge& a,
                                                     const Edge& b) {
     return std::min(a.u, a.v) < std::min(b.u, b.v);
@@ -51,7 +51,7 @@ TEST(StreamOrders, LocallyShuffledIsPermutation) {
   Rng rng(3);
   for (std::size_t window : {0u, 1u, 8u, 64u, 100000u}) {
     Rng local = rng.split();
-    auto s = gen::locally_shuffled_stream(g, window, local);
+    auto s = gen::locally_shuffled_stream(freeze(g), window, local);
     EXPECT_TRUE(same_edge_multiset(s, {g.edges().begin(), g.edges().end()}))
         << window;
   }
@@ -60,15 +60,15 @@ TEST(StreamOrders, LocallyShuffledIsPermutation) {
 TEST(StreamOrders, WindowZeroIsAdversarial) {
   Graph g = test_graph(4);
   Rng rng(4);
-  auto s0 = gen::locally_shuffled_stream(g, 0, rng);
-  auto adv = gen::increasing_weight_stream(g);
+  auto s0 = gen::locally_shuffled_stream(freeze(g), 0, rng);
+  auto adv = gen::increasing_weight_stream(freeze(g));
   ASSERT_EQ(s0.size(), adv.size());
   for (std::size_t i = 0; i < s0.size(); ++i) EXPECT_EQ(s0[i], adv[i]);
 }
 
 TEST(StreamOrders, LargerWindowsIncreaseDisplacement) {
   Graph g = test_graph(5);
-  auto adv = gen::increasing_weight_stream(g);
+  auto adv = gen::increasing_weight_stream(freeze(g));
   auto displacement = [&](const std::vector<Edge>& s) {
     // Sum of |position - sorted position| as a disorder measure.
     std::size_t total = 0;
@@ -83,8 +83,8 @@ TEST(StreamOrders, LargerWindowsIncreaseDisplacement) {
     return total;
   };
   Rng r1(6), r2(6);
-  auto small = gen::locally_shuffled_stream(g, 2, r1);
-  auto large = gen::locally_shuffled_stream(g, 200, r2);
+  auto small = gen::locally_shuffled_stream(freeze(g), 2, r1);
+  auto large = gen::locally_shuffled_stream(freeze(g), 200, r2);
   EXPECT_LT(displacement(small), displacement(large));
 }
 
@@ -93,9 +93,9 @@ TEST(StreamOrders, RandArrMatchingDegradesGracefullyOffRandomOrder) {
   // must still emit a valid matching (robustness, not a ratio claim).
   Graph g = test_graph(7);
   Rng rng(7);
-  for (auto order : {gen::increasing_weight_stream(g),
-                     gen::decreasing_weight_stream(g),
-                     gen::clustered_stream(g)}) {
+  for (auto order : {gen::increasing_weight_stream(freeze(g)),
+                     gen::decreasing_weight_stream(freeze(g)),
+                     gen::clustered_stream(freeze(g))}) {
     Rng local = rng.split();
     auto result =
         core::rand_arr_matching(order, g.num_vertices(), {}, local);

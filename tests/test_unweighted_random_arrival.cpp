@@ -12,7 +12,7 @@ namespace {
 TEST(UnweightedRandomArrival, ValidMatchingOnRandomGraph) {
   Rng rng(1);
   Graph g = gen::erdos_renyi(100, 600, rng);
-  auto stream = gen::random_stream(g, rng);
+  auto stream = gen::random_stream(freeze(g), rng);
   auto result = core::unweighted_random_arrival(stream, 100);
   EXPECT_TRUE(is_valid_matching(result.matching, g));
   EXPECT_GT(result.matching.size(), 0u);
@@ -33,7 +33,7 @@ TEST(UnweightedRandomArrival, AtLeastGreedyQuality) {
   Rng rng(2);
   for (int trial = 0; trial < 5; ++trial) {
     Graph g = gen::erdos_renyi(80, 400, rng);
-    auto stream = gen::random_stream(g, rng);
+    auto stream = gen::random_stream(freeze(g), rng);
     auto result = core::unweighted_random_arrival(stream, 80);
     // Greedy over the whole stream:
     Matching greedy(80);
@@ -52,9 +52,9 @@ TEST(UnweightedRandomArrival, BeatsHalfOnAverage) {
   for (int trial = 0; trial < 8; ++trial) {
     Rng rng = master.split();
     Graph g = gen::erdos_renyi(150, 450, rng);
-    auto stream = gen::random_stream(g, rng);
+    auto stream = gen::random_stream(freeze(g), rng);
     auto result = core::unweighted_random_arrival(stream, 150);
-    Matching opt = exact::blossom_max_weight(g, true);
+    Matching opt = exact::blossom_max_weight(freeze(g), true);
     ratios.add(static_cast<double>(result.matching.size()) /
                static_cast<double>(opt.size()));
   }
@@ -66,11 +66,11 @@ TEST(UnweightedRandomArrival, S1BranchWinsWhenPrefixIsTiny) {
   // free-free edges) carries the result.
   Rng rng(4);
   Graph g = gen::erdos_renyi(60, 200, rng);
-  auto stream = gen::random_stream(g, rng);
+  auto stream = gen::random_stream(freeze(g), rng);
   core::UnweightedRandomArrivalConfig cfg;
   cfg.p = 0.01;
   auto result = core::unweighted_random_arrival(stream, 60, cfg);
-  Matching opt = exact::blossom_max_weight(g, true);
+  Matching opt = exact::blossom_max_weight(freeze(g), true);
   EXPECT_GE(2 * result.matching.size() + 1, opt.size());
   EXPECT_GT(result.s1_stored, 0u);
 }
@@ -78,7 +78,7 @@ TEST(UnweightedRandomArrival, S1BranchWinsWhenPrefixIsTiny) {
 TEST(UnweightedRandomArrival, DiagnosticsAreConsistent) {
   Rng rng(5);
   Graph g = gen::erdos_renyi(50, 300, rng);
-  auto stream = gen::random_stream(g, rng);
+  auto stream = gen::random_stream(freeze(g), rng);
   auto result = core::unweighted_random_arrival(stream, 50);
   EXPECT_LE(result.m0_size, 25u);
   EXPECT_LE(result.augmentations, result.m0_size);

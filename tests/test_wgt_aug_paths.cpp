@@ -18,7 +18,7 @@ TEST(WgtAugPaths, NeverBelowInitialMatching) {
   for (int trial = 0; trial < 10; ++trial) {
     Graph g = gen::erdos_renyi(40, 160, rng);
     g = gen::assign_weights(g, gen::WeightDist::kUniform, 64, rng);
-    auto stream = gen::random_stream(g, rng);
+    auto stream = gen::random_stream(freeze(g), rng);
     // Initial matching: greedy over the first half.
     Matching m0(40);
     std::size_t half = stream.size() / 2;
