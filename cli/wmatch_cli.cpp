@@ -8,7 +8,7 @@
 //       comparison table — or, with --json, one JSON object per solver
 //       (each carrying the normalized CostReport).
 //
-//   wmatch_cli bench --preset=ci|e1..e11 [axis overrides] [--json[=path]]
+//   wmatch_cli bench --preset=ci|e1..e13 [axis overrides] [--json[=path]]
 //   wmatch_cli bench --algo=LIST --gen=LIST [grid flags] [--json[=path]]
 //       Run a declarative sweep (solvers x instance families x epsilon x
 //       threads x seeds) through the sweep engine and print the per-cell
@@ -32,9 +32,13 @@
 //       a full job queue answers {"error":"overloaded"}, and
 //       SIGINT/SIGTERM drains gracefully (in-flight jobs finish, results
 //       flush, a final metrics snapshot is logged). Each served job also
-//       logs one structured progress line to stderr, and the input line
-//       "metrics" answers with an obs registry snapshot instead of a job
-//       result. See docs/SERVING.md for the wire protocol.
+//       logs one structured progress line to stderr; the input line
+//       "metrics" answers with an obs registry snapshot and "stats" with
+//       a windowed delta snapshot (rates + sliding-window percentiles)
+//       instead of a job result. --idle-timeout closes silent idle
+//       connections; --metrics-out appends a windowed stats JSONL time
+//       series (plus a Prometheus exposition beside it). See
+//       docs/SERVING.md for the wire protocol.
 //
 //   wmatch_cli loadgen --connect=HOST:PORT --jobs-file=JOBS.jsonl
 //       Open-loop Poisson load generator against a running serve
@@ -191,7 +195,7 @@ void print_help() {
       "                   run (also on bench / batch / serve)\n"
       "\n"
       "bench flags:\n"
-      "  --preset=NAME    ci | e1 | e2 | ... | e11 (named\n"
+      "  --preset=NAME    ci | e1 | e2 | ... | e13 (named\n"
       "                   grids;\n"
       "                   --algo/--epsilon/--threads/--seeds/--reps/\n"
       "                   --warmup override the preset's axes, but its\n"
@@ -232,13 +236,21 @@ void print_help() {
       "                   one job JSON in, one result JSON out, plus one\n"
       "                   structured progress line per job on stderr; the\n"
       "                   input line \"metrics\" answers with a metrics\n"
-      "                   registry snapshot JSON object\n"
+      "                   registry snapshot JSON object, and \"stats\" with\n"
+      "                   a windowed delta snapshot (per-interval rates\n"
+      "                   plus sliding-window p50/p95/p99)\n"
       "  --max-conns=N    concurrent connection ceiling (default 64);\n"
       "                   extra connections are answered\n"
       "                   {\"error\":\"overloaded\"} and closed\n"
       "  --queue=N        bounded job-queue capacity (default 256); a\n"
       "                   full queue rejects jobs with\n"
       "                   {\"error\":\"overloaded\"}\n"
+      "  --idle-timeout=SECS  close a socket connection after SECS with\n"
+      "                   no bytes read and no jobs in flight (default 0\n"
+      "                   = never; counted as net.idle_closes)\n"
+      "  --metrics-out=FILE   append one windowed stats JSON object per\n"
+      "                   second to FILE (JSONL) and rewrite a Prometheus\n"
+      "                   text exposition as metrics.prom beside it\n"
       "  --jobs=N         concurrent jobs (default 1, 0 = hw threads)\n"
       "  --threads=T --cache=N --trace=FILE   as for batch\n"
       "\n"
@@ -703,6 +715,8 @@ struct BatchOptionsCli {
   bool use_stdin = false;
   int listen_port = -1;  ///< serve only: -1 off, 0 ephemeral
   std::size_t max_conns = 64;
+  int idle_timeout_s = 0;   ///< serve only: 0 = never close idle conns
+  std::string metrics_out;  ///< serve only: windowed stats JSONL path
   service::SchedulerConfig sched;
   std::size_t queue_capacity = 256;
   std::string name = "batch";
@@ -740,6 +754,13 @@ BatchOptionsCli parse_batch_flags(int argc, char** argv, bool serve) {
     } else if (serve && consume(arg, "--max-conns", &v)) {
       opt.max_conns = parse_size("--max-conns", v);
       if (opt.max_conns == 0) usage_error("--max-conns must be >= 1");
+    } else if (serve && consume(arg, "--idle-timeout", &v)) {
+      const std::size_t secs = parse_size("--idle-timeout", v);
+      if (secs > 86400) usage_error("--idle-timeout must be <= 86400");
+      opt.idle_timeout_s = static_cast<int>(secs);
+    } else if (serve && consume(arg, "--metrics-out", &v)) {
+      if (v.empty()) usage_error("--metrics-out expects a file path");
+      opt.metrics_out = v;
     } else if (consume(arg, "--jobs", &v)) {
       opt.sched.jobs = parse_size("--jobs", v);
     } else if (consume(arg, "--threads", &v)) {
@@ -891,6 +912,8 @@ int cmd_serve(int argc, char** argv) {
   cfg.stdio = opt.use_stdin;
   cfg.max_conns = opt.max_conns;
   cfg.queue_capacity = opt.queue_capacity;
+  cfg.idle_timeout_s = opt.idle_timeout_s;
+  cfg.metrics_out = opt.metrics_out;
   cfg.scheduler = opt.sched;
   net::Server server(cfg);
   try {

@@ -15,7 +15,11 @@ both carry "schema_version" and "results") and appends one entry
 
 Documents marked "kind": "kernels" (bench_micro_kernels --json) also get
 a "kernels": {"<kernel id>": median_ms} map in their summary, so each
-micro-kernel tracks as its own trajectory line.
+micro-kernel tracks as its own trajectory line. Documents marked
+"kind": "trace_report" (scripts/trace_report.py --json) likewise get a
+"segments": {"<segment id>": median_ms} map — the per-request critical
+path (admission / queue wait / solve / response write) of the CI
+serving smoke, tracked segment by segment.
 
 to HISTORY.json ({"schema_version": 1, "entries": [...]}; created when
 missing). Per bench:
@@ -72,6 +76,15 @@ def summarize(path):
         # record per-kernel median wall-ms, so layout changes show up as
         # named lines in the trajectory rather than one blended total.
         summary["kernels"] = {
+            r["id"]: round(r["wall_ms"]["median"], 4)
+            for r in doc["results"]
+            if not r.get("skipped") and "wall_ms" in r
+        }
+    if doc.get("kind") == "trace_report":
+        # Critical-path documents (trace_report.py --json): one named
+        # line per request segment, so a queue-wait regression is visible
+        # separately from a solve or response-write regression.
+        summary["segments"] = {
             r["id"]: round(r["wall_ms"]["median"], 4)
             for r in doc["results"]
             if not r.get("skipped") and "wall_ms" in r

@@ -1,9 +1,12 @@
 #!/usr/bin/env python3
 """Validate a Chrome/Perfetto trace-event JSON written by --trace=FILE
-(ISSUE 6 satellite; CI runs this on the batch and sweep traces).
+(ISSUE 6 satellite; CI runs this on the batch, sweep, and serving
+traces, including the client+server documents scripts/merge_traces.py
+fuses).
 
 Usage:
   check_trace.py TRACE.json [--require=NAME ...]
+                 [--require-complete-flow=NAME ...]
 
 Checks, exiting 1 with a diagnostic on the first violation:
 
@@ -14,14 +17,33 @@ Checks, exiting 1 with a diagnostic on the first violation:
     writer's force-close of a span still open when recording stopped
     and matches any open span; a named "E" must match the name it pops;
   - timestamps are non-decreasing per thread (events are emitted in
-    per-thread program order);
+    per-thread program order); flow and async events participate in the
+    per-thread monotonicity check;
   - every open span is eventually closed (the writer guarantees this);
-  - each --require=NAME span occurs at least once somewhere.
+  - flow events ("s"/"t"/"f", ISSUE 10) carry a numeric id and occur
+    with an open span on their thread (the writer only emits them
+    inside a slice, so Perfetto can bind the arrow to it); per flow
+    (name, id), ordered by timestamp, "s" comes first and nothing
+    follows "f";
+  - async events ("b"/"e") carry a numeric id and, per (pid, name, id),
+    never close more intervals than were opened; intervals left open
+    are a warning, not an error (a drain-abandoned client.request is
+    visibly incomplete by design);
+  - each --require=NAME span occurs at least once somewhere;
+  - each --require-complete-flow=NAME flow has at least one id whose
+    event sequence is a complete "s" -> "t"... -> "f" chain with at
+    least one step — the cross-process proof that a client request
+    reached the server spans and its response made it back.
+
+A nonzero otherData.dropped_events prints a WARN line (exit 0): the
+trace is valid but incomplete, so downstream per-request analytics
+(scripts/trace_report.py) may undercount.
 
 Prints the per-name span counts on success so CI logs double as a
 coverage summary. The rejection paths (bad nesting, backwards
-timestamps, missing --require spans) are unit-tested on crafted traces
-in tests/test_scripts.py (ctest target `script_gates`).
+timestamps, missing --require spans, malformed flows) are unit-tested
+on crafted traces in tests/test_scripts.py (ctest target
+`script_gates`).
 """
 
 import json
@@ -36,10 +58,13 @@ def fail(msg):
 
 def main(argv):
     required = []
+    required_flows = []
     paths = []
     for arg in argv[1:]:
         if arg.startswith("--require="):
             required.append(arg[len("--require="):])
+        elif arg.startswith("--require-complete-flow="):
+            required_flows.append(arg[len("--require-complete-flow="):])
         else:
             paths.append(arg)
     if len(paths) != 1:
@@ -61,11 +86,14 @@ def main(argv):
     stacks = defaultdict(list)   # (pid, tid) -> [span names]
     last_ts = {}                 # (pid, tid) -> last timestamp
     counts = Counter()
+    flows = defaultdict(list)    # (name, id) -> [(ts, index, ph)]
+    async_open = Counter()       # (pid, name, id) -> open intervals
+    async_unclosed = 0
     for i, ev in enumerate(events):
         ph = ev.get("ph")
         if ph == "M":
             continue
-        if ph not in ("B", "E"):
+        if ph not in ("B", "E", "s", "t", "f", "b", "e"):
             fail(f"event {i}: unexpected phase {ph!r}")
         key = (ev.get("pid"), ev.get("tid"))
         ts = ev.get("ts")
@@ -76,12 +104,17 @@ def main(argv):
                  f"({last_ts[key]} -> {ts})")
         last_ts[key] = ts
         name = ev.get("name", "")
+        if ph in ("s", "t", "f", "b", "e"):
+            if not name:
+                fail(f"event {i}: {ph!r} event without a name")
+            if not isinstance(ev.get("id"), int):
+                fail(f"event {i}: {ph!r} event without a numeric id")
         if ph == "B":
             if not name:
                 fail(f"event {i}: begin event without a name")
             stacks[key].append(name)
             counts[name] += 1
-        else:
+        elif ph == "E":
             if not stacks[key]:
                 fail(f"event {i}: end event with no open span on "
                      f"tid {key[1]}")
@@ -89,19 +122,58 @@ def main(argv):
             if name and name != opened:
                 fail(f"event {i}: end '{name}' does not match open "
                      f"'{opened}' on tid {key[1]}")
+        elif ph in ("s", "t", "f"):
+            if not stacks[key]:
+                fail(f"event {i}: flow {ph!r} with no open span on "
+                     f"tid {key[1]} (flow events must bind to a slice)")
+            flows[(name, ev["id"])].append((ts, i, ph))
+        elif ph == "b":
+            async_open[(key[0], name, ev["id"])] += 1
+        else:  # "e"
+            akey = (key[0], name, ev["id"])
+            if async_open[akey] == 0:
+                fail(f"event {i}: async end '{name}' id {ev['id']} "
+                     f"closes more intervals than were opened")
+            async_open[akey] -= 1
+    async_unclosed = sum(1 for v in async_open.values() if v > 0)
 
     for key, stack in stacks.items():
         if stack:
             fail(f"tid {key[1]}: {len(stack)} span(s) left open "
                  f"(innermost '{stack[-1]}')")
 
+    complete_flows = Counter()  # flow name -> ids with a full s->t...->f
+    for (name, fid), evs in flows.items():
+        evs.sort()  # by (ts, index): index breaks same-µs ties stably
+        phases = [ph for _, _, ph in evs]
+        for j, ph in enumerate(phases):
+            if ph == "s" and j != 0:
+                fail(f"flow '{name}' id {fid}: 's' is not the first event")
+            if ph == "f" and j != len(phases) - 1:
+                fail(f"flow '{name}' id {fid}: events after 'f'")
+        if (phases[0] == "s" and phases[-1] == "f"
+                and phases.count("t") >= 1):
+            complete_flows[name] += 1
+
     for name in required:
         if counts[name] == 0:
             fail(f"required span '{name}' never occurs")
+    for name in required_flows:
+        if complete_flows[name] == 0:
+            fail(f"no complete 's' -> 't' -> 'f' flow named '{name}'")
 
     total = sum(counts.values())
     dropped = doc["otherData"].get("dropped_events", 0)
-    print(f"check_trace: OK: {total} spans, {dropped} dropped")
+    print(f"check_trace: OK: {total} spans, {len(flows)} flows "
+          f"({sum(complete_flows.values())} complete), "
+          f"{async_unclosed} unclosed async, {dropped} dropped")
+    if dropped:
+        print(f"check_trace: WARN: {dropped} events dropped (ring "
+              f"saturated; per-request analytics may undercount)",
+              file=sys.stderr)
+    if async_unclosed:
+        print(f"check_trace: WARN: {async_unclosed} async interval(s) "
+              f"left open", file=sys.stderr)
     for name, c in sorted(counts.items()):
         print(f"  {name}: {c}")
     return 0

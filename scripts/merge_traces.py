@@ -1,0 +1,117 @@
+#!/usr/bin/env python3
+"""Fuse two or more --trace=FILE documents into one Perfetto timeline
+(ISSUE 10): a traced `wmatch_cli serve` and a traced `wmatch_cli
+loadgen` each write their own Chrome trace-event JSON; this script
+aligns their clocks and emits a single document in which the client's
+client.request spans connect to their server-side net.admit /
+service.job / net.request descendants through the shared "req" flow
+events.
+
+Usage:
+  merge_traces.py --out=MERGED.json TRACE1.json TRACE2.json [...]
+
+How the clocks align: every trace's otherData carries trace_epoch_ns,
+the absolute CLOCK_MONOTONIC nanosecond the tracer armed at — a
+system-wide clock, so two processes on the same host are directly
+comparable. The earliest epoch becomes the merged origin and every
+file's microsecond timestamps shift by (epoch_i - min_epoch) / 1000.
+Traces from different hosts have incomparable epochs; merging them
+produces a valid document with meaningless relative offsets.
+
+Each input file becomes one Perfetto process: file i gets pid i+1 and a
+process_name metadata event labeled with the file's basename, so the
+merged timeline shows e.g. "TRACE_serve.json" and "TRACE_loadgen.json"
+as separate process tracks. Thread-name metadata and all span / flow /
+async events pass through with only pid and ts rewritten.
+
+The merged envelope keeps the standard keys (scripts/check_trace.py
+validates merged documents unchanged): dropped_events sums the inputs,
+trace_epoch_ns is the merged origin, and otherData.merged records the
+per-file pid / label / shift for provenance.
+"""
+
+import json
+import os
+import sys
+
+
+def fail(msg):
+    print(f"merge_traces: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"{path}: {e}")
+    for key in ("displayTimeUnit", "traceEvents", "otherData"):
+        if key not in doc:
+            fail(f"{path}: missing top-level key '{key}'")
+    epoch = doc["otherData"].get("trace_epoch_ns")
+    if not isinstance(epoch, int):
+        fail(f"{path}: otherData.trace_epoch_ns missing or non-integer "
+             f"(written by traces from this repo since ISSUE 10)")
+    return doc, epoch
+
+
+def main(argv):
+    out_path = None
+    paths = []
+    for arg in argv[1:]:
+        if arg.startswith("--out="):
+            out_path = arg[len("--out="):]
+        else:
+            paths.append(arg)
+    if out_path is None or len(paths) < 2:
+        raise SystemExit(__doc__)
+
+    docs = [load(p) for p in paths]
+    origin = min(epoch for _, epoch in docs)
+
+    merged_events = []
+    merged = []
+    dropped = 0
+    for i, (path, (doc, epoch)) in enumerate(zip(paths, docs)):
+        pid = i + 1
+        shift_us = (epoch - origin) / 1000.0
+        label = os.path.basename(path)
+        merged_events.append({
+            "name": "process_name", "ph": "M", "pid": pid, "tid": 0,
+            "args": {"name": label},
+        })
+        for ev in doc["traceEvents"]:
+            ev = dict(ev)
+            ev["pid"] = pid
+            if "ts" in ev:
+                ev["ts"] = ev["ts"] + shift_us
+            merged_events.append(ev)
+        dropped += doc["otherData"].get("dropped_events", 0)
+        merged.append({"pid": pid, "label": label, "shift_us": shift_us})
+
+    out = {
+        "displayTimeUnit": "ms",
+        "traceEvents": merged_events,
+        "otherData": {
+            "dropped_events": dropped,
+            "trace_epoch_ns": origin,
+            "merged": merged,
+        },
+    }
+    try:
+        with open(out_path, "w") as f:
+            json.dump(out, f)
+            f.write("\n")
+    except OSError as e:
+        fail(f"{out_path}: {e}")
+    print(f"merge_traces: OK: {len(merged_events)} events from "
+          f"{len(paths)} trace(s) -> {out_path}")
+    for entry in merged:
+        print(f"  pid {entry['pid']}: {entry['label']} "
+              f"(+{entry['shift_us']:.1f} us)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -126,6 +126,10 @@ struct ClientConn {
 struct Pending {
   std::uint64_t send_ns = 0;
   std::size_t tmpl = 0;
+  /// Nonzero when the request carried a trace context ("trace":{"id":K})
+  /// — the id of the "req" flow and client.request async span to close
+  /// when the response (or the drain timeout) arrives.
+  std::uint64_t trace_id = 0;
 };
 
 double ms_since(std::uint64_t t0_ns, std::uint64_t now_ns) {
@@ -182,7 +186,10 @@ LoadgenResult run_loadgen(const LoadgenConfig& config, std::ostream& log) {
   const std::uint64_t connect_deadline =
       obs::monotonic_ns() +
       static_cast<std::uint64_t>(config.connect_timeout_s * 1e9);
+  std::size_t conn_index = 0;
   for (ClientConn& conn : conns) {
+    obs::Span connect_span("client.connect",
+                           static_cast<std::int64_t>(conn_index++));
     std::string error;
     for (;;) {
       conn.fd = connect_tcp(config.host, config.port, &error);
@@ -263,6 +270,16 @@ LoadgenResult run_loadgen(const LoadgenConfig& config, std::ostream& log) {
     TemplateStats& stats = res.templates[it->second.tmpl];
     const double latency = ms_since(it->second.send_ns, now);
     last_response = now;
+    if (it->second.trace_id != 0) {
+      // Close the client half of the request's telemetry: the "req" flow
+      // terminates here ('f' bound to this client.recv slice) and the
+      // client.request async span ends — whether the response was a
+      // result, a rejection, or an error.
+      obs::Span recv_span("client.recv",
+                          static_cast<std::int64_t>(it->second.trace_id));
+      obs::flow_end("req", it->second.trace_id);
+      obs::async_end("client.request", it->second.trace_id);
+    }
     if (error != nullptr) {
       if (error->as_string() == "overloaded") {
         ++res.overloaded;
@@ -322,16 +339,39 @@ LoadgenResult run_loadgen(const LoadgenConfig& config, std::ostream& log) {
           "lg-" + std::to_string(c) + "-" + std::to_string(arrival_k);
       ClientConn& conn = conns[c];
       if (conn.open) {
+        obs::Span send_span("client.send",
+                            static_cast<std::int64_t>(arrival_k));
+        // Stamp a trace context only when this process is tracing: the
+        // id (arrival index + 1, so never 0) names the cross-process
+        // "req" flow, and sent_ns is our monotonic clock for the merged
+        // timeline. The server treats the field as telemetry only.
+        std::uint64_t trace_id = 0;
         std::ostringstream line;
         line << "{\"id\":";
         util::write_json_string(line, id);
         if (!templates[t].body.empty()) line << ',' << templates[t].body;
+        if (obs::tracing_enabled()) {
+          trace_id = static_cast<std::uint64_t>(arrival_k) + 1;
+          line << ",\"trace\":{\"id\":" << trace_id
+               << ",\"sent_ns\":" << obs::monotonic_ns() << '}';
+        }
         line << "}\n";
+        if (trace_id != 0) {
+          // Begin the flow BEFORE the write: the server may admit the
+          // request (and record its 't' step) before write_all even
+          // returns, and the flow's 's' must timestamp-precede it.
+          obs::flow_begin("req", trace_id);
+          obs::async_begin("client.request", trace_id);
+        }
         if (write_all(conn.fd, line.str())) {
-          pending.emplace(id, Pending{obs::monotonic_ns(), t});
+          pending.emplace(id, Pending{obs::monotonic_ns(), t, trace_id});
           ++res.sent;
           ++res.templates[t].sent;
         } else {
+          // Failed send: close the just-opened async interval so the
+          // trace has no dangling client.request for a request that
+          // never left this process.
+          if (trace_id != 0) obs::async_end("client.request", trace_id);
           conn.open = false;  // server went away; remaining sends skip it
         }
       }
@@ -385,6 +425,12 @@ LoadgenResult run_loadgen(const LoadgenConfig& config, std::ostream& log) {
 
   for (ClientConn& conn : conns) close_fd(conn.fd);
   res.lost = pending.size();
+  // Requests the drain timeout abandoned still close their async spans so
+  // the trace has no dangling client.request intervals (their "req" flow
+  // simply never reaches 'f' — visibly incomplete, as it should be).
+  for (const auto& [id, p] : pending) {
+    if (p.trace_id != 0) obs::async_end("client.request", p.trace_id);
+  }
   res.wall_ms = ms_since(start, std::max(last_response, obs::monotonic_ns()));
 
   std::vector<double> all;

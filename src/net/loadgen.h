@@ -22,6 +22,16 @@
 // counters in the responses are bit-identical to local runs (the serve
 // determinism contract), so the regression gate is stable even though
 // wall-clock latencies vary run to run.
+//
+// Tracing (ISSUE 10): when this process traces (loadgen --trace=FILE),
+// every request is stamped with "trace":{"id":K,"sent_ns":T} (K = arrival
+// index + 1, T = the client's obs::monotonic_ns), the send/receive path
+// records client.connect / client.send / client.recv spans plus a
+// client.request async span per request, and a "req" flow begins at the
+// send and ends at the response. A traced server continues that flow
+// through net.admit / service.job / service.solve / net.request, so
+// scripts/merge_traces.py can fuse the two files into one timeline with
+// the client and server halves of each request connected by flow arrows.
 #pragma once
 
 #include <cstddef>

@@ -5,6 +5,7 @@
 
 #include <atomic>
 #include <cerrno>
+#include <fstream>
 #include <map>
 #include <mutex>
 #include <optional>
@@ -36,6 +37,7 @@ struct NetMetrics {
   obs::Counter& parse_errors = obs::counter("net.parse_errors");
   obs::Counter& bytes_in = obs::counter("net.bytes_in");
   obs::Counter& bytes_out = obs::counter("net.bytes_out");
+  obs::Counter& idle_closes = obs::counter("net.idle_closes");
   obs::Histogram& request_ms = obs::histogram("net.request_ms");
 };
 
@@ -56,6 +58,9 @@ struct Conn {
   std::string inbuf;
   std::size_t line_no = 0;
   bool eof = false;  ///< no more reads (peer EOF, read error, or drain)
+  /// Last time bytes arrived (or the connection was accepted); the poll
+  /// thread's idle sweep compares it against ServerConfig::idle_timeout_s.
+  std::uint64_t last_activity_ns = 0;
   /// Jobs admitted to the queue whose results are not yet written back.
   std::atomic<std::size_t> pending{0};
   std::mutex write_mu;
@@ -100,6 +105,16 @@ struct Server::Impl {
   std::unordered_map<std::size_t, std::uint64_t> req_t0;
 
   ServeSummary summary;  ///< counts mutated on the poll thread only
+
+  /// Delta window for the "stats" control line — shared across
+  /// connections, so each query reports rates since the previous query.
+  obs::StatsWindow stats_window;
+  /// Separate window for --metrics-out so file flushes and interactive
+  /// "stats" queries do not consume each other's deltas.
+  obs::StatsWindow metrics_window;
+  std::ofstream metrics_stream;        ///< open when config.metrics_out set
+  std::string metrics_prom_path;       ///< sibling metrics.prom (or empty)
+  std::uint64_t last_metrics_flush_ns = 0;
 
   void wake() {
     const int fd = wake_w.load(std::memory_order_relaxed);
@@ -160,6 +175,7 @@ struct Server::Impl {
       conn->id = next_conn_id++;
       conn->read_fd = conn->write_fd = fd;
       conn->name = "conn-" + std::to_string(conn->id);
+      conn->last_activity_ns = obs::monotonic_ns();
       {
         std::lock_guard<std::mutex> lk(conns_mu);
         conns.emplace(conn->id, conn);
@@ -186,6 +202,12 @@ struct Server::Impl {
       reply(conn, os.str());
       return;
     }
+    if (trimmed == "stats") {
+      std::ostringstream os;
+      stats_window.write(os);
+      reply(conn, os.str());
+      return;
+    }
     service::JobSpec job;
     try {
       if (!service::parse_job_line(line, conn.name, conn.line_no, next_index,
@@ -202,7 +224,13 @@ struct Server::Impl {
     s.index = next_index++;
     s.tag = conn.id;
     const std::string id = job.id;
+    const std::uint64_t trace_id = job.trace_id;
     s.job = std::move(job);
+    // Admission span (critical-path segment 1 of 4); a client-stamped
+    // trace context continues its "req" flow here, so the merged trace
+    // ties client.send -> net.admit -> service.job -> net.request.
+    obs::Span admit_span("net.admit", static_cast<std::int64_t>(s.index));
+    if (trace_id != 0) obs::flow_step("req", trace_id);
     // Count the job in flight (and stamp its admission time) BEFORE the
     // push: a worker may finish it and decrement before try_push returns.
     conn.pending.fetch_add(1, std::memory_order_relaxed);
@@ -242,6 +270,7 @@ struct Server::Impl {
     const long n = read_some(conn.read_fd, &conn.inbuf);
     if (n > 0) {
       net_metrics().bytes_in.add(static_cast<std::uint64_t>(n));
+      conn.last_activity_ns = obs::monotonic_ns();
     } else if (n == 0) {
       conn.eof = true;
     } else if (errno != EAGAIN && errno != EWOULDBLOCK) {
@@ -288,6 +317,47 @@ struct Server::Impl {
     }
   }
 
+  /// Marks socket connections idle past the timeout as EOF so the normal
+  /// reap path closes them. Runs on the poll thread each loop iteration
+  /// (the 1s poll timeout bounds sweep latency). Connections with jobs in
+  /// flight are never idle — a slow solve is activity, not silence — and
+  /// stdio sessions are exempt (their lifecycle is EOF on stdin).
+  void sweep_idle(std::ostream& log) {
+    const std::uint64_t limit_ns =
+        static_cast<std::uint64_t>(config.idle_timeout_s) * 1'000'000'000ull;
+    const std::uint64_t now = obs::monotonic_ns();
+    std::vector<std::string> closed;
+    {
+      std::lock_guard<std::mutex> lk(conns_mu);
+      for (const auto& [id, c] : conns) {
+        if (c->eof || c->is_stdio) continue;
+        if (c->pending.load(std::memory_order_acquire) != 0) continue;
+        if (now - c->last_activity_ns <= limit_ns) continue;
+        c->eof = true;
+        net_metrics().idle_closes.add();
+        closed.push_back(c->name);
+      }
+    }
+    for (const std::string& name : closed) {
+      std::lock_guard<std::mutex> lk(log_mu);
+      log << "serve: idle timeout, closing " << name << "\n";
+    }
+  }
+
+  /// Appends one windowed stats object to --metrics-out (>= 1s cadence)
+  /// and rewrites the Prometheus exposition next to it. `force` is the
+  /// final at-drain flush.
+  void flush_metrics(bool force) {
+    if (!metrics_stream.is_open()) return;
+    const std::uint64_t now = obs::monotonic_ns();
+    if (!force && now - last_metrics_flush_ns < 1'000'000'000ull) return;
+    last_metrics_flush_ns = now;
+    metrics_window.write(metrics_stream);
+    metrics_stream.flush();
+    std::ofstream prom(metrics_prom_path, std::ios::trunc);
+    if (prom) obs::write_metrics_prometheus(prom);
+  }
+
   bool all_conns_eof() {
     std::lock_guard<std::mutex> lk(conns_mu);
     for (const auto& [id, c] : conns) {
@@ -310,6 +380,7 @@ struct Server::Impl {
     const std::shared_ptr<Conn> conn = find_conn(tag);
     {
       obs::Span span("net.request", static_cast<std::int64_t>(r.index));
+      if (r.trace_id != 0) obs::flow_step("req", r.trace_id);
       std::ostringstream os;
       service::print_job_json(os, r);
       if (conn) reply(*conn, os.str());
@@ -380,6 +451,20 @@ void Server::request_drain() {
 ServeSummary Server::run(std::ostream& log) {
   Impl& im = *impl_;
 
+  if (!im.config.metrics_out.empty()) {
+    im.metrics_stream.open(im.config.metrics_out, std::ios::app);
+    if (!im.metrics_stream) {
+      throw std::runtime_error("--metrics-out: cannot open " +
+                               im.config.metrics_out);
+    }
+    const std::size_t slash = im.config.metrics_out.find_last_of('/');
+    im.metrics_prom_path =
+        (slash == std::string::npos
+             ? std::string()
+             : im.config.metrics_out.substr(0, slash + 1)) +
+        "metrics.prom";
+  }
+
   if (im.config.stdio) {
     auto conn = std::make_shared<Conn>();
     conn->id = im.next_conn_id++;
@@ -387,6 +472,7 @@ ServeSummary Server::run(std::ostream& log) {
     conn->write_fd = 1;
     conn->is_stdio = true;
     conn->name = "<stdin>";
+    conn->last_activity_ns = obs::monotonic_ns();
     {
       std::lock_guard<std::mutex> lk(im.conns_mu);
       im.conns.emplace(conn->id, conn);
@@ -436,6 +522,8 @@ ServeSummary Server::run(std::ostream& log) {
       std::lock_guard<std::mutex> lk(im.log_mu);
       log << "serve: draining (in-flight jobs will finish)\n";
     }
+    if (!draining && im.config.idle_timeout_s > 0) im.sweep_idle(log);
+    im.flush_metrics(/*force=*/false);
     im.reap(log);
     if (draining && im.conns_empty()) break;
 
@@ -474,6 +562,7 @@ ServeSummary Server::run(std::ostream& log) {
 
   im.queue.close();  // idempotent; covers the pure-listen drain path
   sched_thread.join();
+  im.flush_metrics(/*force=*/true);  // final window, after the last job
   if (!stream_error.empty()) {
     throw std::runtime_error("serve: scheduler stream failed: " +
                              stream_error);

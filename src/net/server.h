@@ -15,9 +15,14 @@
 // Wire protocol (documented in docs/SERVING.md): newline-delimited JSON,
 // one request per line. A job object gets one JobResult object back
 // (tagged with the client-supplied "id"); the control line "metrics" gets
-// one obs registry snapshot; a malformed line gets
-// {"error":"<source>:<line>: ...","line":N}. Responses stream back in
-// completion order, not request order — clients match on "id".
+// one obs registry snapshot; the control line "stats" gets one windowed
+// delta snapshot (per-interval rates plus sliding-window p50/p95/p99,
+// ISSUE 10); a malformed line gets {"error":"<source>:<line>: ...",
+// "line":N}. Responses stream back in completion order, not request
+// order — clients match on "id". A job may carry a client trace context
+// ("trace":{"id":N,"sent_ns":N}); the server then emits "req" flow steps
+// tying the client's spans to net.admit / service.job / service.solve /
+// net.request for that request.
 //
 // Overload behavior, two layers:
 //   * connection admission — more than `max_conns` concurrent clients:
@@ -62,6 +67,14 @@ struct ServerConfig {
   std::size_t max_conns = 64;
   /// Bounded JobQueue capacity — the job-admission window.
   std::size_t queue_capacity = 256;
+  /// Close a socket connection after this many seconds with no bytes
+  /// read and no jobs in flight (0 = never). Counted as net.idle_closes;
+  /// stdio sessions are exempt (EOF is their lifecycle).
+  int idle_timeout_s = 0;
+  /// When non-empty, append one windowed stats JSON object per second to
+  /// this file (JSONL) and rewrite a Prometheus-style text exposition as
+  /// `metrics.prom` next to it. A final flush happens at drain.
+  std::string metrics_out;
   service::SchedulerConfig scheduler;
 };
 

@@ -24,18 +24,41 @@ double Histogram::bucket_upper_bound(std::size_t i) {
   return b;
 }
 
-void Histogram::observe(double x) {
+namespace {
+
+std::size_t bucket_index(double x) {
   std::size_t i = 0;
   double bound = 0.001;
-  while (i + 1 < kNumBuckets && x > bound) {
+  while (i + 1 < Histogram::kNumBuckets && x > bound) {
     bound *= 2.0;
     ++i;
   }
+  return i;
+}
+
+}  // namespace
+
+void Histogram::observe(double x) { observe_at(x, monotonic_ns()); }
+
+void Histogram::observe_at(double x, std::uint64_t t_ns) {
+  const std::size_t i = bucket_index(x);
   buckets_[i].fetch_add(1, std::memory_order_relaxed);
   count_.fetch_add(1, std::memory_order_relaxed);
   double s = sum_.load(std::memory_order_relaxed);
   while (!sum_.compare_exchange_weak(s, s + x, std::memory_order_relaxed)) {
   }
+  // Sliding window: bump the interval slot t_ns falls in, recycling the
+  // ring slot if its previous tenant has aged out of the window.
+  const std::uint64_t gen = t_ns / kSlotNs;
+  std::lock_guard<std::mutex> lk(window_mu_);
+  WindowSlot& slot = window_[gen % kWindowSlots];
+  if (slot.gen != gen) {
+    slot.buckets.fill(0);
+    slot.count = 0;
+    slot.gen = gen;
+  }
+  ++slot.buckets[i];
+  ++slot.count;
 }
 
 std::uint64_t Histogram::count() const {
@@ -70,10 +93,45 @@ double Histogram::percentile(double q) const {
   return bucket_upper_bound(kNumBuckets - 2);  // unreachable in practice
 }
 
+Histogram::WindowStats Histogram::window_stats() const {
+  return window_stats_at(monotonic_ns());
+}
+
+Histogram::WindowStats Histogram::window_stats_at(std::uint64_t now_ns) const {
+  WindowStats w;
+  w.window_s = static_cast<double>(kWindowSlots) *
+               (static_cast<double>(kSlotNs) * 1e-9);
+  const std::uint64_t gen_now = now_ns / kSlotNs;
+  const std::uint64_t oldest =
+      gen_now >= kWindowSlots - 1 ? gen_now - (kWindowSlots - 1) : 0;
+  std::vector<std::pair<double, std::uint64_t>> sparse;
+  {
+    std::lock_guard<std::mutex> lk(window_mu_);
+    std::array<std::uint64_t, kNumBuckets> counts{};
+    for (const WindowSlot& slot : window_) {
+      if (slot.gen < oldest || slot.gen > gen_now) continue;  // aged out
+      for (std::size_t i = 0; i < kNumBuckets; ++i) {
+        counts[i] += slot.buckets[i];
+      }
+      w.count += slot.count;
+    }
+    for (std::size_t i = 0; i < kNumBuckets; ++i) {
+      if (counts[i] > 0) sparse.emplace_back(bucket_upper_bound(i), counts[i]);
+    }
+  }
+  w.rate = static_cast<double>(w.count) / w.window_s;
+  w.p50 = percentile_from_buckets(sparse, 0.50);
+  w.p95 = percentile_from_buckets(sparse, 0.95);
+  w.p99 = percentile_from_buckets(sparse, 0.99);
+  return w;
+}
+
 void Histogram::reset() {
   for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
   count_.store(0, std::memory_order_relaxed);
   sum_.store(0.0, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lk(window_mu_);
+  for (auto& slot : window_) slot = WindowSlot{};
 }
 
 namespace {
@@ -145,6 +203,185 @@ MetricsSnapshot metrics_snapshot() {
     snap.histograms.push_back(std::move(v));
   }
   return snap;
+}
+
+double percentile_from_buckets(
+    const std::vector<std::pair<double, std::uint64_t>>& buckets, double q) {
+  std::uint64_t total = 0;
+  for (const auto& [le, c] : buckets) total += c;
+  if (total == 0) return 0.0;
+  const double target = q * static_cast<double>(total);
+  double cum = 0.0;
+  for (const auto& [le, c] : buckets) {
+    if (c == 0) continue;
+    const double next = cum + static_cast<double>(c);
+    if (next >= target) {
+      if (le < 0.0) {  // unbounded overflow bucket: report its lower bound
+        return Histogram::bucket_upper_bound(Histogram::kNumBuckets - 2);
+      }
+      // Dense-ladder lower bound: halving a doubled bound is exact in FP,
+      // so le/2 equals bucket_upper_bound(i-1) even when the sparse list
+      // skips empty buckets.
+      const double lower = le <= 0.001 ? 0.0 : le / 2.0;
+      const double frac = (target - cum) / static_cast<double>(c);
+      return lower + (le - lower) * frac;
+    }
+    cum = next;
+  }
+  return Histogram::bucket_upper_bound(Histogram::kNumBuckets - 2);
+}
+
+MetricsSnapshot delta_snapshot(const MetricsSnapshot& cur,
+                               const MetricsSnapshot& prev) {
+  MetricsSnapshot d;
+  std::map<std::string, std::uint64_t> prev_counters;
+  for (const auto& c : prev.counters) prev_counters[c.name] = c.value;
+  for (const auto& c : cur.counters) {
+    const auto it = prev_counters.find(c.name);
+    const std::uint64_t base = it == prev_counters.end() ? 0 : it->second;
+    d.counters.push_back({c.name, c.value >= base ? c.value - base : 0});
+  }
+  d.gauges = cur.gauges;  // levels, not totals: deltas are meaningless
+  std::map<std::string, const MetricsSnapshot::HistogramValue*> prev_hists;
+  for (const auto& h : prev.histograms) prev_hists[h.name] = &h;
+  for (const auto& h : cur.histograms) {
+    const auto it = prev_hists.find(h.name);
+    if (it == prev_hists.end()) {
+      d.histograms.push_back(h);
+      continue;
+    }
+    const MetricsSnapshot::HistogramValue& p = *it->second;
+    MetricsSnapshot::HistogramValue v;
+    v.name = h.name;
+    v.count = h.count >= p.count ? h.count - p.count : 0;
+    v.sum = h.sum >= p.sum ? h.sum - p.sum : 0.0;
+    std::map<double, std::uint64_t> prev_buckets;
+    for (const auto& [le, c] : p.buckets) prev_buckets[le] = c;
+    for (const auto& [le, c] : h.buckets) {
+      const auto bit = prev_buckets.find(le);
+      const std::uint64_t base = bit == prev_buckets.end() ? 0 : bit->second;
+      if (c > base) v.buckets.emplace_back(le, c - base);
+    }
+    v.p50 = percentile_from_buckets(v.buckets, 0.50);
+    v.p95 = percentile_from_buckets(v.buckets, 0.95);
+    v.p99 = percentile_from_buckets(v.buckets, 0.99);
+    d.histograms.push_back(std::move(v));
+  }
+  return d;
+}
+
+StatsWindow::StatsWindow()
+    : prev_(metrics_snapshot()), prev_ns_(monotonic_ns()) {}
+
+void StatsWindow::write(std::ostream& os) {
+  std::lock_guard<std::mutex> lk(mu_);
+  const std::uint64_t now = monotonic_ns();
+  const MetricsSnapshot cur = metrics_snapshot();
+  const MetricsSnapshot d = delta_snapshot(cur, prev_);
+  const double interval_s = static_cast<double>(now - prev_ns_) * 1e-9;
+
+  os << "{\"t_ns\":" << now
+     << ",\"interval_s\":" << util::json_number(interval_s)
+     << ",\"window_s\":"
+     << util::json_number(static_cast<double>(Histogram::kWindowSlots) *
+                          static_cast<double>(Histogram::kSlotNs) * 1e-9)
+     << ",\"deltas\":{";
+  bool first = true;
+  for (const auto& c : d.counters) {
+    if (!first) os << ',';
+    first = false;
+    util::write_json_string(os, c.name);
+    os << ':' << c.value;
+  }
+  os << "},\"rates\":{";
+  first = true;
+  for (const auto& c : d.counters) {
+    if (!first) os << ',';
+    first = false;
+    util::write_json_string(os, c.name);
+    const double rate =
+        interval_s > 0.0 ? static_cast<double>(c.value) / interval_s : 0.0;
+    os << ':' << util::json_number(rate);
+  }
+  os << "},\"window\":{";
+  first = true;
+  {
+    // Live sliding-window percentiles come from the instruments, not the
+    // snapshot: collect the stable Histogram addresses under the
+    // registry lock, then query each ring outside it.
+    std::vector<std::pair<std::string, Histogram*>> hists;
+    Registry& r = registry();
+    {
+      std::lock_guard<std::mutex> rlk(r.mu);
+      hists.reserve(r.histograms.size());
+      for (const auto& [name, h] : r.histograms) hists.emplace_back(name,
+                                                                    h.get());
+    }
+    for (const auto& [name, h] : hists) {
+      const Histogram::WindowStats w = h->window_stats_at(now);
+      if (!first) os << ',';
+      first = false;
+      util::write_json_string(os, name);
+      os << ":{\"count\":" << w.count
+         << ",\"rate\":" << util::json_number(w.rate)
+         << ",\"p50\":" << util::json_number(w.p50)
+         << ",\"p95\":" << util::json_number(w.p95)
+         << ",\"p99\":" << util::json_number(w.p99) << '}';
+    }
+  }
+  os << "},\"gauges\":{";
+  first = true;
+  for (const auto& g : d.gauges) {
+    if (!first) os << ',';
+    first = false;
+    util::write_json_string(os, g.name);
+    os << ":{\"value\":" << g.value << ",\"max\":" << g.max << '}';
+  }
+  os << "}}\n";
+
+  prev_ = cur;
+  prev_ns_ = now;
+}
+
+namespace {
+
+std::string prometheus_name(const std::string& name) {
+  std::string out = "wmatch_";
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9');
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+}  // namespace
+
+void write_metrics_prometheus(std::ostream& os) {
+  const MetricsSnapshot snap = metrics_snapshot();
+  for (const auto& c : snap.counters) {
+    const std::string n = prometheus_name(c.name);
+    os << "# TYPE " << n << " counter\n" << n << ' ' << c.value << '\n';
+  }
+  for (const auto& g : snap.gauges) {
+    const std::string n = prometheus_name(g.name);
+    os << "# TYPE " << n << " gauge\n" << n << ' ' << g.value << '\n';
+    os << "# TYPE " << n << "_max gauge\n" << n << "_max " << g.max << '\n';
+  }
+  for (const auto& h : snap.histograms) {
+    const std::string n = prometheus_name(h.name);
+    os << "# TYPE " << n << " histogram\n";
+    std::uint64_t cum = 0;
+    for (const auto& [le, c] : h.buckets) {
+      if (le < 0.0) break;  // the overflow bucket folds into +Inf below
+      cum += c;
+      os << n << "_bucket{le=\"" << util::json_number(le) << "\"} " << cum
+         << '\n';
+    }
+    os << n << "_bucket{le=\"+Inf\"} " << h.count << '\n';
+    os << n << "_sum " << util::json_number(h.sum) << '\n';
+    os << n << "_count " << h.count << '\n';
+  }
 }
 
 void write_metrics_json(std::ostream& os) {

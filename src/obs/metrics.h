@@ -24,12 +24,24 @@
 // "metrics"), and obs::write_metrics_json for tests/tools. The emitted
 // document round-trips through util::parse_json (asserted in
 // tests/test_obs.cpp).
+//
+// Live-telemetry extensions (ISSUE 10): each Histogram additionally
+// maintains a sliding window — a ring of per-second interval slots over
+// obs::monotonic_ns — so window_stats() answers "what is the p99 over
+// the last ~8 s" during a long-running serve; delta_snapshot() subtracts
+// two cumulative snapshots (recomputing percentiles from the bucket
+// diffs); StatsWindow combines both into the `stats` control-line /
+// --metrics-out JSON; write_metrics_prometheus emits the cumulative
+// registry in Prometheus text exposition format for external scrapers.
+// None of this feeds back into solver state: CostReports stay
+// bit-identical with every telemetry surface on or off.
 #pragma once
 
 #include <array>
 #include <atomic>
 #include <cstdint>
 #include <iosfwd>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -78,11 +90,23 @@ class Histogram {
   /// 36 buckets: (0, 0.001], (0.001, 0.002], ... doubling, last +inf.
   static constexpr std::size_t kNumBuckets = 36;
 
+  /// Sliding window: a ring of kWindowSlots interval slots of kSlotNs
+  /// each over obs::monotonic_ns, so window_stats() covers the last
+  /// kWindowSlots * kSlotNs (~8 s) of observations regardless of how
+  /// long the process has been running.
+  static constexpr std::size_t kWindowSlots = 8;
+  static constexpr std::uint64_t kSlotNs = 1'000'000'000;  // 1 s per slot
+
   /// Upper bound of bucket i in ms; the last bucket has no finite bound
   /// and reports a negative sentinel.
   static double bucket_upper_bound(std::size_t i);
 
   void observe(double x);
+
+  /// Test seam: observe at an explicit monotonic timestamp (observe(x)
+  /// is observe_at(x, monotonic_ns())). Updates both the cumulative
+  /// buckets and the sliding-window slot t_ns falls in.
+  void observe_at(double x, std::uint64_t t_ns);
 
   std::uint64_t count() const;
   double sum() const;
@@ -95,12 +119,35 @@ class Histogram {
   /// overflow bucket reports its (finite) lower bound.
   double percentile(double q) const;
 
+  /// Aggregate over the sliding window ending "now": observation count,
+  /// rate (count / window_s), and interpolated percentiles with the same
+  /// one-bucket error bound as the cumulative percentile().
+  struct WindowStats {
+    double window_s = 0.0;
+    std::uint64_t count = 0;
+    double rate = 0.0, p50 = 0.0, p95 = 0.0, p99 = 0.0;
+  };
+  WindowStats window_stats() const;
+  /// Test seam: window ending at an explicit monotonic timestamp.
+  WindowStats window_stats_at(std::uint64_t now_ns) const;
+
   void reset();
 
  private:
+  struct WindowSlot {
+    std::uint64_t gen = 0;  ///< t_ns / kSlotNs when the slot was last live
+    std::array<std::uint64_t, kNumBuckets> buckets{};
+    std::uint64_t count = 0;
+  };
+
   std::array<std::atomic<std::uint64_t>, kNumBuckets> buckets_{};
   std::atomic<std::uint64_t> count_{0};
   std::atomic<double> sum_{0.0};
+  /// The window ring is mutex-guarded (observations are job/request
+  /// granularity, never solver-hot-loop granularity); the cumulative
+  /// path above stays lock-free.
+  mutable std::mutex window_mu_;
+  std::array<WindowSlot, kWindowSlots> window_{};
 };
 
 /// Named lookup; creates the instrument on first use. References stay
@@ -134,12 +181,51 @@ struct MetricsSnapshot {
 
 MetricsSnapshot metrics_snapshot();
 
+/// cur minus prev, matched by name: counter values and histogram
+/// count/sum/buckets are subtracted (entries absent from prev pass
+/// through whole; a cur value below prev — a test reset between the two
+/// — clamps to 0), histogram percentiles are recomputed from the bucket
+/// diffs, and gauges keep their current value/max (they are levels, not
+/// totals). This is the "what happened since the last stats call" view.
+MetricsSnapshot delta_snapshot(const MetricsSnapshot& cur,
+                               const MetricsSnapshot& prev);
+
+/// Interpolated q-quantile from a sparse (upper_bound_ms, count) bucket
+/// list as carried by MetricsSnapshot::HistogramValue (the same math as
+/// Histogram::percentile). Exposed for delta snapshots and tests.
+double percentile_from_buckets(
+    const std::vector<std::pair<double, std::uint64_t>>& buckets, double q);
+
+/// Emits one windowed + delta stats JSON object per write() call, '\n'-
+/// terminated (JSONL): interval_s since the previous write (the baseline
+/// is captured at construction), per-counter deltas and rates over that
+/// interval, per-histogram sliding-window count/rate/p50/p95/p99, and
+/// current gauge values. Backs the `serve` "stats" control line and the
+/// --metrics-out JSONL time series; safe for concurrent writers.
+class StatsWindow {
+ public:
+  StatsWindow();
+  void write(std::ostream& os);
+
+ private:
+  std::mutex mu_;
+  MetricsSnapshot prev_;
+  std::uint64_t prev_ns_;
+};
+
 /// One JSON object (no trailing newline):
 /// {"counters":{...},"gauges":{"g":{"value":V,"max":M}},
 ///  "histograms":{"h":{"count":N,"sum":S,"p50":..,"p95":..,"p99":..,
 ///                     "buckets":[[le_ms,count],...]}}}
 /// Parses cleanly with util::parse_json.
 void write_metrics_json(std::ostream& os);
+
+/// Prometheus text exposition of the cumulative registry for external
+/// scrapers: names are prefixed "wmatch_" with dots mangled to
+/// underscores; counters/gauges map directly (gauges add a _max series),
+/// histograms emit cumulative _bucket{le="..."} series in ms plus _sum /
+/// _count, per the Prometheus histogram convention.
+void write_metrics_prometheus(std::ostream& os);
 
 /// Zeroes every registered instrument (names stay registered). Tests
 /// isolate themselves with this; production code never resets.

@@ -15,10 +15,16 @@
 //   hk.*       exact::hopcroft_karp  — hk.phase / hk.bfs / hk.dfs spans;
 //              phases counter
 //   mpc.*      mpc_bipartite_matching — mpc.sample / mpc.filter spans
-//   net.*      net::Server           — net.conn / net.request spans;
-//              connections_total, requests_total, responses_total,
-//              rejected_overload, parse_errors, bytes_in, bytes_out
-//              counters; active_connections gauge; request_ms histogram
+//   net.*      net::Server           — net.conn / net.admit / net.request
+//              spans + per-request "req" flow steps; connections_total,
+//              requests_total, responses_total, rejected_overload,
+//              parse_errors, bytes_in, bytes_out, idle_closes counters;
+//              active_connections gauge; request_ms histogram
+//   client.*   net::run_loadgen      — client.connect / client.send /
+//              client.recv spans, client.request async spans, "req" flow
+//              begin/end (the client half of the cross-process flow)
+//   obs.*      the tracer itself     — obs.trace_dropped counter (ring
+//              saturation; mirrored in the trace file's otherData)
 #pragma once
 
 #include "obs/metrics.h"  // IWYU pragma: export

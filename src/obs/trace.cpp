@@ -77,15 +77,28 @@ ThreadBuffer& thread_buffer() {
   return *tls;
 }
 
+namespace {
+
+/// Ring drops surface as a metric too (ISSUE 10 satellite), so a serve
+/// session can see "the trace is incomplete" in a stats snapshot without
+/// parsing the trace file. Cached reference: one registry lookup ever.
+Counter& trace_dropped_counter() {
+  static Counter& c = obs::counter("obs.trace_dropped");
+  return c;
+}
+
+}  // namespace
+
 bool record_begin(ThreadBuffer& buf, const char* name, std::int64_t arg,
                   bool has_arg) {
   const std::uint64_t ts = now_since_epoch();
   std::lock_guard<std::mutex> lk(buf.mu);
   if (buf.events.size() >= ThreadBuffer::kCapacity) {
     ++buf.dropped;
+    trace_dropped_counter().add(1);
     return false;
   }
-  buf.events.push_back({name, arg, ts, 'B', has_arg});
+  buf.events.push_back({name, arg, ts, 0, 'B', has_arg});
   return true;
 }
 
@@ -94,7 +107,19 @@ void record_end(ThreadBuffer& buf, const char* name) {
   std::lock_guard<std::mutex> lk(buf.mu);
   // Ends of recorded begins always append (even past the cap), so every
   // recorded 'B' gets its 'E' and the emitted document pairs up exactly.
-  buf.events.push_back({name, 0, ts, 'E', false});
+  buf.events.push_back({name, 0, ts, 0, 'E', false});
+}
+
+void record_id_event(ThreadBuffer& buf, const char* name, char phase,
+                     std::uint64_t id) {
+  const std::uint64_t ts = now_since_epoch();
+  std::lock_guard<std::mutex> lk(buf.mu);
+  if (buf.events.size() >= ThreadBuffer::kCapacity) {
+    ++buf.dropped;
+    trace_dropped_counter().add(1);
+    return;
+  }
+  buf.events.push_back({name, 0, ts, id, phase, false});
 }
 
 }  // namespace detail
@@ -126,6 +151,35 @@ void set_thread_name(const std::string& name) {
   detail::ThreadBuffer& buf = detail::thread_buffer();
   std::lock_guard<std::mutex> lk(buf.mu);
   buf.name = name;
+}
+
+namespace {
+
+void record_id_event_gated(const char* name, char phase, std::uint64_t id) {
+  if (!tracing_enabled()) return;
+  detail::record_id_event(detail::thread_buffer(), name, phase, id);
+}
+
+}  // namespace
+
+void flow_begin(const char* name, std::uint64_t id) {
+  record_id_event_gated(name, 's', id);
+}
+
+void flow_step(const char* name, std::uint64_t id) {
+  record_id_event_gated(name, 't', id);
+}
+
+void flow_end(const char* name, std::uint64_t id) {
+  record_id_event_gated(name, 'f', id);
+}
+
+void async_begin(const char* name, std::uint64_t id) {
+  record_id_event_gated(name, 'b', id);
+}
+
+void async_end(const char* name, std::uint64_t id) {
+  record_id_event_gated(name, 'e', id);
 }
 
 std::uint64_t dropped_events() {
@@ -163,6 +217,20 @@ void write_event(std::ostream& os, bool& first, const detail::TraceEvent& ev,
   write_ts_us(os, ev.ts_ns);
   if (ev.phase == 'B' && ev.has_arg) {
     os << ",\"args\":{\"arg\":" << ev.arg << '}';
+  }
+  switch (ev.phase) {
+    case 's':
+    case 't':
+    case 'f':
+      // "bp":"e" binds the flow to the enclosing slice (Chrome format).
+      os << ",\"id\":" << ev.id << ",\"bp\":\"e\"";
+      break;
+    case 'b':
+    case 'e':
+      os << ",\"id\":" << ev.id;
+      break;
+    default:
+      break;
   }
   os << '}';
 }
@@ -202,9 +270,12 @@ void write_chrome_trace(std::ostream& os) {
     os << "}}";
 
     // Per-thread events are appended in program order, so begins/ends are
-    // already properly nested; repair the two truncation cases — an 'E'
-    // whose 'B' predates a reset is skipped, and begins left open when
-    // recording stopped are closed at the buffer's final timestamp.
+    // already properly nested; repair the truncation cases — an 'E' whose
+    // 'B' predates a reset is skipped, a flow event outside any open span
+    // (its enclosing begin predates a reset) is skipped so every emitted
+    // flow binds to a slice, and begins left open when recording stopped
+    // are closed at the buffer's final timestamp. Async 'b'/'e' events
+    // pass through: they are not part of the nesting discipline.
     std::vector<std::size_t> stack;
     std::uint64_t last_ts = 0;
     for (const detail::TraceEvent& ev : events) {
@@ -212,8 +283,14 @@ void write_chrome_trace(std::ostream& os) {
       if (ev.phase == 'B') {
         stack.push_back(1);
         write_event(os, first, ev, tid);
-      } else if (!stack.empty()) {
-        stack.pop_back();
+      } else if (ev.phase == 'E') {
+        if (!stack.empty()) {
+          stack.pop_back();
+          write_event(os, first, ev, tid);
+        }
+      } else if (ev.phase == 's' || ev.phase == 't' || ev.phase == 'f') {
+        if (!stack.empty()) write_event(os, first, ev, tid);
+      } else {
         write_event(os, first, ev, tid);
       }
     }
@@ -225,7 +302,9 @@ void write_chrome_trace(std::ostream& os) {
       write_event(os, first, close, tid);
     }
   }
-  os << "],\"otherData\":{\"dropped_events\":" << dropped << "}}\n";
+  os << "],\"otherData\":{\"dropped_events\":" << dropped
+     << ",\"trace_epoch_ns\":"
+     << detail::g_epoch_ns.load(std::memory_order_relaxed) << "}}\n";
 }
 
 }  // namespace wmatch::obs

@@ -23,6 +23,14 @@
 // Span names must be string literals (or otherwise outlive the trace):
 // events store the pointer, not a copy. Dynamic identity (round index,
 // class index, job index) travels in the optional integer argument.
+//
+// Beyond B/E slices the tracer records two cross-cutting event kinds
+// (ISSUE 10): *flow* events ('s'/'t'/'f' + an id) draw Perfetto arrows
+// between the slices that enclose them — one request's journey across
+// threads and, after scripts/merge_traces.py, across processes — and
+// *async* spans ('b'/'e' + an id) describe intervals that overlap freely
+// on one thread (a load generator's in-flight requests). Both are
+// identified by (name, id), never by thread.
 #pragma once
 
 #include <atomic>
@@ -40,7 +48,8 @@ struct TraceEvent {
   const char* name = nullptr;  ///< static string; identifies the span
   std::int64_t arg = 0;        ///< caller-chosen payload (index, size, ...)
   std::uint64_t ts_ns = 0;     ///< nanoseconds since the trace epoch
-  char phase = 'B';            ///< 'B' begin | 'E' end
+  std::uint64_t id = 0;        ///< flow / async identity ('s','t','f','b','e')
+  char phase = 'B';            ///< 'B' begin | 'E' end | flow | async
   bool has_arg = false;
 };
 
@@ -54,6 +63,11 @@ ThreadBuffer& thread_buffer();
 bool record_begin(ThreadBuffer& buf, const char* name, std::int64_t arg,
                   bool has_arg);
 void record_end(ThreadBuffer& buf, const char* name);
+
+/// Appends a flow ('s'/'t'/'f') or async ('b'/'e') event; drop-counted
+/// like begins when the ring is saturated.
+void record_id_event(ThreadBuffer& buf, const char* name, char phase,
+                     std::uint64_t id);
 
 }  // namespace detail
 
@@ -81,16 +95,37 @@ void reset_tracing();
 /// Names the calling thread in the trace ("main", "pool-worker-3", ...).
 void set_thread_name(const std::string& name);
 
+/// Flow events: Perfetto draws an arrow from each flow event to the next
+/// one with the same id, binding each to the B/E slice that encloses it —
+/// so a request stamped with one flow id becomes a connected path through
+/// net.admit -> service.job -> service.solve -> net.request (and, in a
+/// merged trace, the client's send/recv slices). Call only inside an open
+/// Span; begin ('s') once, step ('t') per hop, end ('f') once. No-ops
+/// while tracing is disabled.
+void flow_begin(const char* name, std::uint64_t id);
+void flow_step(const char* name, std::uint64_t id);
+void flow_end(const char* name, std::uint64_t id);
+
+/// Async spans ('b'/'e' + id): intervals that overlap freely on one
+/// thread, rendered on their own track. Used for client.request (send ->
+/// response) in the load generator, where many requests are in flight on
+/// the single client thread at once. No-ops while tracing is disabled.
+void async_begin(const char* name, std::uint64_t id);
+void async_end(const char* name, std::uint64_t id);
+
 /// Total events dropped across all threads because a ring buffer
 /// saturated (reported in the trace document's metadata as well).
 std::uint64_t dropped_events();
 
 /// Writes the Chrome trace-event JSON document ({"traceEvents":[...]},
-/// "B"/"E" pairs per thread plus thread-name metadata), loadable by
-/// chrome://tracing and ui.perfetto.dev. Call after stop_tracing(); a
-/// begin whose end was never recorded (span still open, or recording
-/// stopped mid-span) is closed at the latest observed timestamp so the
-/// document still nests.
+/// "B"/"E" pairs per thread plus thread-name metadata, flow and async
+/// events with their ids), loadable by chrome://tracing and
+/// ui.perfetto.dev. Call after stop_tracing(); a begin whose end was
+/// never recorded (span still open, or recording stopped mid-span) is
+/// closed at the latest observed timestamp so the document still nests.
+/// otherData carries dropped_events and trace_epoch_ns (the absolute
+/// steady-clock nanosecond of ts 0), which scripts/merge_traces.py uses
+/// to align traces from different processes on one timeline.
 void write_chrome_trace(std::ostream& os);
 
 /// RAII span: records begin at construction, end at destruction. A span

@@ -41,6 +41,13 @@ struct JobSpec {
   /// Compute the exact optimum of the solver's objective (Blossom) when no
   /// planted optimum exists; planted optima are reported either way.
   bool with_optimum = false;
+  /// Client-stamped trace context (ISSUE 10): the optional "trace" field
+  /// of the JSONL protocol. A nonzero trace_id ties the job's server-side
+  /// spans to the client's via "req" flow events; trace_sent_ns is the
+  /// client's monotonic send timestamp, carried for trace tooling.
+  /// Telemetry-only: never feeds solver state, cache keys, or counters.
+  std::uint64_t trace_id = 0;
+  std::uint64_t trace_sent_ns = 0;
 
   bool is_generated() const {
     return std::holds_alternative<api::GenSpec>(source);
@@ -93,6 +100,9 @@ struct JobResult {
   /// Time the submission sat in the JobQueue before a worker picked it up
   /// (streaming path only; 0 for materialized batches and direct run_job).
   double queue_wait_ms = 0.0;
+  /// Echo of JobSpec::trace_id so the response path can continue the
+  /// request's flow (0 = no client trace context; not serialized).
+  std::uint64_t trace_id = 0;
   std::vector<std::pair<std::string, double>> stats;
 
   bool ok() const { return error.empty(); }

@@ -62,6 +62,26 @@ api::GenSpec parse_gen(const util::JsonValue& v) {
   return gen;
 }
 
+void parse_trace(const util::JsonValue& v, JobSpec* job) {
+  if (!v.is_object()) {
+    bad("\"trace\" expects an object {\"id\":N,\"sent_ns\":N}");
+  }
+  bool have_id = false;
+  for (const auto& [key, val] : v.as_object()) {
+    if (key == "id") {
+      job->trace_id = as_size(val, "trace id");
+      have_id = true;
+    } else if (key == "sent_ns") {
+      job->trace_sent_ns = as_size(val, "trace sent_ns");
+    } else {
+      bad("unknown \"trace\" key \"" + key + "\"");
+    }
+  }
+  if (!have_id || job->trace_id == 0) {
+    bad("\"trace\" needs a nonzero \"id\"");
+  }
+}
+
 FileSource parse_input(const util::JsonValue& v) {
   FileSource f;
   if (v.is_string()) {
@@ -106,6 +126,7 @@ JobSpec parse_job(const std::string& line) {
     else if (key == "mem_words") { mpc.machine_memory_words = as_size(val, "mem_words"); mpc_set = true; }
     else if (key == "p") { arrival.p = val.as_number(); arrival_set = true; }
     else if (key == "beta") { arrival.beta = val.as_number(); arrival_set = true; }
+    else if (key == "trace") parse_trace(val, &job);
     else bad("unknown job key \"" + key + "\"");
   }
 

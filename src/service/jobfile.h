@@ -13,10 +13,13 @@
 // solver, like --seed), "epsilon", "delta", "threads", "reps", "warmup",
 // "with_optimum", the MPC knobs "machines"/"mem_words", and the
 // random-arrival knobs "p"/"beta" (the two knob sets are mutually
-// exclusive, as on the CLI). Inside "gen": "generator", "n", "m",
-// "attach", "radius", "aug_length", "beta", "weights", "max_weight",
-// "order". Unknown keys anywhere are errors — a typo must not silently
-// run a default job. Blank lines and lines starting with '#' are skipped.
+// exclusive, as on the CLI), and the client trace context "trace"
+// ({"id":N,"sent_ns":N}, nonzero id required — telemetry-only, ties the
+// job's server-side spans to the client's via flow events, ISSUE 10).
+// Inside "gen": "generator", "n", "m", "attach", "radius", "aug_length",
+// "beta", "weights", "max_weight", "order". Unknown keys anywhere are
+// errors — a typo must not silently run a default job. Blank lines and
+// lines starting with '#' are skipped.
 //
 // All parse and validation failures throw std::invalid_argument with the
 // offending line number, which the CLI maps onto the exit-2 usage-error

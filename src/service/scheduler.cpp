@@ -46,11 +46,15 @@ Scheduler::Scheduler(SchedulerConfig config)
 JobResult Scheduler::run_job(const JobSpec& job, std::size_t index,
                              double queue_wait_ms) {
   obs::Span job_span("service.job", static_cast<std::int64_t>(index));
+  // Continue the request's cross-process flow (client send -> admission ->
+  // here) when the job carries a client trace context.
+  if (job.trace_id != 0) obs::flow_step("req", job.trace_id);
   ServiceMetrics& metrics = service_metrics();
   metrics.jobs_total.add();
   if (queue_wait_ms > 0.0) metrics.queue_wait_ms.observe(queue_wait_ms);
   JobResult r;
   r.index = index;
+  r.trace_id = job.trace_id;
   r.queue_wait_ms = queue_wait_ms;
   r.id = job.id.empty() ? "job-" + std::to_string(index) : job.id;
   r.solver = job.solver;
@@ -101,6 +105,7 @@ JobResult Scheduler::run_job(const JobSpec& job, std::size_t index,
     api::SolveResult solve;
     {
       obs::Span solve_span("service.solve", static_cast<std::int64_t>(index));
+      if (job.trace_id != 0) obs::flow_step("req", job.trace_id);
       for (std::size_t rep = 0; rep < reps; ++rep) {
         solve = solver.solve(inst, spec);
         wall.push_back(solve.cost.wall_ms);

@@ -332,12 +332,64 @@ SweepSpec e11_preset() {
   return s;
 }
 
+/// E12 / Theorem 1.1's random-arrival assumption — arrival-order
+/// sensitivity through the registry: Rand-Arr-Matching (with greedy and
+/// local-ratio as order-robust baselines) on the E12 instance family
+/// (n = 800, m = 6400, exponential weights) streamed in random,
+/// clustered, and adversarial increasing-weight order. The bespoke
+/// bench_e12 binary wraps this preset and adds the bounded local-shuffle
+/// window ladder (gen::locally_shuffled_stream is a stream transform,
+/// deliberately not a GenSpec axis).
+SweepSpec e12_preset() {
+  SweepSpec s;
+  s.name = "E12";
+  s.solvers = {"greedy", "local-ratio", "rand-arrival"};
+  for (api::ArrivalOrder order :
+       {api::ArrivalOrder::kRandom, api::ArrivalOrder::kClustered,
+        api::ArrivalOrder::kIncreasingWeight}) {
+    api::GenSpec g;
+    g.n = 800;
+    g.m = 6400;
+    g.weights = gen::WeightDist::kExponential;
+    g.max_weight = 1 << 12;
+    g.order = order;
+    s.instances.push_back(g);
+  }
+  s.seeds = seed_range(12000, 3);
+  s.with_optimum = true;
+  s.stat_columns = {"stack_size", "t_size"};
+  return s;
+}
+
+/// E13 / DESIGN.md §3.3 — the epsilon ladder of the substituted
+/// discretization: the multipass reduction across eps on the E13 family
+/// (n = 400, m = 2400, exponential weights), ratio vs the exact optimum.
+/// The bespoke bench_e13 binary wraps this preset and adds the direct
+/// granularity x tau-pair-budget ablation grid (TauConfig::granularity /
+/// max_pairs are config knobs, deliberately not SolverSpec axes).
+SweepSpec e13_preset() {
+  SweepSpec s;
+  s.name = "E13";
+  s.solvers = {"reduction-hk"};
+  api::GenSpec er;
+  er.n = 400;
+  er.m = 2400;
+  er.weights = gen::WeightDist::kExponential;
+  er.max_weight = 1 << 12;
+  s.instances = {er};
+  s.epsilons = {0.25, 0.15, 0.1};
+  s.seeds = seed_range(13000, 3);
+  s.with_optimum = true;
+  s.stat_columns = {"iterations"};
+  return s;
+}
+
 }  // namespace
 
 const std::vector<std::string>& preset_names() {
   static const std::vector<std::string> names = {
       "ci", "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10",
-      "e11"};
+      "e11", "e12", "e13"};
   return names;
 }
 
@@ -359,10 +411,12 @@ SweepSpec preset(const std::string& name) {
   if (name == "e9") return e9_preset();
   if (name == "e10") return e10_preset();
   if (name == "e11") return e11_preset();
+  if (name == "e12") return e12_preset();
+  if (name == "e13") return e13_preset();
   WMATCH_REQUIRE(false,
                  "unknown bench preset '" + name +
                      "' (known: ci, e1, e2, e3, e4, e5, e6, e7, e8, e9, "
-                     "e10, e11)");
+                     "e10, e11, e12, e13)");
   return {};  // unreachable
 }
 

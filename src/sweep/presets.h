@@ -1,4 +1,4 @@
-// Named SweepSpecs: the paper's parametric experiments (e1 through e11)
+// Named SweepSpecs: the paper's parametric experiments (e1 through e13)
 // expressed as declarative grids, plus the small deterministic "ci" grid
 // the perf-regression gate diffs against bench/baselines/ci_baseline.json.
 // `wmatch_cli bench --preset=<name>` and the bench_e* thin wrappers both
@@ -13,7 +13,7 @@
 
 namespace wmatch::sweep {
 
-/// Preset names ("ci", "e1", ..., "e11").
+/// Preset names ("ci", "e1", ..., "e13").
 const std::vector<std::string>& preset_names();
 bool is_known_preset(const std::string& name);
 

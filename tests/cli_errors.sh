@@ -63,8 +63,9 @@ expect_error 2 "expects a density" \
   bench --algo=greedy --gen=hard-planted-augs --n=16 --beta=-0.1 --seeds=1
 expect_error 2 "unknown bench preset 'e99'" bench --preset=e99
 # the diagnostic must advertise the full preset list (e10/e11 ported in
-# ISSUE 9)
-expect_error 2 "known: ci, e1, e2, e3, e4, e5, e6, e7, e8, e9, e10, e11" \
+# ISSUE 9, e12/e13 in ISSUE 10)
+expect_error 2 \
+  "known: ci, e1, e2, e3, e4, e5, e6, e7, e8, e9, e10, e11, e12, e13" \
   bench --preset=e99
 expect_error 2 "unknown solver 'nope'" bench --algo=nope --gen=erdos_renyi
 expect_error 2 "unknown generator 'nope'" bench --algo=greedy --gen=nope
@@ -104,6 +105,15 @@ expect_error 2 "--listen expects a port" serve --listen=notaport
 expect_error 2 "--listen expects a port" serve --listen=70000
 expect_error 2 "--max-conns must be >= 1" serve --listen=0 --max-conns=0
 expect_error 2 "unknown serve flag" serve --stdin --file=x.jsonl
+# telemetry flags (ISSUE 10): serve-only, validated before any socket
+expect_error 2 "--idle-timeout must be <= 86400" \
+  serve --listen=0 --idle-timeout=86401
+expect_error 2 "--idle-timeout expects a non-negative integer" \
+  serve --listen=0 --idle-timeout=soon
+expect_error 2 "--metrics-out expects a file path" \
+  serve --listen=0 --metrics-out=
+expect_error 2 "unknown batch flag" batch --stdin --idle-timeout=5
+expect_error 2 "unknown batch flag" batch --stdin --metrics-out=m.jsonl
 expect_error 2 "requires --connect" loadgen --jobs-file=x.jsonl
 expect_error 2 "requires --jobs-file" loadgen --connect=9999
 expect_error 2 "--connect expects a port" loadgen \

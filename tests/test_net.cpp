@@ -5,6 +5,12 @@
 // control at queue capacity, graceful drain with in-flight jobs, the
 // max-connection ceiling, malformed-line error replies with line
 // numbers, and the "metrics" control request.
+//
+// ISSUE 10 additions: the "stats" control line (windowed delta
+// snapshot), the idle-connection timeout, and wire trace-context
+// propagation — absent / present / malformed round-trips plus the
+// complete client -> server -> client "req" flow chain recorded when
+// both sides trace into the same in-process tracer.
 #include <gtest/gtest.h>
 
 #include <poll.h>
@@ -12,6 +18,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <set>
@@ -21,6 +28,7 @@
 #include <vector>
 
 #include "net/net.h"
+#include "obs/obs.h"
 #include "service/service.h"
 #include "util/json.h"
 #include "util/json_parse.h"
@@ -393,6 +401,176 @@ TEST(NetServer, MetricsControlLineAnswersRegistrySnapshot) {
       obj.find("counters")->find("net.requests_total");
   ASSERT_NE(requests, nullptr);
   EXPECT_GE(requests->as_number(), 1.0);
+}
+
+TEST(NetServer, StatsControlLineAnswersWindowedDeltaSnapshot) {
+  TestServer ts(small_server());
+  Client client(ts.port());
+  client.send(job_line("windowed", "greedy", 30, 60, 1));
+  ASSERT_FALSE(client.read_line().empty());
+
+  client.send("stats\n");
+  const std::string line = client.read_line();
+  const util::JsonValue obj = util::parse_json(line);
+  for (const char* key :
+       {"t_ns", "interval_s", "window_s", "deltas", "rates", "window",
+        "gauges"}) {
+    ASSERT_NE(obj.find(key), nullptr) << key << ": " << line;
+  }
+  // The delta covers the interval since the server armed its baseline,
+  // so this connection's own request is in it.
+  const util::JsonValue* req = obj.find("deltas")->find("net.requests_total");
+  ASSERT_NE(req, nullptr) << line;
+  EXPECT_GE(req->as_number(), 1.0);
+  // The sliding window carries the serving latency histogram with
+  // percentiles — the request just served is within the last ~8 s.
+  const util::JsonValue* w = obj.find("window")->find("net.request_ms");
+  ASSERT_NE(w, nullptr) << line;
+  EXPECT_GE(w->find("count")->as_number(), 1.0);
+  for (const char* key : {"rate", "p50", "p95", "p99"}) {
+    ASSERT_NE(w->find(key), nullptr) << key;
+  }
+  // The session keeps serving after a control line.
+  client.send(job_line("after-stats", "greedy", 30, 60, 2));
+  const std::string after = client.read_line();
+  ASSERT_FALSE(after.empty());
+  EXPECT_EQ(util::parse_json(after).find("id")->as_string(), "after-stats");
+}
+
+TEST(NetServer, IdleTimeoutClosesQuietSocketConnections) {
+  net::ServerConfig cfg = small_server();
+  cfg.idle_timeout_s = 1;
+  TestServer ts(cfg);
+  const std::uint64_t before = obs::counter("net.idle_closes").value();
+  Client client(ts.port());
+  client.send(job_line("busy-then-idle", "greedy", 30, 60, 1));
+  ASSERT_FALSE(client.read_line().empty());
+  // No further bytes and no jobs in flight: the poll-loop sweep closes
+  // the connection once it has been quiet past the limit (the 1 s poll
+  // timeout bounds the sweep latency). EOF, not an error reply.
+  EXPECT_TRUE(client.read_line(15.0).empty());
+  EXPECT_GE(obs::counter("net.idle_closes").value(), before + 1);
+}
+
+// ---- trace-context propagation (ISSUE 10) ------------------------------
+
+std::string traced_job_line(const std::string& id, int seed,
+                            std::uint64_t trace_id) {
+  std::ostringstream os;
+  os << "{\"id\":\"" << id
+     << "\",\"algo\":\"greedy\",\"gen\":{\"generator\":\"erdos_renyi\","
+        "\"n\":30,\"m\":60},\"seed\":"
+     << seed << ",\"trace\":{\"id\":" << trace_id << ",\"sent_ns\":123}}\n";
+  return os.str();
+}
+
+TEST(NetServer, TraceContextAbsentPresentAndMalformed) {
+  TestServer ts(small_server());
+  Client client(ts.port());
+
+  // Absent: a plain job keeps working untouched.
+  client.send(job_line("no-trace", "greedy", 30, 60, 1));
+  std::string line = client.read_line();
+  EXPECT_EQ(util::parse_json(line).find("error"), nullptr) << line;
+
+  // Present: a stamped job answers a normal result.
+  client.send(traced_job_line("stamped", 2, 7));
+  line = client.read_line();
+  {
+    const util::JsonValue obj = util::parse_json(line);
+    EXPECT_EQ(obj.find("error"), nullptr) << line;
+    EXPECT_EQ(obj.find("id")->as_string(), "stamped");
+  }
+
+  // Malformed (zero id): a line-numbered parse error naming the field,
+  // and the session survives it.
+  client.send(traced_job_line("zeroed", 3, 0));
+  line = client.read_line();
+  {
+    const util::JsonValue obj = util::parse_json(line);
+    ASSERT_NE(obj.find("error"), nullptr) << line;
+    EXPECT_NE(obj.find("error")->as_string().find(
+                  "\"trace\" needs a nonzero \"id\""),
+              std::string::npos)
+        << line;
+    ASSERT_NE(obj.find("line"), nullptr) << line;
+    EXPECT_EQ(obj.find("line")->as_number(), 3.0);
+  }
+  client.send(job_line("after-bad-trace", "greedy", 30, 60, 4));
+  line = client.read_line();
+  EXPECT_EQ(util::parse_json(line).find("error"), nullptr) << line;
+
+  const net::ServeSummary summary = ts.finish();
+  EXPECT_EQ(summary.requests, 3u);
+  EXPECT_EQ(summary.parse_errors, 1u);
+}
+
+TEST(NetServer, TraceFlowChainConnectsClientAndServerSpans) {
+  // The test plays the client role inside the same process as the
+  // server, so one tracer sees the whole chain: the client-side "s"
+  // (flow_begin under a slice, before the bytes hit the wire), the four
+  // server-side "t" steps (net.admit, service.job, service.solve,
+  // net.request), and the client-side "f" after the response arrives —
+  // the in-process version of what scripts/merge_traces.py +
+  // scripts/check_trace.py verify across processes in CI.
+  struct TracingGuard {
+    ~TracingGuard() { obs::reset_tracing(); }
+  } guard;
+  obs::reset_tracing();
+  obs::start_tracing();
+  std::string result_line;
+  {
+    TestServer ts(small_server());
+    Client client(ts.port());
+    {
+      obs::Span send_span("test.client.send");
+      obs::flow_begin("req", 7);
+      client.send(traced_job_line("flowing", 1, 7));
+    }
+    result_line = client.read_line();
+    {
+      obs::Span recv_span("test.client.recv");
+      obs::flow_end("req", 7);
+    }
+  }  // drain: every server span closes before the trace is written
+  obs::stop_tracing();
+  ASSERT_FALSE(result_line.empty());
+  EXPECT_EQ(util::parse_json(result_line).find("error"), nullptr)
+      << result_line;
+
+  std::ostringstream os;
+  obs::write_chrome_trace(os);
+  const util::JsonValue doc = util::parse_json(os.str());
+  std::vector<std::pair<double, std::string>> flow;  // (ts, phase)
+  for (const util::JsonValue& ev : doc.find("traceEvents")->as_array()) {
+    const std::string& ph = ev.find("ph")->as_string();
+    if (ph != "s" && ph != "t" && ph != "f") continue;
+    ASSERT_EQ(ev.find("name")->as_string(), "req");
+    ASSERT_NE(ev.find("id"), nullptr);
+    EXPECT_EQ(ev.find("id")->as_number(), 7.0);
+    flow.emplace_back(ev.find("ts")->as_number(), ph);
+  }
+  std::size_t begins = 0, steps = 0, ends = 0;
+  double s_ts = 0.0, f_ts = 0.0;
+  for (const auto& [ts, ph] : flow) {
+    if (ph == "s") {
+      ++begins;
+      s_ts = ts;
+    } else if (ph == "f") {
+      ++ends;
+      f_ts = ts;
+    } else {
+      ++steps;
+    }
+  }
+  ASSERT_EQ(begins, 1u);
+  ASSERT_EQ(ends, 1u);
+  EXPECT_EQ(steps, 4u);
+  for (const auto& [ts, ph] : flow) {
+    if (ph != "t") continue;
+    EXPECT_GE(ts, s_ts);  // begin precedes every server step...
+    EXPECT_LE(ts, f_ts);  // ...and the finish follows them all
+  }
 }
 
 // ---- socket helpers -----------------------------------------------------

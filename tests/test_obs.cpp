@@ -4,6 +4,14 @@
 // round-tripping through util::parse_json, and the determinism contract —
 // per-job counters bit-identical with tracing on vs off across
 // jobs x threads combinations.
+//
+// ISSUE 10 additions: sliding-window percentiles cross-checked against a
+// brute-force reference histogram fed only the in-window values,
+// delta_snapshot subtraction/clamping, percentile_from_buckets vs the
+// instrument's own percentile, the StatsWindow JSONL shape, the
+// Prometheus text exposition, and flow ("s"/"t"/"f") / async ("b"/"e")
+// trace events — ids carried, flow steps bound to an open slice,
+// slice-less flow events suppressed by the writer.
 #include <gtest/gtest.h>
 
 #include <cmath>
@@ -112,6 +120,228 @@ TEST(Metrics, HistogramOverflowBucketReportsItsLowerBound) {
   EXPECT_DOUBLE_EQ(h.percentile(0.5), last_finite);
 }
 
+// ---- Sliding window (ISSUE 10) ----
+
+TEST(Metrics, WindowedPercentilesMatchBruteForceOverWindow) {
+  obs::Histogram& h = obs::histogram("test.obs.hist.window");
+  h.reset();
+  // Reference: a second histogram fed ONLY the values that fall inside
+  // the window, so its cumulative percentiles are the brute-force answer
+  // the windowed math must reproduce exactly.
+  obs::Histogram& ref = obs::histogram("test.obs.hist.window.ref");
+  ref.reset();
+
+  const std::uint64_t base = 1000 * obs::Histogram::kSlotNs;
+  const std::uint64_t now =
+      base + 11 * obs::Histogram::kSlotNs + 500'000'000ull;
+  const std::uint64_t gen_now = now / obs::Histogram::kSlotNs;
+  std::uint64_t expected_count = 0;
+  // Deterministic value ladder spread over 12 one-second slots; only the
+  // last kWindowSlots slots are in-window at `now`.
+  for (std::uint64_t slot = 0; slot < 12; ++slot) {
+    for (std::uint64_t k = 0; k < 5; ++k) {
+      const double x = 0.001 * static_cast<double>(1 + (slot * 7 + k * 3) % 40);
+      const std::uint64_t t =
+          base + slot * obs::Histogram::kSlotNs + k * 100'000'000ull;
+      h.observe_at(x, t);
+      if (gen_now - t / obs::Histogram::kSlotNs <
+          obs::Histogram::kWindowSlots) {
+        ref.observe(x);
+        ++expected_count;
+      }
+    }
+  }
+  ASSERT_EQ(expected_count, 8u * 5u);  // exactly the last 8 slots
+
+  const obs::Histogram::WindowStats w = h.window_stats_at(now);
+  EXPECT_EQ(w.count, expected_count);
+  EXPECT_NEAR(w.window_s, 8.0, 1e-12);
+  EXPECT_NEAR(w.rate, static_cast<double>(expected_count) / 8.0, 1e-12);
+  EXPECT_NEAR(w.p50, ref.percentile(0.50), 1e-12);
+  EXPECT_NEAR(w.p95, ref.percentile(0.95), 1e-12);
+  EXPECT_NEAR(w.p99, ref.percentile(0.99), 1e-12);
+  // Cumulative side saw everything regardless of the window.
+  EXPECT_EQ(h.count(), 12u * 5u);
+}
+
+TEST(Metrics, WindowAgesOutOldSlotsEntirely) {
+  obs::Histogram& h = obs::histogram("test.obs.hist.window.aged");
+  h.reset();
+  const std::uint64_t t0 = 500 * obs::Histogram::kSlotNs;
+  h.observe_at(0.003, t0);
+  // Still visible at the last in-window generation...
+  const std::uint64_t edge =
+      t0 + (obs::Histogram::kWindowSlots - 1) * obs::Histogram::kSlotNs;
+  EXPECT_EQ(h.window_stats_at(edge).count, 1u);
+  // ...gone one slot later, while the cumulative count is untouched.
+  EXPECT_EQ(
+      h.window_stats_at(edge + obs::Histogram::kSlotNs).count, 0u);
+  EXPECT_EQ(h.count(), 1u);
+}
+
+// ---- Delta snapshots + bucket percentiles (ISSUE 10) ----
+
+const obs::MetricsSnapshot::CounterValue* find_counter(
+    const obs::MetricsSnapshot& s, const std::string& name) {
+  for (const auto& c : s.counters) {
+    if (c.name == name) return &c;
+  }
+  return nullptr;
+}
+
+const obs::MetricsSnapshot::HistogramValue* find_histogram(
+    const obs::MetricsSnapshot& s, const std::string& name) {
+  for (const auto& h : s.histograms) {
+    if (h.name == name) return &h;
+  }
+  return nullptr;
+}
+
+TEST(Metrics, DeltaSnapshotSubtractsClampsAndRecomputesPercentiles) {
+  obs::Counter& c = obs::counter("test.obs.delta.counter");
+  obs::Histogram& h = obs::histogram("test.obs.delta.hist");
+  obs::Gauge& g = obs::gauge("test.obs.delta.gauge");
+  c.reset();
+  h.reset();
+  g.reset();
+
+  c.add(10);
+  h.observe(0.003);
+  g.set(5);
+  const obs::MetricsSnapshot prev = obs::metrics_snapshot();
+
+  c.add(32);
+  for (int i = 0; i < 50; ++i) h.observe(0.006);
+  g.set(2);
+  const obs::MetricsSnapshot cur = obs::metrics_snapshot();
+
+  const obs::MetricsSnapshot d = obs::delta_snapshot(cur, prev);
+  const auto* dc = find_counter(d, "test.obs.delta.counter");
+  ASSERT_NE(dc, nullptr);
+  EXPECT_EQ(dc->value, 32u);  // 42 - 10
+
+  const auto* dh = find_histogram(d, "test.obs.delta.hist");
+  ASSERT_NE(dh, nullptr);
+  EXPECT_EQ(dh->count, 50u);  // the interval's observations only
+  EXPECT_NEAR(dh->sum, 50 * 0.006, 1e-9);
+  // All interval mass sits in (0.004, 0.008]; the pre-interval 0.003
+  // observation must not leak into the recomputed percentiles.
+  EXPECT_GT(dh->p50, 0.004);
+  EXPECT_LE(dh->p99, 0.008);
+
+  // Gauges are levels, not totals: current value/max pass through.
+  bool saw_gauge = false;
+  for (const auto& gv : d.gauges) {
+    if (gv.name == "test.obs.delta.gauge") {
+      saw_gauge = true;
+      EXPECT_EQ(gv.value, 2);
+      EXPECT_EQ(gv.max, 5);
+    }
+  }
+  EXPECT_TRUE(saw_gauge);
+
+  // cur below prev (a reset between snapshots) clamps to 0 instead of
+  // wrapping a uint64.
+  c.reset();
+  const obs::MetricsSnapshot after_reset = obs::metrics_snapshot();
+  const obs::MetricsSnapshot d2 = obs::delta_snapshot(after_reset, cur);
+  const auto* dc2 = find_counter(d2, "test.obs.delta.counter");
+  ASSERT_NE(dc2, nullptr);
+  EXPECT_EQ(dc2->value, 0u);
+}
+
+TEST(Metrics, PercentileFromBucketsMatchesHistogramPercentile) {
+  obs::Histogram& h = obs::histogram("test.obs.delta.pfb");
+  h.reset();
+  for (int i = 0; i < 50; ++i) h.observe(0.003);
+  for (int i = 0; i < 30; ++i) h.observe(0.006);
+  for (int i = 0; i < 20; ++i) h.observe(0.012);
+
+  const obs::MetricsSnapshot snap = obs::metrics_snapshot();
+  const auto* hv = find_histogram(snap, "test.obs.delta.pfb");
+  ASSERT_NE(hv, nullptr);
+  for (const double q : {0.0, 0.25, 0.50, 0.90, 0.95, 0.99, 1.0}) {
+    EXPECT_NEAR(obs::percentile_from_buckets(hv->buckets, q),
+                h.percentile(q), 1e-12)
+        << "q=" << q;
+  }
+  EXPECT_DOUBLE_EQ(obs::percentile_from_buckets({}, 0.5), 0.0);
+}
+
+TEST(Metrics, StatsWindowEmitsOneParsableJsonLinePerWrite) {
+  obs::StatsWindow w;  // baseline captured here
+  obs::counter("test.obs.sw.counter").add(7);
+  obs::histogram("test.obs.sw.hist").observe(0.003);
+  obs::gauge("test.obs.sw.gauge").set(3);
+
+  std::ostringstream os;
+  w.write(os);
+  const std::string line = os.str();
+  ASSERT_FALSE(line.empty());
+  EXPECT_EQ(line.back(), '\n');  // JSONL: exactly one '\n'-terminated line
+  EXPECT_EQ(line.find('\n'), line.size() - 1);
+
+  const util::JsonValue doc = util::parse_json(line);
+  ASSERT_TRUE(doc.is_object());
+  for (const char* key :
+       {"t_ns", "interval_s", "window_s", "deltas", "rates", "window",
+        "gauges"}) {
+    ASSERT_NE(doc.find(key), nullptr) << key;
+  }
+  EXPECT_DOUBLE_EQ(doc.find("window_s")->as_number(), 8.0);
+  const util::JsonValue* delta =
+      doc.find("deltas")->find("test.obs.sw.counter");
+  ASSERT_NE(delta, nullptr);
+  EXPECT_EQ(delta->as_number(), 7.0);
+  const util::JsonValue* wh = doc.find("window")->find("test.obs.sw.hist");
+  ASSERT_NE(wh, nullptr);
+  EXPECT_GE(wh->find("count")->as_number(), 1.0);
+
+  // A second write consumes the baseline: the counter delta drops to 0.
+  std::ostringstream os2;
+  w.write(os2);
+  const util::JsonValue doc2 = util::parse_json(os2.str());
+  const util::JsonValue* delta2 =
+      doc2.find("deltas")->find("test.obs.sw.counter");
+  ASSERT_NE(delta2, nullptr);
+  EXPECT_EQ(delta2->as_number(), 0.0);
+}
+
+TEST(Metrics, PrometheusExpositionShape) {
+  obs::counter("test.obs.prom.counter").add(3);
+  obs::gauge("test.obs.prom.gauge").set(9);
+  obs::Histogram& h = obs::histogram("test.obs.prom.hist");
+  h.reset();
+  h.observe(0.003);
+  h.observe(0.006);
+
+  std::ostringstream os;
+  obs::write_metrics_prometheus(os);
+  const std::string text = os.str();
+
+  // Dots mangle to underscores under the wmatch_ prefix; every series
+  // gets a # TYPE line.
+  EXPECT_NE(text.find("# TYPE wmatch_test_obs_prom_counter counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("wmatch_test_obs_prom_counter 3"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE wmatch_test_obs_prom_gauge gauge"),
+            std::string::npos);
+  EXPECT_NE(text.find("wmatch_test_obs_prom_gauge 9"), std::string::npos);
+  EXPECT_NE(text.find("wmatch_test_obs_prom_gauge_max 9"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE wmatch_test_obs_prom_hist histogram"),
+            std::string::npos);
+  // Histogram buckets are cumulative: the (0.004, 0.008] bucket counts
+  // both observations, and +Inf closes the series before _sum/_count.
+  EXPECT_NE(text.find("wmatch_test_obs_prom_hist_bucket{le=\"0.004\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("wmatch_test_obs_prom_hist_bucket{le=\"0.008\"} 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("wmatch_test_obs_prom_hist_bucket{le=\"+Inf\"} 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("wmatch_test_obs_prom_hist_count 2"),
+            std::string::npos);
+}
+
 // ---- Metrics JSON round-trip ----
 
 TEST(Metrics, SnapshotJsonRoundTripsThroughStrictParser) {
@@ -213,6 +443,8 @@ TEST(Trace, DocumentIsValidJsonWithProperlyNestedSpans) {
 
   // Per-tid stack discipline: every E pops the innermost open B with the
   // same name (empty-name E = writer's force-close, matches anything).
+  // Flow ("s"/"t"/"f") and async ("b"/"e") events ride along with a
+  // numeric id; flow events additionally require an open slice.
   std::map<double, std::vector<std::string>> stack;
   std::map<double, double> last_ts;
   std::map<std::string, int> begins;
@@ -229,13 +461,22 @@ TEST(Trace, DocumentIsValidJsonWithProperlyNestedSpans) {
     if (ph == "B") {
       stack[tid].push_back(name);
       ++begins[name];
-    } else {
-      ASSERT_EQ(ph, "E");
+    } else if (ph == "E") {
       ASSERT_FALSE(stack[tid].empty());
       if (!name.empty()) {
         EXPECT_EQ(name, stack[tid].back());
       }
       stack[tid].pop_back();
+    } else {
+      ASSERT_TRUE(ph == "s" || ph == "t" || ph == "f" || ph == "b" ||
+                  ph == "e")
+          << ph;
+      ASSERT_NE(ev.find("id"), nullptr);
+      EXPECT_TRUE(ev.find("id")->is_number());
+      if (ph == "s" || ph == "t" || ph == "f") {
+        EXPECT_FALSE(stack[tid].empty())
+            << "flow event outside any slice on tid " << tid;
+      }
     }
   }
   for (const auto& [tid, open] : stack) {
@@ -275,6 +516,45 @@ TEST(Trace, SpanArgsAreCarried) {
     }
   }
   EXPECT_TRUE(saw_arg);
+}
+
+TEST(Trace, FlowAndAsyncEventsCarryIdsAndBindToSlices) {
+  TracingGuard guard;
+  obs::reset_tracing();
+  obs::start_tracing();
+  // A flow event with no open span on its thread must be suppressed by
+  // the writer (Perfetto needs a slice to bind the arrow to).
+  obs::flow_begin("test.flow.orphan", 99);
+  {
+    obs::Span span("test.flow.span", 7);
+    obs::flow_begin("test.flow", 5);
+    obs::flow_step("test.flow", 5);
+    obs::flow_end("test.flow", 5);
+  }
+  // Async events are process-scoped intervals: no enclosing slice needed.
+  obs::async_begin("test.async", 11);
+  obs::async_end("test.async", 11);
+  obs::stop_tracing();
+
+  std::ostringstream os;
+  obs::write_chrome_trace(os);
+  const util::JsonValue doc = util::parse_json(os.str());
+
+  std::map<std::string, std::vector<std::string>> phases_by_name;
+  for (const util::JsonValue& ev : doc.find("traceEvents")->as_array()) {
+    const std::string& ph = ev.find("ph")->as_string();
+    if (ph == "M" || ph == "B" || ph == "E") continue;
+    const std::string& name = ev.find("name")->as_string();
+    phases_by_name[name].push_back(ph);
+    ASSERT_NE(ev.find("id"), nullptr) << name;
+    const double id = ev.find("id")->as_number();
+    EXPECT_EQ(id, name == "test.flow" ? 5.0 : 11.0) << name;
+  }
+  EXPECT_EQ(phases_by_name.count("test.flow.orphan"), 0u);
+  EXPECT_EQ(phases_by_name["test.flow"],
+            (std::vector<std::string>{"s", "t", "f"}));
+  EXPECT_EQ(phases_by_name["test.async"],
+            (std::vector<std::string>{"b", "e"}));
 }
 
 // ---- Determinism: tracing must not perturb solver counters ----

@@ -274,6 +274,286 @@ class TraceTest(unittest.TestCase):
         self.assertIn("missing top-level key 'otherData'", out)
 
 
+def flow_ev(ph, name, ts, fid, tid=1):
+    return {"ph": ph, "name": name, "ts": ts, "pid": 1, "tid": tid,
+            "id": fid}
+
+
+class TraceFlowTest(unittest.TestCase):
+    """check_trace.py flow ("s"/"t"/"f") and async ("b"/"e") rules
+    (ISSUE 10)."""
+
+    def run_trace(self, doc, *args):
+        with TempJson() as t:
+            return run("check_trace.py", t.write("trace.json", doc), *args)
+
+    @staticmethod
+    def complete_flow_events(fid=7):
+        # The in-process shape of a traced request: "s" inside the
+        # client's send slice, "t" inside a server slice, "f" inside the
+        # client's receive slice.
+        return [
+            ev("B", "client.send", 1), flow_ev("s", "req", 2, fid),
+            ev("E", "client.send", 3),
+            ev("B", "net.admit", 4, tid=2), flow_ev("t", "req", 5, fid,
+                                                    tid=2),
+            ev("E", "net.admit", 6, tid=2),
+            ev("B", "client.recv", 7), flow_ev("f", "req", 8, fid),
+            ev("E", "client.recv", 9),
+        ]
+
+    def test_complete_flow_chain_passes_and_is_counted(self):
+        code, out = self.run_trace(trace_doc(self.complete_flow_events()),
+                                   "--require-complete-flow=req")
+        self.assertEqual(code, 0, out)
+        self.assertIn("1 flows (1 complete)", out)
+
+    def test_flow_without_step_is_not_complete(self):
+        events = [e for e in self.complete_flow_events()
+                  if e["ph"] not in ("t",)]
+        events = [e for e in events if e["name"] != "net.admit"]
+        code, out = self.run_trace(trace_doc(events),
+                                   "--require-complete-flow=req")
+        self.assertEqual(code, 1, out)
+        self.assertIn("no complete 's' -> 't' -> 'f' flow named 'req'", out)
+
+    def test_flow_event_without_id_fails(self):
+        bad = dict(flow_ev("s", "req", 2, 7))
+        del bad["id"]
+        doc = trace_doc([ev("B", "client.send", 1), bad,
+                         ev("E", "client.send", 3)])
+        code, out = self.run_trace(doc)
+        self.assertEqual(code, 1, out)
+        self.assertIn("without a numeric id", out)
+
+    def test_flow_event_outside_any_slice_fails(self):
+        doc = trace_doc([flow_ev("s", "req", 1, 7),
+                         ev("B", "x", 2), ev("E", "x", 3)])
+        code, out = self.run_trace(doc)
+        self.assertEqual(code, 1, out)
+        self.assertIn("no open span", out)
+
+    def test_flow_step_before_start_fails(self):
+        doc = trace_doc([
+            ev("B", "net.admit", 1), flow_ev("t", "req", 2, 7),
+            ev("E", "net.admit", 3),
+            ev("B", "client.send", 4), flow_ev("s", "req", 5, 7),
+            ev("E", "client.send", 6),
+        ])
+        code, out = self.run_trace(doc)
+        self.assertEqual(code, 1, out)
+        self.assertIn("'s' is not the first event", out)
+
+    def test_events_after_flow_end_fail(self):
+        doc = trace_doc([
+            ev("B", "client.send", 1), flow_ev("s", "req", 2, 7),
+            flow_ev("f", "req", 3, 7), flow_ev("t", "req", 4, 7),
+            ev("E", "client.send", 5),
+        ])
+        code, out = self.run_trace(doc)
+        self.assertEqual(code, 1, out)
+        self.assertIn("events after 'f'", out)
+
+    def test_async_end_beyond_open_count_fails(self):
+        doc = trace_doc([flow_ev("b", "client.request", 1, 7),
+                         flow_ev("e", "client.request", 2, 7),
+                         flow_ev("e", "client.request", 3, 7)])
+        code, out = self.run_trace(doc)
+        self.assertEqual(code, 1, out)
+        self.assertIn("closes more intervals than were opened", out)
+
+    def test_unclosed_async_warns_but_passes(self):
+        doc = trace_doc([flow_ev("b", "client.request", 1, 7)])
+        code, out = self.run_trace(doc)
+        self.assertEqual(code, 0, out)
+        self.assertIn("1 async interval(s) left open", out)
+
+    def test_dropped_events_warn_but_pass(self):
+        doc = trace_doc([ev("B", "x", 1), ev("E", "x", 2)], dropped=5)
+        code, out = self.run_trace(doc)
+        self.assertEqual(code, 0, out)
+        self.assertIn("WARN: 5 events dropped", out)
+
+
+def merge_doc(events, epoch, dropped=0):
+    d = trace_doc(events, dropped)
+    d["otherData"]["trace_epoch_ns"] = epoch
+    return d
+
+
+class MergeTracesTest(unittest.TestCase):
+    """merge_traces.py — clock alignment, pid relabeling, provenance."""
+
+    def test_merge_shifts_clocks_and_relabels_pids(self):
+        a = merge_doc([ev("B", "x", 10), ev("E", "x", 20)],
+                      epoch=1_000_000_000)
+        b = merge_doc([ev("B", "y", 5), ev("E", "y", 6)],
+                      epoch=1_002_000_000, dropped=3)
+        with TempJson() as t:
+            out_path = os.path.join(t.dir.name, "merged.json")
+            code, out = run("merge_traces.py", f"--out={out_path}",
+                            t.write("a.json", a), t.write("b.json", b))
+            self.assertEqual(code, 0, out)
+            with open(out_path) as f:
+                merged = json.load(f)
+        events = merged["traceEvents"]
+        labels = [e["args"]["name"] for e in events if e["ph"] == "M"]
+        self.assertEqual(labels, ["a.json", "b.json"])
+        xs = [e for e in events if e.get("name") == "x" and e["ph"] == "B"]
+        ys = [e for e in events if e.get("name") == "y" and e["ph"] == "B"]
+        self.assertEqual((xs[0]["pid"], xs[0]["ts"]), (1, 10))
+        # b's epoch is 2 ms later: its events shift by +2000 us.
+        self.assertEqual((ys[0]["pid"], ys[0]["ts"]), (2, 2005.0))
+        other = merged["otherData"]
+        self.assertEqual(other["dropped_events"], 3)
+        self.assertEqual(other["trace_epoch_ns"], 1_000_000_000)
+        self.assertEqual([m["pid"] for m in other["merged"]], [1, 2])
+
+    def test_merged_document_passes_check_trace_with_cross_pid_flow(self):
+        # Client process: "s" then "f"; server process: the "t" step. The
+        # merged doc must count one complete cross-process flow.
+        client = merge_doc([
+            ev("B", "client.send", 1), flow_ev("s", "req", 2, 7),
+            ev("E", "client.send", 3),
+            ev("B", "client.recv", 5000), flow_ev("f", "req", 5001, 7),
+            ev("E", "client.recv", 5002),
+        ], epoch=1_000_000_000)
+        server = merge_doc([
+            ev("B", "net.admit", 1), flow_ev("t", "req", 2, 7),
+            ev("E", "net.admit", 3),
+        ], epoch=1_000_100_000)  # +100 us: lands between "s" and "f"
+        with TempJson() as t:
+            out_path = os.path.join(t.dir.name, "merged.json")
+            code, out = run("merge_traces.py", f"--out={out_path}",
+                            t.write("client.json", client),
+                            t.write("server.json", server))
+            self.assertEqual(code, 0, out)
+            code, out = run("check_trace.py", out_path,
+                            "--require=net.admit",
+                            "--require-complete-flow=req")
+        self.assertEqual(code, 0, out)
+        self.assertIn("1 flows (1 complete)", out)
+
+    def test_missing_trace_epoch_fails(self):
+        a = trace_doc([])  # no trace_epoch_ns
+        b = merge_doc([], epoch=5)
+        with TempJson() as t:
+            out_path = os.path.join(t.dir.name, "merged.json")
+            code, out = run("merge_traces.py", f"--out={out_path}",
+                            t.write("a.json", a), t.write("b.json", b))
+        self.assertEqual(code, 1, out)
+        self.assertIn("trace_epoch_ns missing or non-integer", out)
+
+
+def request_events(idx, base, solve_us=400):
+    """One served request's four-stage span chain: admission 100 us,
+    queue wait 200 us, solve `solve_us`, response write 200 us."""
+    def b(name, ts, tid):
+        return {"ph": "B", "name": name, "ts": ts, "pid": 1, "tid": tid,
+                "args": {"arg": idx}}
+
+    def e(name, ts, tid):
+        return {"ph": "E", "name": name, "ts": ts, "pid": 1, "tid": tid}
+
+    return [
+        b("net.admit", base, 1), e("net.admit", base + 100, 1),
+        b("service.job", base + 300, 2),
+        b("service.solve", base + 400, 2),
+        e("service.solve", base + 400 + solve_us, 2),
+        e("service.job", base + 500 + solve_us, 2),
+        b("net.request", base + 600 + solve_us, 1),
+        e("net.request", base + 800 + solve_us, 1),
+    ]
+
+
+class TraceReportTest(unittest.TestCase):
+    """trace_report.py — per-request critical-path breakdown."""
+
+    def run_report(self, doc, *args):
+        with TempJson() as t:
+            return (run("trace_report.py", t.write("trace.json", doc),
+                        *args), t)
+
+    def test_breakdown_medians_and_json_document(self):
+        events = request_events(0, 1000) + request_events(1, 10000,
+                                                          solve_us=800)
+        with TempJson() as t:
+            trace = t.write("trace.json", trace_doc(events))
+            json_out = os.path.join(t.dir.name, "report.json")
+            code, out = run("trace_report.py", trace,
+                            f"--json={json_out}", "--name=serve_ci")
+            self.assertEqual(code, 0, out)
+            self.assertIn("2 complete request(s), 0 incomplete", out)
+            with open(json_out) as f:
+                doc = json.load(f)
+        self.assertEqual(doc["kind"], "trace_report")
+        self.assertEqual(doc["bench"], "serve_ci")
+        self.assertEqual(doc["requests"], {"complete": 2, "incomplete": 0})
+        by_id = {r["id"]: r for r in doc["results"]}
+        self.assertEqual(sorted(by_id), ["admission", "queue_wait",
+                                         "solve", "write"])
+        self.assertEqual(by_id["admission"]["wall_ms"]["median"], 0.1)
+        self.assertEqual(by_id["queue_wait"]["wall_ms"]["median"], 0.2)
+        # Nearest-rank median of {0.4, 0.8} ms is the lower value.
+        self.assertEqual(by_id["solve"]["wall_ms"]["median"], 0.4)
+        self.assertEqual(by_id["solve"]["wall_ms"]["min"], 0.4)
+        self.assertEqual(by_id["write"]["wall_ms"]["median"], 0.2)
+
+    def test_incomplete_request_is_counted_not_crashed(self):
+        events = request_events(0, 1000)
+        # Request 1 was admitted but never solved (still queued when the
+        # trace stopped).
+        events += [
+            {"ph": "B", "name": "net.admit", "ts": 20000, "pid": 1,
+             "tid": 1, "args": {"arg": 1}},
+            {"ph": "E", "name": "net.admit", "ts": 20100, "pid": 1,
+             "tid": 1},
+        ]
+        (code, out), _ = self.run_report(trace_doc(events))
+        self.assertEqual(code, 0, out)
+        self.assertIn("1 complete request(s), 1 incomplete", out)
+
+    def test_no_complete_request_fails(self):
+        events = [
+            {"ph": "B", "name": "net.admit", "ts": 1, "pid": 1, "tid": 1,
+             "args": {"arg": 0}},
+            {"ph": "E", "name": "net.admit", "ts": 2, "pid": 1, "tid": 1},
+        ]
+        (code, out), _ = self.run_report(trace_doc(events))
+        self.assertEqual(code, 1, out)
+        self.assertIn("no complete request", out)
+
+
+class AppendHistoryTest(unittest.TestCase):
+    """append_bench_history.py folds trace_report docs into "segments"."""
+
+    def test_trace_report_document_gets_segments_map(self):
+        report = {
+            "schema_version": 1, "kind": "trace_report",
+            "bench": "serve_ci",
+            "requests": {"complete": 2, "incomplete": 0},
+            "results": [
+                {"id": "admission", "wall_ms": {"median": 0.1,
+                                                "min": 0.05},
+                 "skipped": False},
+                {"id": "solve", "wall_ms": {"median": 0.4, "min": 0.4},
+                 "skipped": False},
+            ],
+        }
+        with TempJson() as t:
+            hist = os.path.join(t.dir.name, "hist.json")
+            code, out = run("append_bench_history.py", hist,
+                            t.write("report.json", report),
+                            "--sha=abc123", "--date=2026-01-01")
+            self.assertEqual(code, 0, out)
+            with open(hist) as f:
+                doc = json.load(f)
+        bench = doc["entries"][0]["benches"]["serve_ci"]
+        self.assertEqual(bench["segments"],
+                         {"admission": 0.1, "solve": 0.4})
+        self.assertEqual(bench["cells"], 2)
+
+
 class LintInvariantsTest(unittest.TestCase):
     """scripts/lint_invariants.py — spot-check the source-scan rules on a
     synthetic tree (the real tree is linted by the `lint_invariants` ctest
